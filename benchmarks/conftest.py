@@ -1,0 +1,64 @@
+"""Shared configuration for the benchmark/figure-regeneration harness.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_JOBS``  — jobs per scenario (default 800; the paper
+  uses 3000 — set ``REPRO_BENCH_JOBS=3000`` for paper scale);
+* ``REPRO_BENCH_NODES`` — cluster size (default 128, as in the paper);
+* ``REPRO_BENCH_SEED``  — root seed (default 42);
+* ``REPRO_BENCH_PROCESSES`` — worker processes for figure sweeps
+  (default: CPU count − 1; set 1 for sequential).
+
+Each figure benchmark regenerates one paper figure, times the
+regeneration, prints the same rows the paper plots, and writes them to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> tuple[int, int, int]:
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "800"))
+    nodes = int(os.environ.get("REPRO_BENCH_NODES", "128"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    return jobs, nodes, seed
+
+
+def bench_processes() -> int:
+    from repro.experiments.parallel import default_processes
+
+    return int(os.environ.get("REPRO_BENCH_PROCESSES", str(default_processes())))
+
+
+@pytest.fixture(scope="session")
+def processes() -> int:
+    return bench_processes()
+
+
+@pytest.fixture(scope="session")
+def bench_base() -> ScenarioConfig:
+    jobs, nodes, seed = bench_scale()
+    return ScenarioConfig(num_jobs=jobs, num_nodes=nodes, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(capsys, results_dir: Path, name: str, text: str) -> None:
+    """Print paper rows to the live terminal and persist them."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print()
+        print(text)

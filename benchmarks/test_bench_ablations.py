@@ -1,0 +1,22 @@
+"""Design-choice ablations (beyond the paper; see DESIGN.md §3).
+
+Quantifies each decision the paper leaves open: the σ-versus-strict
+suitability rule (i.e. how much of LibraRisk's advantage is the
+empty-node gamble), the zero-risk node ordering, the overrun floor
+share, and spare-capacity redistribution.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablations import all_ablations
+
+
+def test_ablations(benchmark, bench_base, results_dir, capsys):
+    results = benchmark.pedantic(
+        lambda: all_ablations(bench_base), rounds=1, iterations=1
+    )
+    text = "\n\n".join(ab.render() for ab in results.values())
+    emit(capsys, results_dir, "ablations", text)
+
+    s = results["suitability"].series("pct_deadlines_fulfilled")
+    assert s["sigma (paper)"] >= s["no-delay (strict)"]
+    assert s["sigma (paper)"] > s["libra (reference)"]

@@ -1,0 +1,81 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are genuine performance benchmarks (many rounds) covering the
+hot paths: the event kernel, proportional-share node recomputation,
+risk assessment, and a whole end-to-end scenario per policy.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import TimeSharedNode
+from repro.experiments.runner import build_scenario_jobs, run_scenario
+from repro.scheduling.risk import assess_delays
+from repro.sim.kernel import Simulator
+from tests.conftest import make_job
+
+
+class TestKernelThroughput:
+    def test_schedule_and_run_10k_events(self, benchmark):
+        def run():
+            sim = Simulator()
+            for i in range(10_000):
+                sim.schedule_at(float(i % 997), lambda ev: None)
+            sim.run()
+            return sim.events_fired
+
+        assert benchmark(run) == 10_000
+
+
+class TestNodeOperations:
+    def test_recompute_with_16_tasks(self, benchmark):
+        sim = Simulator()
+        node = TimeSharedNode(0, 1.0, sim)
+        for i in range(16):
+            job = make_job(runtime=100.0 + i, deadline=10_000.0, job_id=i + 1)
+            node.add_task(job, work=100.0 + i, est_work=100.0 + i, now=0.0)
+        benchmark(node.recompute, 0.0)
+
+    def test_predicted_delays_fast_path(self, benchmark):
+        sim = Simulator()
+        node = TimeSharedNode(0, 1.0, sim)
+        for i in range(16):
+            job = make_job(runtime=100.0, deadline=10_000.0, job_id=i + 1)
+            node.add_task(job, work=100.0, est_work=100.0, now=0.0)
+        new = make_job(runtime=10.0, deadline=1_000.0, job_id=99)
+        result = benchmark(node.predicted_delays, 0.0, [(new, 10.0)])
+        assert len(result) == 17
+
+    def test_predicted_delays_projection_path(self, benchmark):
+        sim = Simulator()
+        node = TimeSharedNode(0, 1.0, sim)
+        # Over-committed node: every call takes the forward projection.
+        for i in range(16):
+            job = make_job(runtime=1_000.0, deadline=10_000.0 + i, job_id=i + 1)
+            node.add_task(job, work=1_000.0, est_work=1_000.0, now=0.0)
+        result = benchmark(node.predicted_delays, 0.0)
+        assert len(result) == 16
+
+
+class TestRiskAssessment:
+    def test_assess_64_jobs(self, benchmark):
+        pairs = [(float(i % 7) * 10.0, 100.0 + i) for i in range(64)]
+        result = benchmark(assess_delays, pairs)
+        assert result.n_jobs == 64
+
+
+@pytest.mark.parametrize(
+    "policy",
+    ["edf", "fcfs", "edf-easy", "conservative", "qops-slack", "libra", "librarisk"],
+)
+class TestEndToEndScenario:
+    def test_scenario_400_jobs(self, benchmark, policy, bench_base):
+        config = bench_base.replace(policy=policy, num_jobs=400, estimate_mode="trace")
+        jobs_template = build_scenario_jobs(config)
+        assert len(jobs_template) == 400
+
+        def run():
+            return run_scenario(config)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.metrics.total_submitted == 400

@@ -1,0 +1,25 @@
+"""Extended all-policy comparison (beyond the paper's three).
+
+Answers whether LibraRisk's advantage survives stronger space-shared
+baselines (EASY/conservative backfilling, QoPS-style slack admission).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.extended import extended_comparison
+
+
+def test_extended_comparison(benchmark, bench_base, results_dir, capsys):
+    comparison = benchmark.pedantic(
+        lambda: extended_comparison(bench_base), rounds=1, iterations=1
+    )
+    emit(capsys, results_dir, "extended", comparison.render())
+
+    # LibraRisk must still win the trace-estimate column outright.
+    assert comparison.winner("trace") == "librarisk"
+    # And the space-shared planners must not beat Libra's proportional
+    # share under accurate estimates by construction of the workload.
+    accurate = comparison.accurate
+    assert (
+        accurate["librarisk"].metrics.pct_deadlines_fulfilled
+        >= accurate["fcfs"].metrics.pct_deadlines_fulfilled
+    )

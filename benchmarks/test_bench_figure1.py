@@ -1,0 +1,22 @@
+"""Regenerate paper Figure 1 and report its series.
+
+Panels: (a)/(b) % deadlines fulfilled, (c)/(d) average slowdown.
+The benchmark times one full regeneration; the printed tables are the
+rows the paper plots.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figures import figure1
+from repro.experiments.serialize import save_figure
+
+
+def test_figure1(benchmark, bench_base, results_dir, capsys, processes):
+    fig = benchmark.pedantic(
+        lambda: figure1(base=bench_base, processes=processes), rounds=1, iterations=1
+    )
+    emit(capsys, results_dir, "figure1", fig.render())
+    save_figure(fig, results_dir / "figure1.json")
+    assert len(fig.panels) == 4
+    for panel in fig.panels:
+        for series in panel.series.values():
+            assert len(series) == len(panel.x_values)

@@ -1,0 +1,26 @@
+"""Failure-robustness grid (beyond the paper).
+
+Sweeps node MTBF for each admission control: how gracefully does each
+degrade when the cluster itself breaks its promises?
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.robustness import robustness_grid
+
+
+def test_robustness_grid(benchmark, bench_base, results_dir, capsys):
+    grid = benchmark.pedantic(
+        lambda: robustness_grid(bench_base, mtbfs=(None, 200.0, 50.0)),
+        rounds=1, iterations=1,
+    )
+    emit(capsys, results_dir, "robustness", grid.render())
+
+    for policy in ("edf", "libra", "librarisk"):
+        clean = grid.cell(policy, None).metrics.pct_deadlines_fulfilled
+        faulty = grid.cell(policy, 50.0).metrics.pct_deadlines_fulfilled
+        assert faulty <= clean
+    # The headline advantage survives an unreliable cluster.
+    assert (
+        grid.cell("librarisk", 50.0).metrics.pct_deadlines_fulfilled
+        > grid.cell("libra", 50.0).metrics.pct_deadlines_fulfilled
+    )

@@ -1,0 +1,29 @@
+"""Regenerate the workload statistics the paper reports in §4.
+
+The paper describes its 3000-job SDSC SP2 subset: mean inter-arrival
+time 2131 s (35.52 min), mean runtime ≈ 2.7 h, mean 17 processors, on
+a 128-node machine, with highly over-estimated user runtime estimates.
+This bench prints the same statistics for the workload the benchmarks
+actually use (the calibrated synthetic trace, or a real SWF via
+``trace_path``).
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import load_base_records
+from repro.workload.traces import describe_records
+
+
+def test_trace_statistics(benchmark, bench_base, results_dir, capsys):
+    records = benchmark.pedantic(
+        lambda: load_base_records(bench_base), rounds=1, iterations=1
+    )
+    stats = describe_records(records)
+    text = "=== Workload statistics (paper §4) ===\n" + render_table(
+        ["statistic", "value"], sorted(stats.items()), float_fmt="{:.3f}"
+    )
+    emit(capsys, results_dir, "trace_stats", text)
+
+    assert stats["num_jobs"] == bench_base.num_jobs
+    assert stats["estimate_frac_overestimated"] > 0.5  # "often over estimated"
+    assert stats["max_procs"] <= bench_base.num_nodes

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plugging a custom admission control into the harness.
+
+Implements *Libra-Margin*: Libra's Eq. 2 capacity test with a safety
+margin — a node is suitable only if the total share (including the new
+job) stays below ``1 − margin``.  Holding back headroom is the naive
+way to hedge against estimate error; LibraRisk is the principled one.
+The example registers the policy, runs the paper's trace-estimate
+scenario, and shows where the naive hedge lands.
+
+Usage::
+
+    python examples/custom_policy.py [num_jobs]
+"""
+
+import sys
+
+from repro.cluster.job import Job
+from repro.cluster.node import TimeSharedNode
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.reporting import metrics_table
+from repro.experiments.runner import run_policies
+from repro.scheduling.libra import CAPACITY_EPSILON, LibraPolicy
+from repro.scheduling.registry import register_policy
+
+
+class LibraMarginPolicy(LibraPolicy):
+    """Libra with reserved headroom on every node.
+
+    ``margin`` is the share fraction kept free: with ``margin=0.2`` a
+    node accepts new work only up to a total share of 0.8.
+    """
+
+    name = "libra-margin"
+    discipline = "time_shared"
+
+    def __init__(self, margin: float = 0.2) -> None:
+        super().__init__()
+        if not 0.0 <= margin < 1.0:
+            raise ValueError(f"margin must be in [0, 1), got {margin}")
+        self.margin = margin
+
+    def on_job_submitted(self, job: Job, now: float) -> None:
+        assert self.cluster is not None and self.rms is not None
+        capacity = 1.0 - self.margin
+        suitable: list[tuple[float, TimeSharedNode]] = []
+        for node in self.cluster:
+            assert isinstance(node, TimeSharedNode)
+            node.sync(now)
+            est_time = self.cluster.est_time_on(node, job.estimated_runtime)
+            total = node.total_admission_share(
+                now, extra=[(est_time, job.remaining_deadline(now))]
+            )
+            if total <= capacity + CAPACITY_EPSILON:
+                suitable.append((total, node))
+        if len(suitable) < job.numproc:
+            self._reject(job, "margin capacity exceeded")
+            return
+        suitable.sort(key=lambda pair: (-pair[0], pair[1].node_id))
+        self._allocate(job, [node for _, node in suitable[: job.numproc]], now)
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    register_policy(LibraMarginPolicy)
+
+    base = ScenarioConfig(num_jobs=num_jobs, num_nodes=128, estimate_mode="trace", seed=42)
+    results = run_policies(
+        base,
+        [
+            "libra",
+            ("libra-margin", {"margin": 0.1}),
+            ("libra-margin", {"margin": 0.3}),
+            "librarisk",
+        ],
+    )
+    print("=== Trace estimates: naive headroom vs. risk management ===")
+    print(
+        metrics_table(
+            results,
+            ("pct_deadlines_fulfilled", "avg_slowdown", "acceptance_pct", "completed_late"),
+        )
+    )
+    print(
+        "\nReserving headroom trades acceptance for safety wholesale;\n"
+        "LibraRisk reallocates exactly the jobs whose risk is real, which\n"
+        "is why it dominates every fixed margin."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The computational-economy view: budgets, revenue, and risk.
+
+Restores the economic substrate of the original Libra (Sherwani et
+al. 2004) that the ICPP'06 paper abstracts away, and asks the
+provider-side question the related work ([5] Irwin et al., [12]
+Popovici & Wilkes) poses: *which admission control earns the most,
+once violated SLAs cost you money?*
+
+Each job gets a price (resource term + urgency term) and a budget
+(willingness to pay).  Revenue accrues for accepted jobs that meet
+their deadline; accepted jobs that miss it incur a penalty.
+
+Usage::
+
+    python examples/economy.py [num_jobs]
+"""
+
+import sys
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.rms import ResourceManagementSystem
+from repro.economy import BudgetModel, LibraBudgetPolicy, LibraPricing, economic_summary
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import build_scenario_jobs
+from repro.scheduling.registry import make_policy
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+
+def run_policy(name, config, budgets, pricing):
+    """Run one policy; budget enforcement only for libra-budget."""
+    jobs = build_scenario_jobs(config)
+    sim = Simulator()
+    cluster = Cluster.homogeneous(sim, config.num_nodes, discipline="time_shared")
+    if name == "libra-budget":
+        policy = LibraBudgetPolicy(pricing=pricing)
+        policy.set_budgets(budgets)
+    else:
+        policy = make_policy(name)
+    rms = ResourceManagementSystem(sim, cluster, policy)
+    rms.submit_all(jobs)
+    sim.run()
+    quoted = {j.job_id: pricing.price_job(j) for j in rms.accepted}
+    summary = economic_summary(rms.jobs, quoted, penalty_rate=0.5)
+    fulfilled = sum(1 for j in rms.jobs if j.deadline_met)
+    return {
+        "policy": name,
+        "fulfilled_pct": 100.0 * fulfilled / len(rms.jobs),
+        "accepted_pct": 100.0 * len(rms.accepted) / len(rms.jobs),
+        "revenue_k": summary.revenue / 1e3,
+        "penalties_k": summary.penalties / 1e3,
+        "profit_k": summary.profit / 1e3,
+    }
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    config = ScenarioConfig(num_jobs=num_jobs, num_nodes=128,
+                            estimate_mode="trace", seed=42)
+    pricing = LibraPricing(alpha=1.0, beta=2000.0)
+    budgets = BudgetModel(pricing=pricing).assign(
+        build_scenario_jobs(config), RngStreams(seed=42).get("budgets")
+    )
+
+    rows = []
+    for name in ("libra", "libra-budget", "librarisk"):
+        r = run_policy(name, config, budgets, pricing)
+        rows.append([r["policy"], r["fulfilled_pct"], r["accepted_pct"],
+                     r["revenue_k"], r["penalties_k"], r["profit_k"]])
+
+    print("=== Trace estimates: provider economics (currency in thousands) ===")
+    print(render_table(
+        ["policy", "fulfilled %", "accepted %", "revenue", "penalties", "profit"],
+        rows,
+    ))
+    print(
+        "\nLibraRisk's extra fulfilled deadlines translate directly into\n"
+        "revenue; budget enforcement (libra-budget) shields users who\n"
+        "cannot pay but does nothing about the estimate risk itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Stress-testing the headline result against stronger baselines.
+
+The paper compares LibraRisk against EDF and Libra only.  A fair
+question: would a *better space-shared scheduler* — EASY backfilling,
+conservative backfilling with reservation-based admission, or a
+QoPS-style soft-deadline planner — close the gap without any risk
+metric?  This example runs the full roster on one workload, prints the
+comparison, charts the urgency sweep, and reports the tail risk
+(Computation-at-Risk) of each policy's slowdown distribution.
+
+Usage::
+
+    python examples/extended_baselines.py [num_jobs]
+"""
+
+import sys
+
+from repro.analysis.asciichart import ascii_chart
+from repro.cluster.cluster import Cluster
+from repro.cluster.rms import ResourceManagementSystem
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.extended import extended_comparison
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import build_scenario_jobs
+from repro.experiments.sweeps import sweep
+from repro.metrics.car import computation_at_risk
+from repro.scheduling.registry import make_policy, policy_discipline
+from repro.sim.kernel import Simulator
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    base = ScenarioConfig(num_jobs=num_jobs, num_nodes=128, seed=42)
+
+    # 1. The all-policy table under both estimate modes.
+    comparison = extended_comparison(base)
+    print(comparison.render())
+    print(f"\ntrace-estimate winner: {comparison.winner('trace')}")
+
+    # 2. Urgency sweep, trace estimates, charted.
+    def set_urgency(cfg, pct):
+        return cfg.replace(high_urgency_fraction=pct / 100.0)
+
+    xs = [0.0, 25.0, 50.0, 75.0, 100.0]
+    urgency = sweep(
+        base.replace(estimate_mode="trace"),
+        "urgency_pct", xs,
+        ["edf-easy", "conservative", "librarisk"],
+        transform=set_urgency,
+    )
+    print("\n% deadlines fulfilled vs % high-urgency jobs (trace estimates):\n")
+    print(ascii_chart(xs, urgency.series("pct_deadlines_fulfilled"),
+                      x_label="% high urgency"))
+
+    # 3. Computation-at-Risk of the slowdown distribution (trace mode).
+    rows = []
+    for name in ("edf", "edf-easy", "conservative", "libra", "librarisk"):
+        jobs = build_scenario_jobs(base.replace(estimate_mode="trace"))
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, base.num_nodes,
+                                      discipline=policy_discipline(name))
+        rms = ResourceManagementSystem(sim, cluster, make_policy(name))
+        rms.submit_all(jobs)
+        sim.run()
+        report = computation_at_risk(rms.jobs, measure="expansion_factor",
+                                     confidence=0.95)
+        rows.append([name, report.mean, report.car, report.conditional_car,
+                     report.tail_ratio])
+    print("\nComputation-at-Risk of slowdown (95% quantile, trace estimates):")
+    print(render_table(["policy", "mean", "CaR95", "CCaR95", "tail ratio"], rows))
+    print(
+        "\nProportional share stretches every job toward its deadline "
+        "(higher mean slowdown), but LibraRisk's tail is no heavier than "
+        "Libra's — the extra accepted jobs do not come at the price of a "
+        "worse worst case."
+    )
+
+
+if __name__ == "__main__":
+    main()

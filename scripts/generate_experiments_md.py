@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md at paper scale.
+
+Runs all four figures (default: the paper's full 3000-job workload on
+128 nodes), validates every §5 claim, and writes EXPERIMENTS.md.
+
+Usage::
+
+    python scripts/generate_experiments_md.py [num_jobs] [out_path]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import all_figures
+from repro.experiments.report import experiments_markdown
+from repro.experiments.runner import load_base_records
+from repro.experiments.serialize import save_figures
+from repro.experiments.validation import validate_all
+from repro.workload.traces import describe_records
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    out_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
+    processes = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+    base = ScenarioConfig(num_jobs=num_jobs, num_nodes=128, seed=42)
+    t0 = time.time()
+
+    def progress(msg: str) -> None:
+        print(f"  [{time.time() - t0:7.0f}s] {msg}", file=sys.stderr, flush=True)
+
+    stats = describe_records(load_base_records(base))
+    figures = all_figures(base=base, progress=progress, processes=processes)
+    report = validate_all(figures)
+
+    save_figures(figures, Path("benchmarks/results/fullscale"))
+    out_path.write_text(experiments_markdown(figures, trace_stats=stats))
+    print(f"wrote {out_path} ({report.passed}/{len(report.claims)} claims hold) "
+          f"in {time.time() - t0:.0f}s")
+    for claim in report.claims:
+        if not claim.passed:
+            print("  " + claim.render())
+
+
+if __name__ == "__main__":
+    main()

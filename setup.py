@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (environments without the `wheel`
+package cannot use PEP 660); all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

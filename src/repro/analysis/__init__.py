@@ -1,0 +1,31 @@
+"""Series analysis helpers: wins, crossovers, improvement factors.
+
+Used by EXPERIMENTS.md's paper-versus-measured checks and by the test
+suite to assert the qualitative *shape* of each figure (who wins, by
+roughly what factor, where the curves cross) without pinning absolute
+numbers to a particular synthetic-trace seed.
+"""
+
+from repro.analysis.asciichart import ascii_chart, panel_chart
+from repro.analysis.stats import Summary, paired_difference, significantly_greater, summarize
+from repro.analysis.compare import (
+    crossover_points,
+    dominance_fraction,
+    improvement_pct,
+    mean_improvement_pct,
+    trend,
+)
+
+__all__ = [
+    "Summary",
+    "ascii_chart",
+    "crossover_points",
+    "dominance_fraction",
+    "improvement_pct",
+    "mean_improvement_pct",
+    "paired_difference",
+    "panel_chart",
+    "significantly_greater",
+    "summarize",
+    "trend",
+]

@@ -1,0 +1,98 @@
+"""Distribution summaries: ECDFs, quantile tables, histogram rendering.
+
+The paper reports means; distributions tell the fuller story (e.g.
+Libra's slowdown mass sits near the deadline factor by construction).
+These helpers turn value samples into comparable, printable summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+DEFAULT_QUANTILES = (0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Quantiles and moments of one sample."""
+
+    name: str
+    n: int
+    mean: float
+    std: float
+    quantiles: dict[float, float]
+
+    def as_row(self, qs: Sequence[float] = DEFAULT_QUANTILES) -> list:
+        return [self.name, self.n, self.mean, self.std,
+                *(self.quantiles[q] for q in qs)]
+
+
+def summarize_distribution(
+    name: str,
+    values: Sequence[float],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> DistributionSummary:
+    """Quantile/moment summary of ``values``."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        raise ValueError(f"no finite values for {name!r}")
+    return DistributionSummary(
+        name=name,
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        quantiles={q: float(np.quantile(arr, q)) for q in quantiles},
+    )
+
+
+def ecdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative probabilities."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def ecdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of the sample at or below ``x``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return float(np.mean(arr <= x))
+
+
+def histogram_ascii(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """A fixed-width ASCII histogram (one line per bin)."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"[{lo:10.4g}, {hi:10.4g})  {count:6d}  {bar}")
+    return "\n".join(lines)
+
+
+def compare_distributions(
+    samples: Mapping[str, Sequence[float]],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> str:
+    """Side-by-side quantile table for several samples."""
+    from repro.experiments.reporting import render_table
+
+    headers = ["sample", "n", "mean", "std", *(f"p{int(q * 100)}" for q in quantiles)]
+    rows = [
+        summarize_distribution(name, vals, quantiles).as_row(quantiles)
+        for name, vals in samples.items()
+    ]
+    return render_table(headers, rows)

@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Examples
+--------
+Regenerate Figure 1 at paper scale (3000 jobs)::
+
+    python -m repro figure1
+
+Quick pass of every figure with a smaller workload::
+
+    python -m repro figures --jobs 600
+
+Single scenario, trace estimates, CSV of the headline metrics::
+
+    python -m repro run --policy librarisk --estimate-mode trace
+
+Workload statistics the paper reports in §4::
+
+    python -m repro trace-stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.ablations import all_ablations
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import PAPER_POLICIES, all_figures, figure1, figure2, figure3, figure4
+from repro.experiments.reporting import metrics_table, render_table, to_csv
+from repro.experiments.runner import run_policies, run_scenario
+from repro.scheduling.registry import available_policies
+from repro.sim.rng import RngStreams
+from repro.workload.swf import read_swf_file
+from repro.workload.synthetic import SDSCSP2Model, generate_sdsc_like_records
+from repro.workload.traces import describe_records, tail_subset
+
+_FIGURE_FNS = {"figure1": figure1, "figure2": figure2, "figure3": figure3, "figure4": figure4}
+
+
+def _base_config(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        num_jobs=args.jobs,
+        num_nodes=args.nodes,
+        seed=args.seed,
+        trace_path=args.trace,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=3000, help="number of jobs (default 3000)")
+    parser.add_argument("--nodes", type=int, default=128, help="cluster size (default 128)")
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+    parser.add_argument(
+        "--trace", type=str, default=None,
+        help="path to a real SWF trace (default: calibrated synthetic workload)",
+    )
+
+
+def _progress_printer(verbose: bool):
+    if not verbose:
+        return None
+
+    def emit(msg: str) -> None:
+        print(f"  [run] {msg}", file=sys.stderr)
+
+    return emit
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Yeo & Buyya (ICPP 2006): EDF vs Libra vs LibraRisk",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fid in ("figure1", "figure2", "figure3", "figure4"):
+        p = sub.add_parser(fid, help=f"regenerate paper {fid}")
+        _add_common(p)
+        p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+        p.add_argument("--chart", action="store_true",
+                       help="render panels as ASCII charts instead of tables")
+        p.add_argument("--verbose", action="store_true", help="print per-run progress")
+        p.add_argument("--processes", type=int, default=1,
+                       help="worker processes for the sweep (1 = sequential)")
+        p.add_argument(
+            "--policies", nargs="+", default=list(PAPER_POLICIES),
+            choices=available_policies(), help="policies to compare",
+        )
+
+    p = sub.add_parser("figures", help="regenerate all four figures")
+    _add_common(p)
+    p.add_argument("--verbose", action="store_true")
+
+    p = sub.add_parser("run", help="run a single scenario")
+    _add_common(p)
+    p.add_argument("--policy", default="librarisk", choices=available_policies())
+    p.add_argument("--estimate-mode", default="trace",
+                   choices=("accurate", "trace", "inaccuracy"))
+    p.add_argument("--inaccuracy", type=float, default=100.0)
+    p.add_argument("--arrival-delay-factor", type=float, default=1.0)
+    p.add_argument("--high-urgency", type=float, default=20.0,
+                   help="%% of high urgency jobs")
+    p.add_argument("--deadline-ratio", type=float, default=4.0)
+
+    p = sub.add_parser("compare", help="all policies on one scenario")
+    _add_common(p)
+    p.add_argument("--estimate-mode", default="trace",
+                   choices=("accurate", "trace", "inaccuracy"))
+
+    p = sub.add_parser("trace-stats", help="workload statistics (paper §4)")
+    _add_common(p)
+
+    p = sub.add_parser("ablations", help="run the design-choice ablations")
+    _add_common(p)
+
+    p = sub.add_parser("validate", help="check the paper's §5 claims on regenerated figures")
+    _add_common(p)
+    p.add_argument("--figures", nargs="+", default=["1", "2", "3", "4"],
+                   choices=["1", "2", "3", "4"], help="figures to regenerate and validate")
+    p.add_argument("--verbose", action="store_true")
+
+    p = sub.add_parser("replicate", help="multi-seed comparison with confidence intervals")
+    _add_common(p)
+    p.add_argument("--estimate-mode", default="trace",
+                   choices=("accurate", "trace", "inaccuracy"))
+    p.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+    p.add_argument("--policies", nargs="+", default=["edf", "libra", "librarisk"],
+                   choices=available_policies())
+    p.add_argument("--metric", default="pct_deadlines_fulfilled")
+
+    p = sub.add_parser("sensitivity", help="one-factor-at-a-time sensitivity analysis")
+    _add_common(p)
+    p.add_argument("--policy", default="librarisk", choices=available_policies())
+    p.add_argument("--metric", default="pct_deadlines_fulfilled")
+
+    p = sub.add_parser("robustness", help="deadline fulfilment under node failures")
+    _add_common(p)
+
+    sub.add_parser("policies", help="list available admission controls")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "policies":
+        for name in available_policies():
+            print(name)
+        return 0
+
+    if args.command in _FIGURE_FNS:
+        base = _base_config(args)
+        fig = _FIGURE_FNS[args.command](
+            base=base, policies=args.policies,
+            progress=_progress_printer(args.verbose), processes=args.processes,
+        )
+        if args.csv:
+            for panel in fig.panels:
+                print(f"# panel ({panel.label}) {panel.title}")
+                print(to_csv(panel.x_label, panel.x_values, panel.series))
+        elif args.chart:
+            from repro.analysis.asciichart import panel_chart
+
+            print(f"=== Figure {fig.figure_id}: {fig.title} ===")
+            for panel in fig.panels:
+                print()
+                print(panel_chart(panel))
+        else:
+            print(fig.render())
+        return 0
+
+    if args.command == "figures":
+        base = _base_config(args)
+        for fig in all_figures(base=base, progress=_progress_printer(args.verbose)).values():
+            print(fig.render())
+            print()
+        return 0
+
+    if args.command == "run":
+        config = _base_config(args).replace(
+            policy=args.policy,
+            estimate_mode=args.estimate_mode,
+            inaccuracy_pct=args.inaccuracy,
+            arrival_delay_factor=args.arrival_delay_factor,
+            high_urgency_fraction=args.high_urgency / 100.0,
+            deadline_ratio=args.deadline_ratio,
+        )
+        result = run_scenario(config)
+        rows = sorted(result.metrics.as_dict().items())
+        print(render_table(["metric", "value"], rows))
+        print(f"\nsimulated horizon: {result.horizon / 86400.0:.1f} days, "
+              f"{result.events} events in {result.elapsed:.2f}s wall-clock")
+        return 0
+
+    if args.command == "compare":
+        base = _base_config(args).replace(estimate_mode=args.estimate_mode)
+        results = run_policies(base, available_policies())
+        print(metrics_table(
+            results,
+            ("pct_deadlines_fulfilled", "avg_slowdown", "acceptance_pct", "completed_late"),
+        ))
+        return 0
+
+    if args.command == "trace-stats":
+        if args.trace is not None:
+            _, records = read_swf_file(args.trace)
+            records = tail_subset(records, args.jobs)
+            source = args.trace
+        else:
+            records = generate_sdsc_like_records(
+                SDSCSP2Model(num_jobs=args.jobs), RngStreams(seed=args.seed)
+            )
+            source = f"synthetic SDSC-SP2-like (seed={args.seed})"
+        stats = describe_records(records)
+        print(f"workload: {source}")
+        print(render_table(["statistic", "value"], sorted(stats.items()), float_fmt="{:.3f}"))
+        return 0
+
+    if args.command == "ablations":
+        base = _base_config(args)
+        for ab in all_ablations(base).values():
+            print(ab.render())
+            print()
+        return 0
+
+    if args.command == "validate":
+        from repro.experiments.validation import validate_figure
+
+        base = _base_config(args)
+        progress = _progress_printer(args.verbose)
+        all_ok = True
+        for fid in args.figures:
+            fig = _FIGURE_FNS[f"figure{fid}"](base=base, progress=progress)
+            report = validate_figure(fig)
+            print(report.render())
+            print()
+            all_ok = all_ok and report.all_passed
+        return 0 if all_ok else 1
+
+    if args.command == "replicate":
+        from repro.experiments.replication import compare_replicated, replicate_policies
+
+        base = _base_config(args).replace(estimate_mode=args.estimate_mode)
+        reps = replicate_policies(base, args.policies, args.seeds)
+        rows = []
+        for name, rep in reps.items():
+            rows.append([name, str(rep.summary(args.metric))])
+        print(render_table([f"policy ({args.metric})", "mean ± 95% CI"], rows))
+        if "librarisk" in reps and "libra" in reps:
+            diff = compare_replicated(reps["librarisk"], reps["libra"], args.metric)
+            verdict = "significant" if diff.low > 0 else "not significant"
+            print(f"\npaired librarisk − libra: {diff} ({verdict} at 95%)")
+        return 0
+
+    if args.command == "sensitivity":
+        from repro.experiments.sensitivity import sensitivity
+
+        result = sensitivity(_base_config(args), policy=args.policy, metric=args.metric)
+        print(result.render())
+        print(f"\nmost sensitive knob: {result.most_sensitive()}")
+        return 0
+
+    if args.command == "robustness":
+        from repro.experiments.robustness import robustness_grid
+
+        grid = robustness_grid(_base_config(args))
+        print(grid.render())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,559 @@
+"""Compute-node models: space-shared and proportional time-shared.
+
+Work accounting
+---------------
+Job runtimes are defined at a *reference* SPEC rating (the paper §3:
+"the runtime estimate of a job has to be translated to its equivalent
+value across heterogeneous nodes").  Internally a task carries **work**
+in rating-seconds::
+
+    work = runtime_seconds × reference_rating
+
+A node of rating ``r`` executing a task at share (fraction) ``s``
+performs ``r × s`` rating-seconds of work per wall-clock second.  For a
+homogeneous cluster this is a pass-through; for heterogeneous ratings
+it gives the translation the paper requires.
+
+Each task tracks **two** work quantities:
+
+* ``remaining_work`` — the actual work left (ground truth; the task
+  finishes when this hits zero), and
+* ``remaining_est_work`` — the work left according to the *user
+  estimate* (what the admission controls see).
+
+Both are consumed at the same CPU rate; they diverge exactly when the
+estimate was wrong.  A task whose estimate is exhausted while actual
+work remains is in **overrun** — it keeps a small floor share (see
+:mod:`repro.cluster.share`) and is precisely the hazard LibraRisk's
+risk metric detects and Libra's Eq. 2 capacity test cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.cluster.job import Job
+from repro.cluster.share import (
+    DEFAULT_SHARE_PARAMS,
+    SHARE_EPSILON,
+    WORK_EPSILON,
+    ShareParams,
+    admission_share,
+    effective_rates,
+    nominal_share,
+)
+from repro.sim.events import Event, EventPriority
+from repro.sim.kernel import Simulator
+
+#: Listener signature: ``listener(node, task, now)`` on task completion.
+TaskListener = Callable[["Node", "NodeTask", float], None]
+
+#: Predicted delays below this many seconds are float noise, not risk.
+PREDICTED_DELAY_EPSILON = 1e-6
+
+
+class NodeTask:
+    """One job's slice of work on one node."""
+
+    __slots__ = ("job", "node_id", "remaining_work", "remaining_est_work", "rate", "added_at")
+
+    def __init__(
+        self,
+        job: Job,
+        node_id: int,
+        work: float,
+        est_work: float,
+        added_at: float,
+    ) -> None:
+        self.job = job
+        self.node_id = node_id
+        self.remaining_work = float(work)
+        self.remaining_est_work = float(est_work)
+        self.rate = 0.0  # effective node fraction, set by recompute()
+        self.added_at = float(added_at)
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining_work <= WORK_EPSILON
+
+    @property
+    def overrun(self) -> bool:
+        """Estimate exhausted but actual work remains."""
+        return self.remaining_est_work <= WORK_EPSILON and not self.finished
+
+    def remaining_est_time(self, rating: float) -> float:
+        """Estimated remaining runtime at full speed of a node with ``rating``."""
+        return self.remaining_est_work / rating
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NodeTask job={self.job.job_id} node={self.node_id} "
+            f"work={self.remaining_work:.6g} est={self.remaining_est_work:.6g} "
+            f"rate={self.rate:.4f}>"
+        )
+
+
+class Node:
+    """Base node: identity, SPEC rating, and a task-completion listener."""
+
+    def __init__(
+        self,
+        node_id: int,
+        rating: float,
+        sim: Simulator,
+        listener: Optional[TaskListener] = None,
+    ) -> None:
+        if rating <= 0:
+            raise ValueError(f"rating must be > 0, got {rating}")
+        self.node_id = int(node_id)
+        self.rating = float(rating)
+        self.sim = sim
+        self.listener = listener
+        self.tasks: dict[int, NodeTask] = {}  # job_id -> task
+        self.busy_time = 0.0  # integrated rating-seconds executed (utilisation)
+        #: Failed nodes are offline: they execute nothing and no policy
+        #: may place work on them until repaired.
+        self.online = True
+        self.failures = 0
+
+    # -- common helpers ----------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def idle(self) -> bool:
+        return not self.tasks
+
+    def has_job(self, job_id: int) -> bool:
+        return job_id in self.tasks
+
+    def _notify(self, task: NodeTask, now: float) -> None:
+        if self.listener is not None:
+            self.listener(self, task, now)
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of this node's capacity used over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        return self.busy_time / (self.rating * horizon)
+
+    @property
+    def available_for_work(self) -> bool:
+        """Online and idle — the placement predicate for space sharing."""
+        return self.online and self.idle
+
+    # -- failure/repair (overridden per discipline for bookkeeping) ---------
+    def fail(self, now: float) -> list[Job]:
+        """Take the node offline; returns the jobs whose task was killed."""
+        raise NotImplementedError
+
+    def repair(self, now: float) -> None:
+        """Bring a failed node back online, empty."""
+        if self.online:
+            raise RuntimeError(f"node {self.node_id} is not failed")
+        self.online = True
+
+
+class SpaceSharedNode(Node):
+    """A node that runs exactly one task at a time, to completion.
+
+    Used by EDF: the task executes at the node's full rating, so its
+    completion instant is known exactly at start time and a single
+    completion event suffices.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        rating: float,
+        sim: Simulator,
+        listener: Optional[TaskListener] = None,
+    ) -> None:
+        super().__init__(node_id, rating, sim, listener)
+        self._completion_event: Optional[Event] = None
+
+    @property
+    def available(self) -> bool:
+        return not self.tasks
+
+    def start_task(self, job: Job, work: float, now: float) -> NodeTask:
+        """Begin executing ``work`` rating-seconds of ``job`` exclusively."""
+        if self.tasks:
+            raise RuntimeError(f"node {self.node_id} is space-shared and already busy")
+        task = NodeTask(job, self.node_id, work=work, est_work=work, added_at=now)
+        task.rate = 1.0
+        self.tasks[job.job_id] = task
+        duration = work / self.rating
+        self._completion_event = self.sim.schedule(
+            duration,
+            self._on_complete,
+            priority=EventPriority.COMPLETION,
+            name=f"node{self.node_id}:job{job.job_id}:done",
+            payload=task,
+        )
+        return task
+
+    def _on_complete(self, event: Event) -> None:
+        task: NodeTask = event.payload
+        now = self.sim.now
+        self.busy_time += task.remaining_work
+        task.remaining_work = 0.0
+        task.remaining_est_work = 0.0
+        del self.tasks[task.job.job_id]
+        self._completion_event = None
+        self._notify(task, now)
+
+    def fail(self, now: float) -> list[Job]:
+        """Kill the resident task (if any) and go offline.
+
+        Work already performed is credited to ``busy_time``
+        proportionally to elapsed run time.
+        """
+        if not self.online:
+            raise RuntimeError(f"node {self.node_id} already failed")
+        self.online = False
+        self.failures += 1
+        affected: list[Job] = []
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        for task in list(self.tasks.values()):
+            started = task.added_at
+            self.busy_time += max(0.0, (now - started)) * self.rating
+            affected.append(task.job)
+        self.tasks.clear()
+        return affected
+
+    def remove_task(self, job_id: int, now: float) -> Optional[NodeTask]:
+        """Forcibly remove a job's task (sibling of a failed task)."""
+        task = self.tasks.pop(job_id, None)
+        if task is None:
+            return None
+        self.busy_time += max(0.0, (now - task.added_at)) * self.rating
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        return task
+
+
+class TimeSharedNode(Node):
+    """Proportional-share node implementing Libra's execution discipline.
+
+    The engine is event-driven: between scheduling events every task's
+    rate is constant, so work advances linearly and the next completion
+    instant is exact.  :meth:`sync` brings work ledgers up to ``now``;
+    :meth:`recompute` re-derives Eq. 1 shares, converts them to
+    effective rates, and (re)schedules the node's single pending
+    completion event.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        rating: float,
+        sim: Simulator,
+        listener: Optional[TaskListener] = None,
+        share_params: ShareParams = DEFAULT_SHARE_PARAMS,
+    ) -> None:
+        super().__init__(node_id, rating, sim, listener)
+        self.share_params = share_params
+        self._last_sync = sim.now
+        self._completion_event: Optional[Event] = None
+
+    # -- time advance -------------------------------------------------------
+    def sync(self, now: float) -> None:
+        """Advance every task's work ledgers from the last sync to ``now``."""
+        dt = now - self._last_sync
+        if dt < 0:
+            raise ValueError(
+                f"node {self.node_id}: sync to t={now:.6g} before last sync "
+                f"t={self._last_sync:.6g}"
+            )
+        if dt > 0.0:
+            for task in self.tasks.values():
+                consumed = task.rate * self.rating * dt
+                if consumed > 0.0:
+                    self.busy_time += min(consumed, task.remaining_work)
+                    task.remaining_work = max(0.0, task.remaining_work - consumed)
+                    task.remaining_est_work = max(0.0, task.remaining_est_work - consumed)
+        self._last_sync = now
+
+    # -- task management ----------------------------------------------------
+    def add_task(self, job: Job, work: float, est_work: float, now: float) -> NodeTask:
+        """Place a task of ``job`` on this node and rebalance shares."""
+        if job.job_id in self.tasks:
+            raise RuntimeError(f"job {job.job_id} already has a task on node {self.node_id}")
+        self.sync(now)
+        task = NodeTask(job, self.node_id, work=work, est_work=est_work, added_at=now)
+        self.tasks[job.job_id] = task
+        self.recompute(now)
+        return task
+
+    def recompute(self, now: float) -> None:
+        """Re-derive shares/rates and reschedule the completion event.
+
+        Must be called with work ledgers already synced to ``now``.
+        """
+        tasks = list(self.tasks.values())
+        shares = [
+            nominal_share(
+                t.remaining_est_time(self.rating),
+                t.job.remaining_deadline(now),
+                self.share_params,
+            )
+            for t in tasks
+        ]
+        rates = effective_rates(shares, self.share_params)
+        for task, rate in zip(tasks, rates):
+            task.rate = rate
+
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        horizon = self._next_completion_delay()
+        if horizon is not None:
+            self._completion_event = self.sim.schedule(
+                horizon,
+                self._on_completion_event,
+                priority=EventPriority.COMPLETION,
+                name=f"node{self.node_id}:completion",
+            )
+
+    def _next_completion_delay(self) -> Optional[float]:
+        """Time to the next state change on this node.
+
+        That is the earliest of (a) a task finishing its *actual* work
+        and (b) a running task exhausting its *estimated* work — the
+        moment its Eq. 1 share becomes undefined and it must be demoted
+        to the overrun floor.  Without (b) an overrunning job would keep
+        its stale (higher) share until some unrelated event happened to
+        trigger a recompute.
+        """
+        best: Optional[float] = None
+        for task in self.tasks.values():
+            if task.rate <= SHARE_EPSILON:
+                continue
+            speed = task.rate * self.rating
+            dt = task.remaining_work / speed
+            if not task.overrun:
+                dt = min(dt, task.remaining_est_work / speed)
+            if best is None or dt < best:
+                best = dt
+        return best
+
+    def _on_completion_event(self, event: Event) -> None:
+        now = self.sim.now
+        self._completion_event = None
+        self.sync(now)
+        finished = [t for t in self.tasks.values() if t.finished]
+        for task in finished:
+            del self.tasks[task.job.job_id]
+        self.recompute(now)
+        # Notify after the node state settled so listeners observe the
+        # post-completion share allocation.
+        for task in finished:
+            self._notify(task, now)
+
+    # -- failure/repair -------------------------------------------------------
+    def fail(self, now: float) -> list[Job]:
+        """Kill every resident task and go offline (ledgers synced first)."""
+        if not self.online:
+            raise RuntimeError(f"node {self.node_id} already failed")
+        self.sync(now)
+        self.online = False
+        self.failures += 1
+        affected = [task.job for task in self.tasks.values()]
+        self.tasks.clear()
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        return affected
+
+    def repair(self, now: float) -> None:
+        super().repair(now)
+        # Restart the clock: nothing ran while offline.
+        self._last_sync = now
+
+    def remove_task(self, job_id: int, now: float) -> Optional[NodeTask]:
+        """Forcibly remove one task (sibling of a failed task) and rebalance."""
+        if job_id not in self.tasks:
+            return None
+        self.sync(now)
+        task = self.tasks.pop(job_id)
+        self.recompute(now)
+        return task
+
+    # -- admission-control views ---------------------------------------------
+    def iter_share_terms(self, now: float) -> Iterable[tuple[NodeTask, float]]:
+        """Yield ``(task, unclamped Eq. 1 share)`` for every resident task."""
+        for task in self.tasks.values():
+            yield task, admission_share(
+                task.remaining_est_time(self.rating), task.job.remaining_deadline(now)
+            )
+
+    def total_admission_share(
+        self,
+        now: float,
+        extra: Sequence[tuple[float, float]] = (),
+        expired_job_share_mode: str = "zero",
+    ) -> float:
+        """Eq. 2 total share as the *admission control* computes it.
+
+        Parameters
+        ----------
+        extra:
+            Hypothetical ``(remaining_est_time, remaining_deadline)``
+            pairs, e.g. the job under admission.
+        expired_job_share_mode:
+            How a resident job whose deadline has expired (or whose
+            estimate is exhausted — share mathematically 0/undefined)
+            enters the sum.  ``"zero"`` reproduces Libra's blindness to
+            such jobs (paper narrative, default); ``"floor"`` counts the
+            execution floor share; ``"infinite"`` makes the node
+            unconditionally unsuitable.
+        """
+        if expired_job_share_mode not in ("zero", "floor", "infinite"):
+            raise ValueError(f"unknown expired_job_share_mode {expired_job_share_mode!r}")
+        total = 0.0
+        for task in self.tasks.values():
+            est_time = task.remaining_est_time(self.rating)
+            rem_deadline = task.job.remaining_deadline(now)
+            if est_time <= WORK_EPSILON / self.rating or rem_deadline <= 0.0:
+                if expired_job_share_mode == "zero":
+                    continue
+                if expired_job_share_mode == "floor":
+                    total += self.share_params.overrun_floor_share
+                    continue
+                return float("inf")
+            total += admission_share(est_time, rem_deadline)
+        for est_time, rem_deadline in extra:
+            total += admission_share(est_time, rem_deadline)
+        return total
+
+    def predicted_delays(
+        self,
+        now: float,
+        extra: Sequence[tuple[Job, float]] = (),
+    ) -> list[tuple[Job, float]]:
+        """Predicted Eq. 3 delays of every job on this node (Algorithm 1 l.4).
+
+        The prediction is a deterministic forward projection of this
+        node's own execution discipline, with the ``extra`` hypothetical
+        jobs (pairs of ``(job, remaining_est_time)``) placed here now:
+        shares are recomputed whenever a job's *estimated* work runs
+        out, exactly as :meth:`recompute` will do at real completion
+        events.  Consequences:
+
+        * a node whose Eq. 1 shares fit (Σ ≤ 1, nobody in overrun)
+          predicts zero delay for everyone — fast path, no simulation;
+        * an over-committed node staggers its completions, so the
+          projected delays are *unequal* and the node cannot masquerade
+          as zero-risk (a single-phase projection would predict the
+          identical deadline-delay Σ for every job — see
+          ``tests/test_scheduling/test_risk.py`` for the algebra);
+        * an **overrun** task (estimate already exhausted) has an
+          unknowable completion; it contributes the delay it has
+          already accrued, ``max(0, now − absolute_deadline)``, while
+          its floor share keeps slowing its neighbours for the whole
+          projection.
+
+        Returns ``(job, predicted_delay)`` pairs, hypotheticals included.
+        """
+        entries: list[tuple[Job, float]] = [
+            (t.job, t.remaining_est_time(self.rating)) for t in self.tasks.values()
+        ]
+        entries.extend((job, est_time) for job, est_time in extra)
+        if not entries:
+            return []
+
+        # Fast path: every job healthy and the Eq. 2 sum fits.
+        total = 0.0
+        healthy = True
+        for job, est_time in entries:
+            rem = job.remaining_deadline(now)
+            if est_time <= SHARE_EPSILON or rem <= 0.0:
+                healthy = False
+                break
+            share = est_time / rem
+            if share > 1.0:
+                healthy = False
+                break
+            total += share
+        if healthy and total <= 1.0 + SHARE_EPSILON:
+            return [(job, 0.0) for job, _ in entries]
+
+        return self._project_delays(now, entries)
+
+    def _project_delays(
+        self,
+        now: float,
+        entries: list[tuple[Job, float]],
+    ) -> list[tuple[Job, float]]:
+        """Forward-simulate the node on estimates only (slow path).
+
+        Hot path of LibraRisk admission (one call per over-committed
+        node per arriving job): flat parallel lists, no per-phase
+        allocations beyond the share vector.
+        """
+        delays: dict[int, float] = {}
+
+        # Overrun tasks never "finish" within the estimate model: record
+        # their accrued delay, but keep them as permanent floor-share
+        # occupants of the projection.
+        floor = self.share_params.overrun_floor_share
+        n_overruns = 0
+        pend_jobs: list[Job] = []
+        pend_est: list[float] = []
+        pend_deadline: list[float] = []
+        for job, est_time in entries:
+            if est_time <= SHARE_EPSILON:
+                delays[job.job_id] = max(0.0, now - job.absolute_deadline)
+                n_overruns += 1
+            else:
+                pend_jobs.append(job)
+                pend_est.append(est_time)
+                pend_deadline.append(job.absolute_deadline)
+
+        params = self.share_params
+        overrun_share_sum = n_overruns * floor
+        t = now
+        while pend_jobs:
+            total = overrun_share_sum
+            shares = []
+            for est, deadline in zip(pend_est, pend_deadline):
+                s = nominal_share(est, deadline - t, params)
+                shares.append(s)
+                total += s
+            scale = 1.0 / total if total > 1.0 else (
+                1.0 / total if params.redistribute_spare and total > SHARE_EPSILON else 1.0
+            )
+
+            # Earliest estimated completion among pending jobs.
+            best_dt = -1.0
+            for est, s in zip(pend_est, shares):
+                rate = s * scale
+                if rate <= SHARE_EPSILON:
+                    continue
+                dt = est / rate
+                if best_dt < 0.0 or dt < best_dt:
+                    best_dt = dt
+            if best_dt < 0.0:
+                for job in pend_jobs:
+                    delays[job.job_id] = float("inf")
+                break
+
+            t += best_dt
+            nj, ne, nd = [], [], []
+            for job, est, deadline, s in zip(pend_jobs, pend_est, pend_deadline, shares):
+                remaining = est - s * scale * best_dt
+                if remaining <= SHARE_EPSILON:
+                    delay = t - deadline
+                    delays[job.job_id] = 0.0 if delay < PREDICTED_DELAY_EPSILON else delay
+                else:
+                    nj.append(job)
+                    ne.append(remaining)
+                    nd.append(deadline)
+            pend_jobs, pend_est, pend_deadline = nj, ne, nd
+
+        return [(job, delays[job.job_id]) for job, _ in entries]

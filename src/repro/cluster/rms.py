@@ -1,0 +1,100 @@
+"""The cluster Resource Management System (RMS) front-end.
+
+The RMS is the *single* interface through which jobs enter the cluster
+(paper §3, assumption 4), so the admission control policy it hosts is
+aware of the entire workload.  It:
+
+* turns a workload (a list of :class:`~repro.cluster.job.Job`) into
+  arrival events on the simulator,
+* hands each arriving job to the policy's ``on_job_submitted``,
+* records the outcome of every job for the metrics layer.
+
+The policy object owns all scheduling state (queues, node listeners);
+the RMS is deliberately thin so that policies are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job, JobState
+from repro.sim.events import Event, EventPriority
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.base import SchedulingPolicy
+
+
+class ResourceManagementSystem:
+    """Hosts one admission-control policy over one cluster."""
+
+    def __init__(self, sim: Simulator, cluster: Cluster, policy: "SchedulingPolicy") -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.policy = policy
+        self.jobs: list[Job] = []           # every job ever submitted, in arrival order
+        self.accepted: list[Job] = []
+        self.rejected: list[Job] = []
+        self.completed: list[Job] = []
+        self.failed: list[Job] = []
+        policy.bind(sim=sim, cluster=cluster, rms=self)
+
+    # -- workload intake -----------------------------------------------------
+    def submit_all(self, jobs: Iterable[Job]) -> int:
+        """Schedule an arrival event for every job at its submit time."""
+        count = 0
+        for job in jobs:
+            if job.state is not JobState.CREATED:
+                raise ValueError(f"job {job.job_id} already {job.state.value}; cannot submit")
+            self.sim.schedule_at(
+                job.submit_time,
+                self._on_arrival,
+                priority=EventPriority.ARRIVAL,
+                name=f"arrive:job{job.job_id}",
+                payload=job,
+            )
+            count += 1
+        return count
+
+    def _on_arrival(self, event: Event) -> None:
+        job: Job = event.payload
+        job.mark_submitted()
+        self.jobs.append(job)
+        self.policy.on_job_submitted(job, self.sim.now)
+
+    # -- policy callbacks -------------------------------------------------------
+    def notify_accepted(self, job: Job) -> None:
+        """Policy accepted ``job`` (it is queued or running)."""
+        self.accepted.append(job)
+
+    def notify_rejected(self, job: Job, reason: str = "") -> None:
+        """Policy refused ``job`` at admission (or EDF's dispatch check)."""
+        if not job.state is JobState.REJECTED:
+            job.mark_rejected(reason)
+        self.rejected.append(job)
+
+    def notify_completed(self, job: Job) -> None:
+        """Policy observed the last task of ``job`` finish."""
+        self.completed.append(job)
+
+    def notify_failed(self, job: Job) -> None:
+        """Policy observed ``job`` die with a failed node."""
+        self.failed.append(job)
+
+    # -- bookkeeping views ---------------------------------------------------------
+    @property
+    def acceptance_ratio(self) -> Optional[float]:
+        if not self.jobs:
+            return None
+        return len(self.accepted) / len(self.jobs)
+
+    def unfinished_accepted(self) -> list[Job]:
+        """Accepted jobs still running at the horizon (not completed or failed)."""
+        return [j for j in self.accepted if not j.completed and j.state is not JobState.FAILED]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RMS jobs={len(self.jobs)} accepted={len(self.accepted)} "
+            f"rejected={len(self.rejected)} completed={len(self.completed)}>"
+        )

@@ -1,0 +1,29 @@
+"""The paper's primary contribution, under one roof.
+
+The deadline-delay risk metric (Eq. 3–6) and the LibraRisk admission
+control (Algorithm 1) live in :mod:`repro.scheduling` next to the
+baselines they are compared against; this package re-exports them so
+the contribution is addressable as ``repro.core``:
+
+>>> from repro.core import LibraRiskPolicy, assess_delays, deadline_delay
+>>> deadline_delay(0.0, 100.0)   # a job with no delay: the best value
+1.0
+"""
+
+from repro.scheduling.librarisk import LibraRiskPolicy
+from repro.scheduling.risk import RiskAssessment, assess_delays, deadline_delay
+from repro.scheduling.diagnostics import (
+    cluster_risk_profile,
+    explain_admission,
+    node_snapshot,
+)
+
+__all__ = [
+    "LibraRiskPolicy",
+    "RiskAssessment",
+    "assess_delays",
+    "cluster_risk_profile",
+    "deadline_delay",
+    "explain_admission",
+    "node_snapshot",
+]

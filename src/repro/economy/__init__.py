@@ -1,0 +1,31 @@
+"""Economy substrate: Libra's pricing model and budget-aware admission.
+
+The Libra scheduler this paper builds on (Sherwani et al., SPE 2004,
+reference [14]) is a *computational-economy* scheduler: every job
+carries a budget as well as a deadline, the cluster prices each job as
+a function of its resource demand and urgency, and admission requires
+both the deadline to be feasible *and* the price to fit the budget.
+The ICPP'06 paper strips the economics to isolate the deadline
+question; this package restores that substrate as an extension:
+
+* :class:`~repro.economy.pricing.LibraPricing` — the two-term price
+  (a resource-usage term plus a deadline-urgency term);
+* :class:`~repro.economy.pricing.BudgetModel` — assigns per-job
+  budgets as a factored willingness-to-pay;
+* :class:`~repro.economy.budget.LibraBudgetPolicy` — Libra admission
+  with the budget check;
+* :func:`~repro.economy.metrics.economic_summary` — revenue/penalty
+  accounting in the style of the related work ([5], [12]).
+"""
+
+from repro.economy.pricing import BudgetModel, LibraPricing
+from repro.economy.budget import LibraBudgetPolicy
+from repro.economy.metrics import EconomicSummary, economic_summary
+
+__all__ = [
+    "BudgetModel",
+    "EconomicSummary",
+    "LibraBudgetPolicy",
+    "LibraPricing",
+    "economic_summary",
+]

@@ -1,0 +1,77 @@
+"""Revenue and penalty accounting for budget-aware scenarios.
+
+Follows the related work's framing ([5] Irwin et al., [12] Popovici &
+Wilkes): the provider earns each accepted job's quoted price when it
+meets its deadline and pays a penalty when an accepted job misses it —
+so over-admission is not free, which is exactly the risk LibraRisk
+manages on the deadline side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.job import Job
+
+
+@dataclass(frozen=True)
+class EconomicSummary:
+    """Provider-side money flows for one scenario."""
+
+    revenue: float          # prices of accepted jobs that met deadlines
+    penalties: float        # paid for accepted jobs that missed/failed
+    jobs_paid: int
+    jobs_penalised: int
+
+    @property
+    def profit(self) -> float:
+        return self.revenue - self.penalties
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "revenue": self.revenue,
+            "penalties": self.penalties,
+            "profit": self.profit,
+            "jobs_paid": float(self.jobs_paid),
+            "jobs_penalised": float(self.jobs_penalised),
+        }
+
+
+def economic_summary(
+    jobs: Sequence[Job],
+    quoted: Mapping[int, float],
+    penalty_rate: float = 0.5,
+) -> EconomicSummary:
+    """Account revenue/penalties over a finished scenario.
+
+    Parameters
+    ----------
+    jobs:
+        All submitted jobs.
+    quoted:
+        Price per accepted job id (from
+        :class:`~repro.economy.budget.LibraBudgetPolicy.quoted` or any
+        pricing pass).
+    penalty_rate:
+        Penalty for an accepted-but-violated job, as a fraction of its
+        quoted price.
+    """
+    if penalty_rate < 0:
+        raise ValueError("penalty_rate must be >= 0")
+    revenue = 0.0
+    penalties = 0.0
+    paid = penalised = 0
+    for job in jobs:
+        price = quoted.get(job.job_id)
+        if price is None or not job.accepted:
+            continue
+        if job.completed and job.deadline_met:
+            revenue += price
+            paid += 1
+        else:
+            penalties += penalty_rate * price
+            penalised += 1
+    return EconomicSummary(
+        revenue=revenue, penalties=penalties, jobs_paid=paid, jobs_penalised=penalised
+    )

@@ -1,0 +1,77 @@
+"""Libra's pricing function and a budget (willingness-to-pay) model.
+
+Libra (Sherwani et al. 2004) prices a job with two terms per
+requested node::
+
+    price = numproc × (alpha · E  +  beta · E / D)
+
+where ``E`` is the *estimated* runtime and ``D`` the deadline.  The
+``alpha`` term charges raw resource usage; the ``beta`` term charges
+urgency — the same estimated work costs more the tighter its deadline
+(``E/D`` is exactly the Eq. 1 share the job demands).  Prices are in
+abstract currency units per rating-second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.job import Job
+
+
+@dataclass(frozen=True)
+class LibraPricing:
+    """The two-coefficient Libra price function."""
+
+    #: Currency per estimated runtime second (resource-usage charge).
+    alpha: float = 1.0
+    #: Currency per unit of demanded share (urgency charge).
+    beta: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be >= 0")
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("at least one coefficient must be positive")
+
+    def price(self, estimated_runtime: float, deadline: float, numproc: int) -> float:
+        """Price of a job given its request (> 0 for valid requests)."""
+        if estimated_runtime <= 0 or deadline <= 0 or numproc < 1:
+            raise ValueError("invalid job request")
+        per_node = self.alpha * estimated_runtime + self.beta * (estimated_runtime / deadline)
+        return numproc * per_node
+
+    def price_job(self, job: Job) -> float:
+        return self.price(job.estimated_runtime, job.deadline, job.numproc)
+
+
+@dataclass(frozen=True)
+class BudgetModel:
+    """Assigns each job a budget as a factor of its quoted price.
+
+    ``budget = price × factor`` with the factor drawn from a normal
+    distribution truncated at ``min_factor``; a mean factor above 1
+    means users are on average willing to pay the asking price.
+    """
+
+    pricing: LibraPricing = LibraPricing()
+    mean_factor: float = 1.2
+    cv: float = 0.3
+    min_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mean_factor <= 0 or self.min_factor <= 0:
+            raise ValueError("factors must be > 0")
+        if self.cv < 0:
+            raise ValueError("cv must be >= 0")
+
+    def assign(self, jobs, rng: np.random.Generator) -> dict[int, float]:
+        """Budget per job id, deterministic in the supplied generator."""
+        factors = rng.normal(self.mean_factor, self.cv * self.mean_factor, size=len(jobs))
+        factors = np.maximum(factors, self.min_factor)
+        return {
+            job.job_id: self.pricing.price_job(job) * float(f)
+            for job, f in zip(jobs, factors)
+        }

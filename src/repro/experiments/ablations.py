@@ -1,0 +1,109 @@
+"""Design-choice ablations (beyond the paper's own evaluation).
+
+DESIGN.md §3 lists the decisions the paper leaves open; each ablation
+here quantifies one of them under the default trace-estimate scenario:
+
+* **suitability** — the literal Algorithm 1 test (σ = 0) versus the
+  strict no-predicted-delay variant.  This isolates how much of
+  LibraRisk's advantage comes from gambling on estimate-infeasible
+  jobs;
+* **node ordering** — LibraRisk's placement among zero-risk nodes
+  (worst-fit / best-fit / index);
+* **overrun floor share** — the execution floor given to jobs whose
+  estimates are exhausted;
+* **spare redistribution** — whether idle capacity is handed to
+  running jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.reporting import metrics_table
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+HEADLINE_KEYS = ("pct_deadlines_fulfilled", "avg_slowdown", "acceptance_pct", "completed_late")
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Named variants of one design choice, run on identical workloads."""
+
+    name: str
+    results: dict[str, ScenarioResult]
+
+    def render(self) -> str:
+        return f"--- Ablation: {self.name} ---\n" + metrics_table(self.results, HEADLINE_KEYS)
+
+    def series(self, metric: str) -> dict[str, float]:
+        return {k: r.metrics.as_dict()[metric] for k, r in self.results.items()}
+
+
+def _run_variants(name: str, variants: dict[str, ScenarioConfig]) -> AblationResult:
+    return AblationResult(
+        name=name,
+        results={label: run_scenario(cfg) for label, cfg in variants.items()},
+    )
+
+
+def ablation_suitability(base: Optional[ScenarioConfig] = None) -> AblationResult:
+    """Literal σ = 0 versus strict no-delay suitability for LibraRisk."""
+    base = (base or ScenarioConfig()).replace(policy="librarisk", estimate_mode="trace")
+    return _run_variants(
+        "LibraRisk suitability rule",
+        {
+            "sigma (paper)": base.replace(policy_kwargs={"suitability": "sigma"}),
+            "no-delay (strict)": base.replace(policy_kwargs={"suitability": "no-delay"}),
+            "libra (reference)": base.replace(policy="libra", policy_kwargs={}),
+        },
+    )
+
+
+def ablation_node_order(base: Optional[ScenarioConfig] = None) -> AblationResult:
+    """Placement order among LibraRisk's zero-risk nodes."""
+    base = (base or ScenarioConfig()).replace(policy="librarisk", estimate_mode="trace")
+    return _run_variants(
+        "LibraRisk node ordering",
+        {
+            order: base.replace(policy_kwargs={"node_order": order})
+            for order in ("worst_fit", "best_fit", "index")
+        },
+    )
+
+
+def ablation_overrun_floor(
+    base: Optional[ScenarioConfig] = None,
+    floors: Sequence[float] = (0.01, 0.05, 0.10, 0.25),
+) -> AblationResult:
+    """Execution floor share for overrunning jobs (Libra and LibraRisk)."""
+    base = (base or ScenarioConfig()).replace(estimate_mode="trace")
+    variants: dict[str, ScenarioConfig] = {}
+    for policy in ("libra", "librarisk"):
+        for floor in floors:
+            variants[f"{policy} floor={floor:g}"] = base.replace(
+                policy=policy, overrun_floor_share=floor
+            )
+    return _run_variants("overrun floor share", variants)
+
+
+def ablation_redistribute_spare(base: Optional[ScenarioConfig] = None) -> AblationResult:
+    """Idle-capacity redistribution versus exact Eq. 1 allocation."""
+    base = (base or ScenarioConfig()).replace(estimate_mode="trace")
+    variants: dict[str, ScenarioConfig] = {}
+    for policy in ("libra", "librarisk"):
+        for flag in (False, True):
+            label = f"{policy} spare={'on' if flag else 'off'}"
+            variants[label] = base.replace(policy=policy, redistribute_spare=flag)
+    return _run_variants("spare capacity redistribution", variants)
+
+
+def all_ablations(base: Optional[ScenarioConfig] = None) -> dict[str, AblationResult]:
+    """Run every ablation; keys are short identifiers."""
+    return {
+        "suitability": ablation_suitability(base),
+        "node_order": ablation_node_order(base),
+        "overrun_floor": ablation_overrun_floor(base),
+        "redistribute_spare": ablation_redistribute_spare(base),
+    }

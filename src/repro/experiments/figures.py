@@ -1,0 +1,242 @@
+"""Regenerators for the paper's four evaluation figures (§5).
+
+Every figure has four panels:
+
+==========  ============================================  =======================
+Panel       Metric                                        Estimates
+==========  ============================================  =======================
+(a)         % of jobs with deadlines fulfilled            accurate
+(b)         % of jobs with deadlines fulfilled            actual (trace)
+(c)         average slowdown (fulfilled jobs only)        accurate
+(d)         average slowdown (fulfilled jobs only)        actual (trace)
+==========  ============================================  =======================
+
+except Figure 4, whose panels split by the fraction of high-urgency
+jobs (20 % vs 80 %) while sweeping the estimate-inaccuracy percentage.
+
+Each regenerator returns a :class:`FigureResult` whose panels hold the
+raw series; :meth:`FigureResult.render` prints the same rows the paper
+plots.  Passing a ``base`` config with a smaller ``num_jobs`` gives a
+fast approximation for tests/CI; the defaults reproduce the paper's
+3000-job setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.reporting import series_table
+from repro.experiments.sweeps import SweepResult, sweep
+
+#: The three policies of the paper, in its plotting order.
+PAPER_POLICIES: tuple[str, ...] = ("edf", "libra", "librarisk")
+
+FULFILLED = "pct_deadlines_fulfilled"
+SLOWDOWN = "avg_slowdown"
+
+#: Default sweep grids (paper x-axes).
+ARRIVAL_DELAY_FACTORS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+DEADLINE_RATIOS: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+HIGH_URGENCY_PCTS: tuple[float, ...] = (0.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+INACCURACY_PCTS: tuple[float, ...] = (0.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One panel of a figure: a metric versus the sweep parameter."""
+
+    label: str          # "a", "b", "c", "d"
+    title: str
+    x_label: str
+    metric: str
+    x_values: tuple[Any, ...]
+    series: dict[str, list[float]]
+
+    def render(self) -> str:
+        head = f"({self.label}) {self.title}"
+        return head + "\n" + series_table(self.x_label, self.x_values, self.series)
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All four panels of one paper figure."""
+
+    figure_id: str
+    title: str
+    panels: tuple[Panel, ...]
+    base: ScenarioConfig
+
+    def panel(self, label: str) -> Panel:
+        for p in self.panels:
+            if p.label == label:
+                return p
+        raise KeyError(f"figure {self.figure_id} has no panel {label!r}")
+
+    def render(self) -> str:
+        head = f"=== Figure {self.figure_id}: {self.title} ==="
+        body = "\n\n".join(p.render() for p in self.panels)
+        return f"{head}\n{body}"
+
+
+def _panels_from_sweeps(
+    accurate: SweepResult,
+    trace: SweepResult,
+    x_label: str,
+    x_values: Sequence[Any],
+) -> tuple[Panel, ...]:
+    return (
+        Panel("a", "% deadlines fulfilled — accurate estimates", x_label,
+              FULFILLED, tuple(x_values), accurate.series(FULFILLED)),
+        Panel("b", "% deadlines fulfilled — trace estimates", x_label,
+              FULFILLED, tuple(x_values), trace.series(FULFILLED)),
+        Panel("c", "average slowdown — accurate estimates", x_label,
+              SLOWDOWN, tuple(x_values), accurate.series(SLOWDOWN)),
+        Panel("d", "average slowdown — trace estimates", x_label,
+              SLOWDOWN, tuple(x_values), trace.series(SLOWDOWN)),
+    )
+
+
+def _two_mode_figure(
+    figure_id: str,
+    title: str,
+    base: ScenarioConfig,
+    parameter: str,
+    x_label: str,
+    x_values: Sequence[Any],
+    policies: Sequence[str | tuple[str, dict]],
+    transform: Optional[Callable[[ScenarioConfig, Any], ScenarioConfig]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    processes: int = 1,
+) -> FigureResult:
+    accurate = sweep(
+        base.replace(estimate_mode="accurate"), parameter, x_values, policies,
+        transform=transform, progress=progress, processes=processes,
+    )
+    trace = sweep(
+        base.replace(estimate_mode="trace"), parameter, x_values, policies,
+        transform=transform, progress=progress, processes=processes,
+    )
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        panels=_panels_from_sweeps(accurate, trace, x_label, x_values),
+        base=base,
+    )
+
+
+def figure1(
+    base: Optional[ScenarioConfig] = None,
+    x_values: Sequence[float] = ARRIVAL_DELAY_FACTORS,
+    policies: Sequence[str | tuple[str, dict]] = PAPER_POLICIES,
+    progress: Optional[Callable[[str], None]] = None,
+    processes: int = 1,
+) -> FigureResult:
+    """Figure 1: impact of varying workload (arrival delay factor)."""
+    base = base or ScenarioConfig()
+    return _two_mode_figure(
+        "1", "Impact of varying workload", base,
+        "arrival_delay_factor", "arrival delay factor", x_values, policies,
+        progress=progress, processes=processes,
+    )
+
+
+def figure2(
+    base: Optional[ScenarioConfig] = None,
+    x_values: Sequence[float] = DEADLINE_RATIOS,
+    policies: Sequence[str | tuple[str, dict]] = PAPER_POLICIES,
+    progress: Optional[Callable[[str], None]] = None,
+    processes: int = 1,
+) -> FigureResult:
+    """Figure 2: impact of varying deadline high:low ratio."""
+    base = base or ScenarioConfig()
+    return _two_mode_figure(
+        "2", "Impact of varying deadline high:low ratio", base,
+        "deadline_ratio", "deadline high:low ratio", x_values, policies,
+        progress=progress, processes=processes,
+    )
+
+
+def figure3(
+    base: Optional[ScenarioConfig] = None,
+    x_values: Sequence[float] = HIGH_URGENCY_PCTS,
+    policies: Sequence[str | tuple[str, dict]] = PAPER_POLICIES,
+    progress: Optional[Callable[[str], None]] = None,
+    processes: int = 1,
+) -> FigureResult:
+    """Figure 3: impact of varying the percentage of high urgency jobs."""
+    base = base or ScenarioConfig()
+
+    def set_urgency(cfg: ScenarioConfig, pct: float) -> ScenarioConfig:
+        return cfg.replace(high_urgency_fraction=pct / 100.0)
+
+    return _two_mode_figure(
+        "3", "Impact of varying high urgency jobs", base,
+        "high_urgency_pct", "% of high urgency jobs", x_values, policies,
+        transform=set_urgency, progress=progress, processes=processes,
+    )
+
+
+def figure4(
+    base: Optional[ScenarioConfig] = None,
+    x_values: Sequence[float] = INACCURACY_PCTS,
+    policies: Sequence[str | tuple[str, dict]] = PAPER_POLICIES,
+    urgency_pcts: tuple[float, float] = (20.0, 80.0),
+    progress: Optional[Callable[[str], None]] = None,
+    processes: int = 1,
+) -> FigureResult:
+    """Figure 4: impact of varying inaccurate runtime estimates.
+
+    Panels (a)/(c) use ``urgency_pcts[0]`` % high-urgency jobs,
+    panels (b)/(d) use ``urgency_pcts[1]`` %.
+    """
+    base = base or ScenarioConfig()
+
+    def run_for(pct_urgent: float) -> SweepResult:
+        cfg = base.replace(
+            estimate_mode="inaccuracy",
+            high_urgency_fraction=pct_urgent / 100.0,
+        )
+        return sweep(cfg, "inaccuracy_pct", x_values, policies,
+                     progress=progress, processes=processes)
+
+    low = run_for(urgency_pcts[0])
+    high = run_for(urgency_pcts[1])
+    x_label = "% of inaccuracy"
+    panels = (
+        Panel("a", f"% deadlines fulfilled — {urgency_pcts[0]:g}% high urgency",
+              x_label, FULFILLED, tuple(x_values), low.series(FULFILLED)),
+        Panel("b", f"% deadlines fulfilled — {urgency_pcts[1]:g}% high urgency",
+              x_label, FULFILLED, tuple(x_values), high.series(FULFILLED)),
+        Panel("c", f"average slowdown — {urgency_pcts[0]:g}% high urgency",
+              x_label, SLOWDOWN, tuple(x_values), low.series(SLOWDOWN)),
+        Panel("d", f"average slowdown — {urgency_pcts[1]:g}% high urgency",
+              x_label, SLOWDOWN, tuple(x_values), high.series(SLOWDOWN)),
+    )
+    return FigureResult(
+        figure_id="4",
+        title="Impact of varying inaccurate runtime estimates",
+        panels=panels,
+        base=base,
+    )
+
+
+_FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "1": figure1,
+    "2": figure2,
+    "3": figure3,
+    "4": figure4,
+}
+
+
+def all_figures(
+    base: Optional[ScenarioConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    processes: int = 1,
+) -> dict[str, FigureResult]:
+    """Regenerate every figure of the paper."""
+    return {
+        fid: fn(base=base, progress=progress, processes=processes)
+        for fid, fn in _FIGURES.items()
+    }

@@ -1,0 +1,67 @@
+"""Parallel scenario execution across CPU cores.
+
+Every scenario is a pure function of its :class:`ScenarioConfig`
+(deterministic seeding, no shared state), so sweeps parallelise
+embarrassingly with a process pool.  ``run_scenarios`` preserves input
+order and falls back to in-process execution for ``processes <= 1`` or
+single-item batches, so callers can thread a ``processes`` knob
+through without special-casing.
+
+Figure regeneration at paper scale drops from ~15 minutes to a few
+minutes on a typical multi-core machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+
+def default_processes() -> int:
+    """A safe default worker count (leave one core for the OS)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_scenarios(
+    configs: Sequence[ScenarioConfig],
+    processes: Optional[int] = None,
+) -> list[ScenarioResult]:
+    """Run many scenarios, optionally across a process pool.
+
+    Parameters
+    ----------
+    configs:
+        Scenario configs; results come back in the same order.
+    processes:
+        Worker processes.  ``None`` uses :func:`default_processes`;
+        ``<= 1`` runs sequentially in-process.
+    """
+    configs = list(configs)
+    if processes is None:
+        processes = default_processes()
+    if processes <= 1 or len(configs) <= 1:
+        return [run_scenario(cfg) for cfg in configs]
+    # 'fork' (where available) so workers need no importable __main__ —
+    # a 'spawn' pool dies in REPL/heredoc contexts.  Workers run pure
+    # functions of their pickled config, so inherited state is harmless.
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    with ctx.Pool(processes=min(processes, len(configs))) as pool:
+        return pool.map(run_scenario, configs)
+
+
+def run_matrix(
+    base: ScenarioConfig,
+    policies: Sequence[str],
+    processes: Optional[int] = None,
+) -> dict[str, ScenarioResult]:
+    """Parallel equivalent of :func:`repro.experiments.runner.run_policies`
+    (plain policy names only — kwargs variants need picklable configs,
+    which they are, but the key naming of run_policies is preserved)."""
+    configs = [base.replace(policy=name) for name in policies]
+    results = run_scenarios(configs, processes=processes)
+    return dict(zip(policies, results))

@@ -1,0 +1,133 @@
+"""Run one scenario deterministically and collect its metrics.
+
+The workload-construction streams are derived from the scenario seed
+only (not from the policy), so two scenarios differing only in
+``policy`` simulate **identical** job streams — the paper's comparisons
+are paired, and so are ours.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.rms import ResourceManagementSystem
+from repro.experiments.config import ScenarioConfig
+from repro.metrics.summary import ScenarioMetrics, compute_metrics
+from repro.scheduling.registry import make_policy, policy_discipline
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.workload.swf import SWFRecord
+from repro.workload.synthetic import generate_sdsc_like_records
+from repro.workload.traces import build_jobs, tail_subset
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one simulated scenario."""
+
+    config: ScenarioConfig
+    metrics: ScenarioMetrics
+    #: Simulated horizon (time of the last event), seconds.
+    horizon: float
+    #: Kernel events fired.
+    events: int
+    #: Wall-clock seconds the simulation took.
+    elapsed: float
+
+    def __str__(self) -> str:
+        m = self.metrics
+        return (
+            f"{self.config.label():40s} fulfilled={m.pct_deadlines_fulfilled:6.2f}% "
+            f"slowdown={m.avg_slowdown:7.2f} accepted={m.acceptance_pct:6.2f}%"
+        )
+
+
+def load_base_records(config: ScenarioConfig) -> list[SWFRecord]:
+    """The base trace for a scenario: real SWF tail subset or synthetic."""
+    if config.trace_path is not None:
+        from repro.workload.swf import read_swf_file
+
+        _, records = read_swf_file(config.trace_path)
+        return tail_subset(records, config.num_jobs)
+    streams = RngStreams(seed=config.seed)
+    return generate_sdsc_like_records(config.synthetic_model(), streams)
+
+
+def build_scenario_jobs(config: ScenarioConfig) -> list[Job]:
+    """Construct the exact job stream a scenario will submit."""
+    records = load_base_records(config)
+    streams = RngStreams(seed=config.seed)
+    return build_jobs(records, config.workload_spec(), streams)
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    jobs: Optional[Sequence[Job]] = None,
+) -> ScenarioResult:
+    """Simulate one scenario to completion and compute its metrics.
+
+    Parameters
+    ----------
+    config:
+        The scenario.
+    jobs:
+        Optional pre-built job stream.  **Must** be freshly built (jobs
+        are stateful); passing one lets callers reuse the expensive
+        record-generation step across policies via
+        :func:`build_scenario_jobs`.
+    """
+    job_list = list(jobs) if jobs is not None else build_scenario_jobs(config)
+
+    t0 = time.perf_counter()
+    sim = Simulator()
+    cluster = Cluster.homogeneous(
+        sim,
+        config.num_nodes,
+        rating=config.rating,
+        discipline=policy_discipline(config.policy),
+        share_params=config.share_params(),
+    )
+    policy = make_policy(config.policy, **config.policy_kwargs)
+    rms = ResourceManagementSystem(sim, cluster, policy)
+    rms.submit_all(job_list)
+    sim.run()
+    elapsed = time.perf_counter() - t0
+
+    metrics = compute_metrics(rms.jobs, cluster, sim.now)
+    return ScenarioResult(
+        config=config,
+        metrics=metrics,
+        horizon=sim.now,
+        events=sim.events_fired,
+        elapsed=elapsed,
+    )
+
+
+def run_policies(
+    base: ScenarioConfig,
+    policies: Sequence[str | tuple[str, dict]],
+) -> dict[str, ScenarioResult]:
+    """Run the same scenario under several policies (paired comparison).
+
+    ``policies`` entries are either a registry name or a
+    ``(name, policy_kwargs)`` pair; the result key is the name (with a
+    ``#i`` suffix on duplicates).
+    """
+    out: dict[str, ScenarioResult] = {}
+    for entry in policies:
+        if isinstance(entry, str):
+            name, kwargs = entry, {}
+        else:
+            name, kwargs = entry
+        config = base.replace(policy=name, policy_kwargs=dict(kwargs))
+        key = name
+        i = 1
+        while key in out:
+            i += 1
+            key = f"{name}#{i}"
+        out[key] = run_scenario(config)
+    return out

@@ -1,0 +1,100 @@
+"""JSON (de)serialisation of experiment artefacts.
+
+Figure regenerations at paper scale take minutes; persisting their
+series lets analyses, plots and regression checks re-read results
+without re-simulating.  The format is plain JSON — stable field names,
+no pickling — so results survive library versions and feed external
+tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import FigureResult, Panel
+
+
+def config_to_dict(config: ScenarioConfig) -> dict:
+    """JSON-safe dict of a scenario config."""
+    out = {}
+    for field in config.__dataclass_fields__:
+        out[field] = getattr(config, field)
+    return out
+
+
+def config_from_dict(data: dict) -> ScenarioConfig:
+    return ScenarioConfig(**data)
+
+
+def figure_to_dict(fig: FigureResult) -> dict:
+    return {
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "base": config_to_dict(fig.base),
+        "panels": [
+            {
+                "label": p.label,
+                "title": p.title,
+                "x_label": p.x_label,
+                "metric": p.metric,
+                "x_values": list(p.x_values),
+                "series": {k: list(v) for k, v in p.series.items()},
+            }
+            for p in fig.panels
+        ],
+    }
+
+
+def figure_from_dict(data: dict) -> FigureResult:
+    panels = tuple(
+        Panel(
+            label=p["label"],
+            title=p["title"],
+            x_label=p["x_label"],
+            metric=p["metric"],
+            x_values=tuple(p["x_values"]),
+            series={k: list(v) for k, v in p["series"].items()},
+        )
+        for p in data["panels"]
+    )
+    return FigureResult(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        panels=panels,
+        base=config_from_dict(data["base"]),
+    )
+
+
+def save_figure(fig: FigureResult, path: Union[str, Path]) -> Path:
+    """Write a figure's series to JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(figure_to_dict(fig), indent=2, sort_keys=True))
+    return path
+
+
+def load_figure(path: Union[str, Path]) -> FigureResult:
+    """Read a figure previously written by :func:`save_figure`."""
+    return figure_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_figures(figures: dict[str, FigureResult], directory: Union[str, Path]) -> list[Path]:
+    """Persist a whole figure set as ``figure<id>.json`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        save_figure(fig, directory / f"figure{fid}.json")
+        for fid, fig in sorted(figures.items())
+    ]
+
+
+def load_figures(directory: Union[str, Path]) -> dict[str, FigureResult]:
+    """Load every ``figure*.json`` in ``directory``."""
+    directory = Path(directory)
+    out = {}
+    for path in sorted(directory.glob("figure*.json")):
+        fig = load_figure(path)
+        out[fig.figure_id] = fig
+    return out

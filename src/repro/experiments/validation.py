@@ -1,0 +1,291 @@
+"""Mechanical validation of the paper's §5 claims.
+
+Every qualitative statement the paper makes about its figures is
+encoded as a named, checkable claim over the regenerated series.  This
+is how EXPERIMENTS.md's paper-versus-measured table is produced, and
+how we know a refactor did not silently change who wins.
+
+Claims check *shape*, not absolute values: who wins, whether a series
+rises or falls, where crossovers land — the things that should survive
+the substitution of a calibrated synthetic trace for the original SDSC
+SP2 file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.compare import crossover_points, dominance_fraction, trend
+from repro.experiments.figures import FigureResult
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of checking one paper claim."""
+
+    claim_id: str
+    source: str          # where the paper states it, e.g. "§5.1"
+    description: str
+    passed: bool
+    detail: str
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.claim_id} ({self.source}): {self.description}\n" \
+               f"       measured: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All claim results for one or more figures."""
+
+    claims: tuple[ClaimResult, ...]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.claims if c.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.claims) - self.passed
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed == 0
+
+    def render(self) -> str:
+        lines = [c.render() for c in self.claims]
+        lines.append(f"--- {self.passed}/{len(self.claims)} paper claims hold ---")
+        return "\n".join(lines)
+
+
+def _fulfilled(fig: FigureResult, panel: str) -> dict[str, list[float]]:
+    return fig.panel(panel).series
+
+
+def _claim(cid, source, description, passed, detail) -> ClaimResult:
+    return ClaimResult(cid, source, description, bool(passed), detail)
+
+
+# -- §5.1 overview claims (checked on any two-mode figure) --------------------
+def overview_claims(fig: FigureResult) -> list[ClaimResult]:
+    """The claims §5.1 makes about every figure's four panels."""
+    a, b = _fulfilled(fig, "a"), _fulfilled(fig, "b")
+    c, d = fig.panel("c").series, fig.panel("d").series
+    claims = [
+        _claim(
+            f"F{fig.figure_id}.accurate-beats-trace", "§5.1",
+            "every policy fulfils more deadlines with accurate estimates",
+            all(
+                sum(a[p]) >= sum(b[p])
+                for p in ("edf", "libra", "librarisk")
+            ),
+            ", ".join(f"{p}: {sum(a[p])/len(a[p]):.1f}% vs {sum(b[p])/len(b[p]):.1f}%"
+                      for p in ("edf", "libra", "librarisk")),
+        ),
+        _claim(
+            f"F{fig.figure_id}.librarisk-matches-libra-accurate", "§5.1",
+            "accurate estimates: LibraRisk fulfils as many jobs as Libra",
+            dominance_fraction(a["librarisk"], a["libra"], tolerance=2.0) >= 0.8
+            and dominance_fraction(a["libra"], a["librarisk"], tolerance=2.0) >= 0.8,
+            f"max gap {max(abs(x - y) for x, y in zip(a['librarisk'], a['libra'])):.2f} pp",
+        ),
+        _claim(
+            f"F{fig.figure_id}.librarisk-beats-libra-trace", "§5.1",
+            "trace estimates: LibraRisk fulfils many more jobs than Libra",
+            dominance_fraction(b["librarisk"], b["libra"]) == 1.0
+            and (sum(b["librarisk"]) - sum(b["libra"])) / len(b["libra"]) > 5.0,
+            f"mean gain {(sum(b['librarisk']) - sum(b['libra'])) / len(b['libra']):.1f} pp",
+        ),
+        _claim(
+            f"F{fig.figure_id}.libra-edge-over-edf-shrinks-with-trace", "§5.1",
+            "trace estimates: Libra is only barely better than EDF "
+            "(its edge is far smaller than LibraRisk's edge over Libra)",
+            (sum(b["libra"]) - sum(b["edf"]))
+            < (sum(b["librarisk"]) - sum(b["libra"])),
+            f"libra-edf {sum(b['libra'])/len(b['libra']) - sum(b['edf'])/len(b['edf']):.1f} pp "
+            f"vs librarisk-libra "
+            f"{sum(b['librarisk'])/len(b['libra']) - sum(b['libra'])/len(b['libra']):.1f} pp",
+        ),
+        _claim(
+            f"F{fig.figure_id}.same-slowdown-accurate", "§5.1",
+            "accurate estimates: Libra and LibraRisk have the same slowdown",
+            all(abs(x - y) <= 0.05 * max(x, 1.0)
+                for x, y in zip(c["libra"], c["librarisk"])),
+            f"max rel gap {max(abs(x - y) / max(x, 1.0) for x, y in zip(c['libra'], c['librarisk'])):.3f}",
+        ),
+        _claim(
+            f"F{fig.figure_id}.librarisk-slowdown-below-libra-trace", "§5.1",
+            "trace estimates: LibraRisk achieves lower slowdown than Libra",
+            dominance_fraction(d["librarisk"], d["libra"], higher_is_better=False,
+                               tolerance=0.05) >= 0.8,
+            f"means {sum(d['librarisk'])/len(d['librarisk']):.2f} vs "
+            f"{sum(d['libra'])/len(d['libra']):.2f}",
+        ),
+        _claim(
+            f"F{fig.figure_id}.edf-lowest-slowdown", "§5.1",
+            "EDF has the lowest average slowdown in every panel",
+            all(
+                dominance_fraction(series["edf"], series[p], higher_is_better=False,
+                                   tolerance=0.02) == 1.0
+                for series in (c, d)
+                for p in ("libra", "librarisk")
+            ),
+            f"edf {sum(c['edf'])/len(c['edf']):.2f} (accurate), "
+            f"{sum(d['edf'])/len(d['edf']):.2f} (trace)",
+        ),
+    ]
+    return claims
+
+
+# -- figure-specific claims -----------------------------------------------------
+def figure1_claims(fig: FigureResult) -> list[ClaimResult]:
+    """§5.2: varying workload."""
+    a, b = _fulfilled(fig, "a"), _fulfilled(fig, "b")
+    x = list(fig.panel("a").x_values)
+    crossings = crossover_points(x, a["edf"], a["libra"])
+    claims = [
+        _claim(
+            "F1.fulfilment-rises-as-load-drops", "§5.2",
+            "Libra and LibraRisk fulfil more jobs as the arrival delay factor grows",
+            trend(a["libra"], tolerance=1.0) == "increasing"
+            and trend(b["librarisk"], tolerance=2.0) in ("increasing", "mixed"),
+            f"libra(acc): {trend(a['libra'], tolerance=1.0)}, "
+            f"librarisk(trace): {trend(b['librarisk'], tolerance=2.0)}",
+        ),
+        _claim(
+            "F1.edf-wins-under-heaviest-load", "§5.2",
+            "EDF fulfils the most jobs at the heaviest workload (factor 0.1)",
+            a["edf"][0] >= a["libra"][0] and b["edf"][0] >= b["libra"][0],
+            f"accurate {a['edf'][0]:.1f} vs {a['libra'][0]:.1f}; "
+            f"trace {b['edf'][0]:.1f} vs {b['libra'][0]:.1f}",
+        ),
+        _claim(
+            "F1.edf-advantage-fades-past-0.3", "§5.2",
+            "EDF's advantage over Libra disappears around factor 0.3 "
+            "(accurate estimates)",
+            bool(crossings) and 0.1 <= crossings[0] <= 0.6,
+            f"crossover(s) at {', '.join(f'{c:.2f}' for c in crossings) or 'none'}",
+        ),
+    ]
+    return claims
+
+
+def figure2_claims(fig: FigureResult) -> list[ClaimResult]:
+    """§5.3: varying deadline high:low ratio."""
+    a, b = _fulfilled(fig, "a"), _fulfilled(fig, "b")
+    d = fig.panel("d").series
+    x = list(fig.panel("b").x_values)
+    lows = [i for i, v in enumerate(x) if v < 4.0] or [0]
+    highs = [i for i, v in enumerate(x) if v >= 4.0] or [len(x) - 1]
+    gain = [r - l for r, l in zip(b["librarisk"], b["libra"])]
+    mean_low = sum(gain[i] for i in lows) / len(lows)
+    mean_high = sum(gain[i] for i in highs) / len(highs)
+    return [
+        _claim(
+            "F2.longer-deadlines-more-fulfilment", "§5.3",
+            "more jobs meet their deadlines as the high:low ratio grows",
+            trend(a["libra"], tolerance=1.0) == "increasing",
+            f"libra(acc): {trend(a['libra'], tolerance=1.0)}",
+        ),
+        _claim(
+            "F2.improvement-higher-at-low-ratio", "§5.3",
+            "LibraRisk's gain over Libra is larger when the ratio is low (< 4)",
+            mean_low >= mean_high,
+            f"mean gain {mean_low:.1f} pp (ratio<4) vs {mean_high:.1f} pp (ratio>=4)",
+        ),
+        _claim(
+            "F2.librarisk-slowdown-improves-with-ratio", "§5.3",
+            "LibraRisk keeps a slowdown advantage over Libra as deadlines grow",
+            dominance_fraction(d["librarisk"], d["libra"], higher_is_better=False,
+                               tolerance=0.05) >= 0.8,
+            f"means {sum(d['librarisk'])/len(d['librarisk']):.2f} vs "
+            f"{sum(d['libra'])/len(d['libra']):.2f}",
+        ),
+    ]
+
+
+def figure3_claims(fig: FigureResult) -> list[ClaimResult]:
+    """§5.4: varying the percentage of high urgency jobs."""
+    b = _fulfilled(fig, "b")
+    gain_first = b["librarisk"][0] - b["libra"][0]
+    gain_last = b["librarisk"][-1] - b["libra"][-1]
+    return [
+        _claim(
+            "F3.edf-libra-degrade-with-urgency", "§5.4",
+            "EDF and Libra fulfil fewer jobs as high-urgency jobs increase (trace)",
+            b["edf"][-1] < b["edf"][0] and b["libra"][-1] < b["libra"][0],
+            f"edf {b['edf'][0]:.1f}->{b['edf'][-1]:.1f}, "
+            f"libra {b['libra'][0]:.1f}->{b['libra'][-1]:.1f}",
+        ),
+        _claim(
+            "F3.librarisk-holds-up-under-urgency", "§5.4",
+            "LibraRisk holds its fulfilment level as urgency grows (trace) "
+            "while the others collapse",
+            b["librarisk"][-1] >= b["librarisk"][0] - 5.0,
+            f"librarisk {b['librarisk'][0]:.1f}->{b['librarisk'][-1]:.1f}",
+        ),
+        _claim(
+            "F3.improvement-grows-with-urgency", "§5.4",
+            "LibraRisk's improvement over Libra grows with the share of "
+            "high-urgency jobs",
+            gain_last > gain_first,
+            f"gain {gain_first:.1f} pp -> {gain_last:.1f} pp",
+        ),
+    ]
+
+
+def figure4_claims(fig: FigureResult) -> list[ClaimResult]:
+    """§5.5: varying estimate inaccuracy (panels split by urgency %)."""
+    a, b = _fulfilled(fig, "a"), _fulfilled(fig, "b")
+    claims = []
+    for label, series in (("a", a), ("b", b)):
+        claims.append(_claim(
+            f"F4.{label}.fulfilment-degrades-with-inaccuracy", "§5.5",
+            f"panel ({label}): fewer deadlines fulfilled as inaccuracy grows",
+            series["libra"][-1] < series["libra"][0],
+            f"libra {series['libra'][0]:.1f} -> {series['libra'][-1]:.1f}",
+        ))
+        drop_libra = series["libra"][0] - series["libra"][-1]
+        drop_risk = series["librarisk"][0] - series["librarisk"][-1]
+        claims.append(_claim(
+            f"F4.{label}.librarisk-degrades-least", "§5.5",
+            f"panel ({label}): LibraRisk loses the least to inaccuracy",
+            drop_risk < drop_libra,
+            f"drops: librarisk {drop_risk:.1f} pp vs libra {drop_libra:.1f} pp",
+        ))
+    claims.append(_claim(
+        "F4.high-urgency-advantage-about-doubles", "§5.5",
+        "at full inaccuracy LibraRisk's margin over Libra is larger with "
+        "80% high-urgency jobs than with 20%",
+        (b["librarisk"][-1] - b["libra"][-1]) > (a["librarisk"][-1] - a["libra"][-1]),
+        f"margin {a['librarisk'][-1] - a['libra'][-1]:.1f} pp (20%) vs "
+        f"{b['librarisk'][-1] - b['libra'][-1]:.1f} pp (80%)",
+    ))
+    return claims
+
+
+_FIGURE_CLAIMS: dict[str, Callable[[FigureResult], list[ClaimResult]]] = {
+    "1": figure1_claims,
+    "2": figure2_claims,
+    "3": figure3_claims,
+    "4": figure4_claims,
+}
+
+
+def validate_figure(fig: FigureResult) -> ValidationReport:
+    """Check every claim the paper makes about one figure."""
+    claims: list[ClaimResult] = []
+    if fig.figure_id in ("1", "2", "3"):
+        claims.extend(overview_claims(fig))
+    claims.extend(_FIGURE_CLAIMS[fig.figure_id](fig))
+    return ValidationReport(claims=tuple(claims))
+
+
+def validate_all(figures: dict[str, FigureResult]) -> ValidationReport:
+    """Concatenate claim checks over all regenerated figures."""
+    claims: list[ClaimResult] = []
+    for fid in sorted(figures):
+        claims.extend(validate_figure(figures[fid]).claims)
+    return ValidationReport(claims=tuple(claims))

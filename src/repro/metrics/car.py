@@ -1,0 +1,113 @@
+"""Computation-at-Risk (CaR) metrics — Kleban & Clearwater [7], [8].
+
+The paper's deadline-delay risk is built "analogous to the CaR
+approach", which transplants Value-at-Risk from finance to clusters:
+given the distribution of a badness measure over a job portfolio
+(makespan = response time, or expansion factor = slowdown), the CaR at
+confidence ``q`` is the q-quantile — "with probability q, a job's
+response time will not exceed CaR_q".  The *conditional* CaR (CCaR) is
+the mean badness beyond that quantile, the expected severity of the
+bad tail.
+
+Implementing the reference metric lets the test-suite and analyses
+compare what the paper's per-node σ buys over portfolio-level risk:
+CaR describes the damage distribution after the fact; LibraRisk's σ is
+actionable *at admission time*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.job import Job
+
+MEASURES = ("makespan", "expansion_factor")
+
+
+def _badness(jobs: Sequence[Job], measure: str) -> np.ndarray:
+    if measure not in MEASURES:
+        raise ValueError(f"measure must be one of {MEASURES}, got {measure!r}")
+    values = []
+    for job in jobs:
+        if not job.completed:
+            continue
+        values.append(job.response_time if measure == "makespan" else job.slowdown)
+    return np.asarray(values, dtype=float)
+
+
+@dataclass(frozen=True)
+class CaRReport:
+    """Computation-at-Risk summary of one completed job portfolio."""
+
+    measure: str
+    confidence: float
+    #: The q-quantile of the badness distribution (CaR_q).
+    car: float
+    #: Mean badness beyond the quantile (conditional CaR).
+    conditional_car: float
+    #: Portfolio mean, for scale.
+    mean: float
+    n_jobs: int
+
+    @property
+    def tail_ratio(self) -> float:
+        """How much worse the bad tail is than the typical job."""
+        return self.conditional_car / self.mean if self.mean > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "car": self.car,
+            "conditional_car": self.conditional_car,
+            "mean": self.mean,
+            "tail_ratio": self.tail_ratio,
+            "n_jobs": float(self.n_jobs),
+        }
+
+
+def computation_at_risk(
+    jobs: Sequence[Job],
+    measure: str = "makespan",
+    confidence: float = 0.95,
+) -> CaRReport:
+    """CaR/CCaR of the completed jobs in ``jobs``.
+
+    Parameters
+    ----------
+    jobs:
+        Any mix of job states; only completed jobs enter the portfolio.
+    measure:
+        ``"makespan"`` (response time, seconds) or
+        ``"expansion_factor"`` (slowdown, dimensionless).
+    confidence:
+        Quantile level ``q`` in (0, 1).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    values = _badness(jobs, measure)
+    if values.size == 0:
+        raise ValueError("no completed jobs to assess")
+    car = float(np.quantile(values, confidence))
+    tail = values[values >= car]
+    return CaRReport(
+        measure=measure,
+        confidence=confidence,
+        car=car,
+        conditional_car=float(tail.mean()) if tail.size else car,
+        mean=float(values.mean()),
+        n_jobs=int(values.size),
+    )
+
+
+def car_by_policy(
+    results: dict[str, Sequence[Job]],
+    measure: str = "expansion_factor",
+    confidence: float = 0.95,
+) -> dict[str, CaRReport]:
+    """CaR reports for several policies' completed portfolios."""
+    return {
+        name: computation_at_risk(jobs, measure=measure, confidence=confidence)
+        for name, jobs in results.items()
+    }

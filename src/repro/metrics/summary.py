@@ -1,0 +1,129 @@
+"""Scenario metric computation from completed job sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job, JobState, UrgencyClass
+
+
+@dataclass(frozen=True)
+class ClassBreakdown:
+    """Headline metrics restricted to one urgency class."""
+
+    submitted: int
+    fulfilled: int
+
+    @property
+    def pct_fulfilled(self) -> float:
+        return 100.0 * self.fulfilled / self.submitted if self.submitted else 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """Everything one simulation run reports."""
+
+    total_submitted: int
+    accepted: int
+    rejected: int
+    completed: int
+    #: Accepted but unfinished at the simulation horizon.
+    unfinished: int
+    #: Accepted jobs killed by node failures.
+    failed: int
+    #: Jobs completed within their deadline.
+    deadlines_fulfilled: int
+    #: Paper metric (i): fulfilled / submitted, in percent.
+    pct_deadlines_fulfilled: float
+    #: Paper metric (ii): mean slowdown over fulfilled jobs only.
+    avg_slowdown: float
+    #: Mean Eq. 3 delay over completed-but-late jobs (0 if none).
+    avg_delay_of_late_jobs: float
+    #: Completed-late count (accepted, finished, missed deadline).
+    completed_late: int
+    #: Cluster utilisation over the simulated span (0 when unknown).
+    utilisation: float
+    high_urgency: ClassBreakdown
+    low_urgency: ClassBreakdown
+
+    @property
+    def acceptance_pct(self) -> float:
+        return 100.0 * self.accepted / self.total_submitted if self.total_submitted else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for CSV/table rendering."""
+        return {
+            "total_submitted": self.total_submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "unfinished": self.unfinished,
+            "failed": self.failed,
+            "deadlines_fulfilled": self.deadlines_fulfilled,
+            "pct_deadlines_fulfilled": self.pct_deadlines_fulfilled,
+            "avg_slowdown": self.avg_slowdown,
+            "avg_delay_of_late_jobs": self.avg_delay_of_late_jobs,
+            "completed_late": self.completed_late,
+            "utilisation": self.utilisation,
+            "acceptance_pct": self.acceptance_pct,
+            "high_pct_fulfilled": self.high_urgency.pct_fulfilled,
+            "low_pct_fulfilled": self.low_urgency.pct_fulfilled,
+        }
+
+
+def _class_breakdown(jobs: Sequence[Job], cls: UrgencyClass) -> ClassBreakdown:
+    members = [j for j in jobs if j.urgency is cls]
+    fulfilled = sum(1 for j in members if j.deadline_met)
+    return ClassBreakdown(submitted=len(members), fulfilled=fulfilled)
+
+
+def compute_metrics(
+    jobs: Sequence[Job],
+    cluster: Optional[Cluster] = None,
+    horizon: Optional[float] = None,
+) -> ScenarioMetrics:
+    """Compute the paper's metrics over every *submitted* job.
+
+    Parameters
+    ----------
+    jobs:
+        All jobs that were submitted to the RMS (any state).
+    cluster, horizon:
+        When both are given, cluster utilisation over ``[0, horizon]``
+        is included.
+    """
+    submitted = [j for j in jobs if j.state is not JobState.CREATED]
+    accepted = [j for j in submitted if j.accepted]
+    rejected = [j for j in submitted if j.state is JobState.REJECTED]
+    completed = [j for j in submitted if j.completed]
+    failed = [j for j in submitted if j.state is JobState.FAILED]
+    fulfilled = [j for j in completed if j.deadline_met]
+    late = [j for j in completed if not j.deadline_met]
+
+    slowdowns = [j.slowdown for j in fulfilled]
+    delays = [j.delay for j in late]
+
+    utilisation = 0.0
+    if cluster is not None and horizon is not None and horizon > 0:
+        utilisation = cluster.utilisation(horizon)
+
+    return ScenarioMetrics(
+        total_submitted=len(submitted),
+        accepted=len(accepted),
+        rejected=len(rejected),
+        completed=len(completed),
+        unfinished=len(accepted) - len(completed) - len(failed),
+        failed=len(failed),
+        deadlines_fulfilled=len(fulfilled),
+        pct_deadlines_fulfilled=(
+            100.0 * len(fulfilled) / len(submitted) if submitted else 0.0
+        ),
+        avg_slowdown=(sum(slowdowns) / len(slowdowns)) if slowdowns else 0.0,
+        avg_delay_of_late_jobs=(sum(delays) / len(delays)) if delays else 0.0,
+        completed_late=len(late),
+        utilisation=utilisation,
+        high_urgency=_class_breakdown(submitted, UrgencyClass.HIGH),
+        low_urgency=_class_breakdown(submitted, UrgencyClass.LOW),
+    )

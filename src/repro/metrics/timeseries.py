@@ -1,0 +1,160 @@
+"""Time-series observation of a running simulation.
+
+The paper reports end-of-run aggregates only; for debugging, ablation
+analysis and plots it is useful to watch the cluster *evolve*: load,
+running/queued job counts, cumulative acceptance.  A
+:class:`SimulationMonitor` samples at a fixed simulated period using
+MONITOR-priority events (so samples always observe settled state), and
+stores plain lists cheap to post-process with numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.rms import ResourceManagementSystem
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class TimeSeries:
+    """One sampled series: aligned times and values."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def peak(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def at_or_before(self, t: float) -> Optional[float]:
+        """Last sampled value at or before time ``t`` (None if nothing yet)."""
+        result = None
+        for ts, v in zip(self.times, self.values):
+            if ts > t:
+                break
+            result = v
+        return result
+
+
+class SimulationMonitor:
+    """Periodic sampler of cluster/RMS state.
+
+    Series collected every ``period`` simulated seconds:
+
+    * ``busy_nodes``     — nodes with at least one resident task;
+    * ``running_jobs``   — distinct jobs with a resident task;
+    * ``allocated_share``— total nominal rate over all tasks (node
+      capacities; equals busy node count on space-shared clusters);
+    * ``accepted``/``rejected``/``completed`` — cumulative RMS counts.
+
+    Sampling stops automatically once the RMS has resolved every
+    submitted job and the cluster is idle, so a monitor never keeps a
+    drained simulation alive indefinitely — but it samples at least
+    ``min_samples`` times.
+    """
+
+    SERIES = ("busy_nodes", "running_jobs", "allocated_share",
+              "accepted", "rejected", "completed")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        cluster: "Cluster",
+        rms: "ResourceManagementSystem",
+        period: float = 3600.0,
+        min_samples: int = 2,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self.sim = sim
+        self.cluster = cluster
+        self.rms = rms
+        self.period = float(period)
+        self.min_samples = int(min_samples)
+        self.series: dict[str, TimeSeries] = {name: TimeSeries(name) for name in self.SERIES}
+        self._armed = False
+
+    # -- control ---------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the sampler; the first sample fires at the current time.
+
+        The sample is a MONITOR-priority event rather than a direct
+        call, so arrivals and completions scheduled for this same
+        instant are observed, not missed.
+        """
+        if self._armed:
+            raise RuntimeError("monitor already started")
+        self._armed = True
+        self.sim.schedule(
+            0.0,
+            self._sample_event,
+            priority=EventPriority.MONITOR,
+            name="monitor:sample",
+        )
+
+    def _sample_event(self, _event: Optional[Event]) -> None:
+        self.sample()
+        if self._should_continue():
+            self.sim.schedule(
+                self.period,
+                self._sample_event,
+                priority=EventPriority.MONITOR,
+                name="monitor:sample",
+            )
+
+    def _should_continue(self) -> bool:
+        if len(self.series["busy_nodes"]) < self.min_samples:
+            return True
+        unresolved = (
+            len(self.rms.jobs) - len(self.rms.completed)
+            - len(self.rms.rejected) - len(self.rms.failed)
+        )
+        pending_submissions = any(
+            not ev.name.startswith("monitor:") for ev in self.sim.iter_pending()
+        )
+        return unresolved > 0 or pending_submissions
+
+    # -- sampling --------------------------------------------------------------
+    def sample(self) -> None:
+        """Record one observation of the current state."""
+        now = self.sim.now
+        busy = sum(1 for n in self.cluster if not n.idle)
+        running = len(self.cluster.running_jobs())
+        share = 0.0
+        for node in self.cluster:
+            for task in node.tasks.values():
+                share += task.rate
+        self.series["busy_nodes"].append(now, float(busy))
+        self.series["running_jobs"].append(now, float(running))
+        self.series["allocated_share"].append(now, share)
+        self.series["accepted"].append(now, float(len(self.rms.accepted)))
+        self.series["rejected"].append(now, float(len(self.rms.rejected)))
+        self.series["completed"].append(now, float(len(self.rms.completed)))
+
+    # -- views -------------------------------------------------------------------
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self.series[name]
+
+    def peak_busy_nodes(self) -> float:
+        return self.series["busy_nodes"].peak
+
+    def mean_running_jobs(self) -> float:
+        return self.series["running_jobs"].mean

@@ -1,0 +1,140 @@
+"""Common machinery shared by all admission-control policies.
+
+A policy is bound once to a ``(sim, cluster, rms)`` triple and then
+driven entirely by events:
+
+* the RMS calls :meth:`SchedulingPolicy.on_job_submitted` for every
+  arriving job;
+* nodes call the policy back (it installs itself as their task
+  listener) whenever a task finishes.
+
+The base class tracks multi-node job completion: a parallel job has
+``numproc`` tasks and completes when the last one finishes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node, NodeTask
+    from repro.cluster.rms import ResourceManagementSystem
+    from repro.sim.kernel import Simulator
+
+
+class SchedulingPolicy(abc.ABC):
+    """Abstract deadline-constrained admission control policy."""
+
+    #: Short name used by the registry, CLI and result tables.
+    name: str = "abstract"
+
+    #: Node execution discipline this policy requires
+    #: (``"space_shared"`` or ``"time_shared"``).
+    discipline: str = "time_shared"
+
+    def __init__(self) -> None:
+        self.sim: Optional["Simulator"] = None
+        self.cluster: Optional["Cluster"] = None
+        self.rms: Optional["ResourceManagementSystem"] = None
+        self._pending_tasks: dict[int, int] = {}  # job_id -> unfinished task count
+
+    # -- wiring -----------------------------------------------------------
+    def bind(self, sim: "Simulator", cluster: "Cluster", rms: "ResourceManagementSystem") -> None:
+        """Attach to a simulation; installs this policy as node listener."""
+        self.sim = sim
+        self.cluster = cluster
+        self.rms = rms
+        for node in cluster:
+            if node.listener is not None and node.listener is not self._task_listener:
+                raise RuntimeError(f"node {node.node_id} already has a listener")
+            node.listener = self._task_listener
+        self.validate_cluster(cluster)
+
+    def validate_cluster(self, cluster: "Cluster") -> None:
+        """Hook: subclasses verify the node discipline matches."""
+
+    # -- admission entry point ----------------------------------------------
+    @abc.abstractmethod
+    def on_job_submitted(self, job: Job, now: float) -> None:
+        """Handle a job arriving at the RMS at simulated time ``now``."""
+
+    # -- task/job completion tracking -----------------------------------------
+    def _task_listener(self, node: "Node", task: "NodeTask", now: float) -> None:
+        job = task.job
+        remaining = self._pending_tasks.get(job.job_id)
+        if remaining is None:
+            raise RuntimeError(
+                f"task completion for untracked job {job.job_id} on node {node.node_id}"
+            )
+        remaining -= 1
+        if remaining > 0:
+            self._pending_tasks[job.job_id] = remaining
+            return
+        del self._pending_tasks[job.job_id]
+        job.mark_completed(now)
+        assert self.rms is not None
+        self.rms.notify_completed(job)
+        self.on_job_completed(job, now)
+
+    def on_job_completed(self, job: Job, now: float) -> None:
+        """Hook: called after a job's last task finished (e.g. to dispatch
+        queued work).  Default: nothing."""
+
+    # -- node failure handling ---------------------------------------------
+    def handle_node_failure(self, node: "Node", now: float) -> None:
+        """A node failed: kill its jobs (SPMD semantics — losing one
+        task kills the whole job, including its tasks on other nodes).
+
+        Called by :class:`~repro.cluster.failures.NodeFailureInjector`
+        (or tests) rather than by the node itself, because cleaning up
+        a multi-node job requires cluster-wide bookkeeping only the
+        policy has."""
+        assert self.cluster is not None and self.rms is not None
+        affected = node.fail(now)
+        for job in affected:
+            self._fail_job(job, now)
+        self.on_node_failure(node, now)
+
+    def handle_node_repair(self, node: "Node", now: float) -> None:
+        """A failed node came back (empty)."""
+        node.repair(now)
+        self.on_node_repair(node, now)
+
+    def _fail_job(self, job: Job, now: float) -> None:
+        assert self.cluster is not None and self.rms is not None
+        # Remove sibling tasks from the (online) nodes still running them.
+        for node_id in job.assigned_nodes:
+            other = self.cluster.node(node_id)
+            if other.online and other.has_job(job.job_id):
+                other.remove_task(job.job_id, now)
+        self._pending_tasks.pop(job.job_id, None)
+        job.mark_failed(now)
+        self.rms.notify_failed(job)
+
+    def on_node_failure(self, node: "Node", now: float) -> None:
+        """Hook after a failure was processed.  Default: nothing."""
+
+    def on_node_repair(self, node: "Node", now: float) -> None:
+        """Hook after a repair (queue-based policies re-dispatch here)."""
+
+    def _track(self, job: Job) -> None:
+        """Register a started job for completion tracking."""
+        self._pending_tasks[job.job_id] = job.numproc
+
+    @property
+    def running_jobs(self) -> int:
+        """Number of jobs with at least one unfinished task."""
+        return len(self._pending_tasks)
+
+    # -- shared admission helpers --------------------------------------------
+    def _reject(self, job: Job, reason: str) -> None:
+        assert self.rms is not None
+        job.mark_rejected(reason)
+        self.rms.notify_rejected(job, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} running={self.running_jobs}>"

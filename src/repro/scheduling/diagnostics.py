@@ -1,0 +1,138 @@
+"""Admission-state diagnostics: inspect a live cluster the way the
+admission controls see it.
+
+Useful for debugging why a policy accepted or rejected a job, for the
+``risk_anatomy`` example, and for post-mortem analysis in tests:
+
+* :func:`node_snapshot` — one node's tasks, Eq. 2 total share, and
+  risk assessment;
+* :func:`cluster_risk_profile` — every node's snapshot at an instant;
+* :func:`explain_admission` — dry-run both Libra's and LibraRisk's
+  tests for a hypothetical job, per node, without placing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.node import TimeSharedNode
+from repro.experiments.reporting import render_table
+from repro.scheduling.risk import RiskAssessment, assess_delays
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """Admission-relevant state of one node at one instant."""
+
+    node_id: int
+    num_tasks: int
+    total_share: float
+    overruns: int
+    expired: int
+    risk: RiskAssessment
+
+    @property
+    def healthy(self) -> bool:
+        return self.overruns == 0 and self.expired == 0 and self.risk.zero_risk
+
+
+def node_snapshot(node: TimeSharedNode, now: float) -> NodeSnapshot:
+    """Snapshot one time-shared node (syncs its ledgers to ``now``)."""
+    node.sync(now)
+    overruns = sum(1 for t in node.tasks.values() if t.overrun)
+    expired = sum(
+        1 for t in node.tasks.values() if t.job.remaining_deadline(now) <= 0.0
+    )
+    predicted = node.predicted_delays(now)
+    risk = assess_delays([(d, j.remaining_deadline(now)) for j, d in predicted])
+    return NodeSnapshot(
+        node_id=node.node_id,
+        num_tasks=node.num_tasks,
+        total_share=node.total_admission_share(now),
+        overruns=overruns,
+        expired=expired,
+        risk=risk,
+    )
+
+
+def cluster_risk_profile(cluster: Cluster, now: float) -> list[NodeSnapshot]:
+    """Snapshot every time-shared node in the cluster."""
+    out = []
+    for node in cluster:
+        if isinstance(node, TimeSharedNode):
+            out.append(node_snapshot(node, now))
+    return out
+
+
+def render_profile(snapshots: list[NodeSnapshot]) -> str:
+    """ASCII table of a cluster risk profile."""
+    rows = []
+    for s in snapshots:
+        sigma = "inf" if s.risk.sigma == float("inf") else f"{s.risk.sigma:.4f}"
+        rows.append([
+            s.node_id, s.num_tasks, f"{s.total_share:.3f}", s.overruns, s.expired,
+            sigma, "yes" if s.risk.zero_risk else "no",
+        ])
+    return render_table(
+        ["node", "tasks", "Eq.2 share", "overrun", "expired", "sigma", "zero-risk"],
+        rows,
+    )
+
+
+@dataclass(frozen=True)
+class AdmissionExplanation:
+    """Per-node verdicts of both policies' tests for one hypothetical job."""
+
+    job_id: int
+    numproc: int
+    libra_suitable: list[int]
+    librarisk_suitable: list[int]
+
+    @property
+    def libra_accepts(self) -> bool:
+        return len(self.libra_suitable) >= self.numproc
+
+    @property
+    def librarisk_accepts(self) -> bool:
+        return len(self.librarisk_suitable) >= self.numproc
+
+    def render(self) -> str:
+        return (
+            f"job {self.job_id} (numproc={self.numproc}):\n"
+            f"  Libra:     {len(self.libra_suitable)} suitable node(s) "
+            f"-> {'ACCEPT' if self.libra_accepts else 'REJECT'}\n"
+            f"  LibraRisk: {len(self.librarisk_suitable)} suitable node(s) "
+            f"-> {'ACCEPT' if self.librarisk_accepts else 'REJECT'}"
+        )
+
+
+def explain_admission(cluster: Cluster, job: Job, now: float) -> AdmissionExplanation:
+    """Dry-run both admission tests for ``job`` on every node.
+
+    Neither test mutates the cluster (beyond syncing ledgers to
+    ``now``), so this is safe to call on a live simulation.
+    """
+    libra_ok: list[int] = []
+    risk_ok: list[int] = []
+    for node in cluster:
+        if not isinstance(node, TimeSharedNode):
+            continue
+        node.sync(now)
+        est_time = cluster.est_time_on(node, job.estimated_runtime)
+        total = node.total_admission_share(
+            now, extra=[(est_time, job.remaining_deadline(now))]
+        )
+        if total <= 1.0 + 1e-9:
+            libra_ok.append(node.node_id)
+        predicted = node.predicted_delays(now, extra=[(job, est_time)])
+        risk = assess_delays([(d, j.remaining_deadline(now)) for j, d in predicted])
+        if risk.zero_risk:
+            risk_ok.append(node.node_id)
+    return AdmissionExplanation(
+        job_id=job.job_id,
+        numproc=job.numproc,
+        libra_suitable=libra_ok,
+        librarisk_suitable=risk_ok,
+    )

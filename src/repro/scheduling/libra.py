@@ -1,0 +1,94 @@
+"""Libra: deadline-based proportional processor share admission (§3.1).
+
+A new job ``new`` requiring ``numproc_new`` nodes is admitted iff there
+are at least ``numproc_new`` nodes ``j`` for which the Eq. 2 total
+share — including the new job's Eq. 1 share
+``estimated_runtime / deadline`` — does not exceed the node's capacity
+of 1.  Accepted jobs start immediately at their allocated shares.
+
+Node selection is **best fit**: "nodes that have the least available
+processor time after accepting the new job will be selected first so
+that nodes are saturated to their maximum" (§3.3).  That saturation is
+exactly what makes Libra fragile to estimate error, which LibraRisk
+then fixes.
+
+The ``expired_job_share_mode`` knob controls how Libra's Eq. 2 sum
+sees resident jobs whose state the estimate can no longer describe —
+an overrunning job (estimate exhausted) or one whose deadline has
+already passed.  Eq. 1 is undefined for them; the default ``"zero"``
+simply omits them, reproducing the blindness the paper attributes to
+Libra ("it relies heavily on the idealistic assumption of accurate
+runtime estimates").
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.node import TimeSharedNode
+from repro.scheduling.base import SchedulingPolicy
+
+#: Slack for float error in the Σ share <= 1 capacity test.
+CAPACITY_EPSILON = 1e-9
+
+
+class LibraPolicy(SchedulingPolicy):
+    """Deadline-based proportional-share admission with best-fit placement."""
+
+    name = "libra"
+    discipline = "time_shared"
+
+    def __init__(self, expired_job_share_mode: str = "zero") -> None:
+        super().__init__()
+        if expired_job_share_mode not in ("zero", "floor", "infinite"):
+            raise ValueError(f"unknown expired_job_share_mode {expired_job_share_mode!r}")
+        self.expired_job_share_mode = expired_job_share_mode
+
+    def validate_cluster(self, cluster: Cluster) -> None:
+        for node in cluster:
+            if not isinstance(node, TimeSharedNode):
+                raise TypeError(
+                    f"{self.name} requires time-shared nodes; node {node.node_id} "
+                    f"is {type(node).__name__}"
+                )
+
+    # -- admission ----------------------------------------------------------
+    def on_job_submitted(self, job: Job, now: float) -> None:
+        assert self.cluster is not None and self.rms is not None
+        suitable: list[tuple[float, TimeSharedNode]] = []
+        for node in self.cluster:
+            assert isinstance(node, TimeSharedNode)
+            if not node.online:
+                continue
+            node.sync(now)  # bring work ledgers to `now` before reading shares
+            est_time = self.cluster.est_time_on(node, job.estimated_runtime)
+            total = node.total_admission_share(
+                now,
+                extra=[(est_time, job.remaining_deadline(now))],
+                expired_job_share_mode=self.expired_job_share_mode,
+            )
+            if total <= 1.0 + CAPACITY_EPSILON:
+                suitable.append((total, node))
+
+        if len(suitable) < job.numproc:
+            self._reject(
+                job,
+                f"only {len(suitable)} of {job.numproc} required nodes have capacity",
+            )
+            return
+
+        # Best fit: highest post-acceptance total share first (least
+        # available processor time remaining), ties by node id.
+        suitable.sort(key=lambda pair: (-pair[0], pair[1].node_id))
+        chosen = [node for _, node in suitable[: job.numproc]]
+        self._allocate(job, chosen, now)
+
+    def _allocate(self, job: Job, nodes: list[TimeSharedNode], now: float) -> None:
+        assert self.cluster is not None and self.rms is not None
+        work = self.cluster.work_of(job.runtime)
+        est_work = self.cluster.work_of(job.estimated_runtime)
+        job.mark_running(now, [n.node_id for n in nodes])
+        self._track(job)
+        self.rms.notify_accepted(job)
+        for node in nodes:
+            node.add_task(job, work=work, est_work=est_work, now=now)

@@ -1,0 +1,142 @@
+"""LibraRisk: admission by the risk of deadline delay (§3.3, Algorithm 1).
+
+LibraRisk keeps Libra's proportional-share execution (Eq. 1–2) but
+changes the two admission decisions:
+
+1. **Suitability** — a node is suitable for the new job iff placing the
+   job there leaves the node's *risk of deadline delay* at zero
+   (σ_j = 0 over the Eq. 4 deadline-delay values of every resident job
+   plus the new one, computed from *predicted* delays).  Unlike
+   Libra's Σ share ≤ 1 test, this sees jobs the estimates can no
+   longer describe: an overrunning job or one past its deadline
+   produces a positive (predicted) delay and disqualifies the node.
+2. **Placement** — the job goes only to zero-risk nodes ("LibraRisk
+   only selects nodes that have zero risk of deadline delay", §3.3).
+   Among those, this implementation keeps Libra's best-fit order by
+   default — the paper redefines the candidate set, not the ordering —
+   and under accurate estimates LibraRisk then coincides with Libra
+   exactly, as the paper's panels (a)/(c) show.  ``node_order`` makes
+   the choice sweepable (``"best_fit"``, ``"worst_fit"``, ``"index"``).
+
+Algorithm 1 in pseudo-code form::
+
+    for each node j:                         # lines 1–11
+        tentatively place job new on j
+        predict delay of every job on j      # line 4
+        compute sigma_j                      # line 6
+        if sigma_j == 0: j is suitable       # lines 8–10
+    if |suitable| >= numproc_new: allocate   # lines 12–15
+    else: reject                             # line 17
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.node import TimeSharedNode
+from repro.scheduling.base import SchedulingPolicy
+from repro.scheduling.risk import RiskAssessment, assess_delays
+
+_NODE_ORDERS = ("worst_fit", "best_fit", "index")
+_SUITABILITIES = ("sigma", "no-delay")
+
+
+class LibraRiskPolicy(SchedulingPolicy):
+    """The paper's contribution: risk-managed proportional-share admission.
+
+    ``suitability`` selects the node-suitability test:
+
+    * ``"sigma"`` (default) — the literal Algorithm 1 criterion
+      σ_j = 0.  Because σ measures the *spread* of deadline-delay
+      values, an otherwise-empty node is always suitable, which lets
+      LibraRisk gamble on jobs whose inflated estimates claim
+      infeasibility (see :mod:`repro.scheduling.risk`);
+    * ``"no-delay"`` — stricter ablation: the node must additionally
+      have no predicted delay for any job.
+
+    ``node_order`` orders the zero-risk nodes for placement.  The paper
+    only redefines *which* nodes are candidates, so the default keeps
+    Libra's best-fit saturation; ``"worst_fit"`` and ``"index"`` are
+    ablations (see :mod:`repro.experiments.ablations`).
+    """
+
+    name = "librarisk"
+    discipline = "time_shared"
+
+    def __init__(self, node_order: str = "best_fit", suitability: str = "sigma") -> None:
+        super().__init__()
+        if node_order not in _NODE_ORDERS:
+            raise ValueError(f"node_order must be one of {_NODE_ORDERS}, got {node_order!r}")
+        if suitability not in _SUITABILITIES:
+            raise ValueError(
+                f"suitability must be one of {_SUITABILITIES}, got {suitability!r}"
+            )
+        self.node_order = node_order
+        self.suitability = suitability
+
+    def validate_cluster(self, cluster: Cluster) -> None:
+        for node in cluster:
+            if not isinstance(node, TimeSharedNode):
+                raise TypeError(
+                    f"{self.name} requires time-shared nodes; node {node.node_id} "
+                    f"is {type(node).__name__}"
+                )
+
+    # -- Algorithm 1 -----------------------------------------------------------
+    def assess_node(self, node: TimeSharedNode, job: Job, now: float) -> RiskAssessment:
+        """Risk of deadline delay on ``node`` if ``job`` were placed there."""
+        assert self.cluster is not None
+        est_time = self.cluster.est_time_on(node, job.estimated_runtime)
+        predicted = node.predicted_delays(now, extra=[(job, est_time)])
+        pairs = [(delay, j.remaining_deadline(now)) for j, delay in predicted]
+        return assess_delays(pairs)
+
+    def on_job_submitted(self, job: Job, now: float) -> None:
+        assert self.cluster is not None and self.rms is not None
+        zero_risk: list[TimeSharedNode] = []
+        sigma_mode = self.suitability == "sigma"
+        for node in self.cluster:
+            assert isinstance(node, TimeSharedNode)
+            if not node.online:
+                continue
+            node.sync(now)
+            if sigma_mode and not node.tasks:
+                # Exact shortcut: the new job alone yields a single
+                # deadline-delay value, so σ = 0 by definition — the
+                # empty-node gamble needs no projection.
+                zero_risk.append(node)
+                continue
+            assessment = self.assess_node(node, job, now)
+            suitable = assessment.zero_risk if sigma_mode else assessment.strictly_safe
+            if suitable:
+                zero_risk.append(node)
+
+        if len(zero_risk) < job.numproc:
+            self._reject(
+                job,
+                f"only {len(zero_risk)} of {job.numproc} required nodes are zero-risk",
+            )
+            return
+
+        chosen = self._order(zero_risk, now)[: job.numproc]
+        self._allocate(job, chosen, now)
+
+    def _order(self, nodes: list[TimeSharedNode], now: float) -> list[TimeSharedNode]:
+        if self.node_order == "index":
+            return sorted(nodes, key=lambda n: n.node_id)
+        loads = {n.node_id: n.total_admission_share(now) for n in nodes}
+        reverse = self.node_order == "best_fit"
+        return sorted(
+            nodes,
+            key=lambda n: (-loads[n.node_id] if reverse else loads[n.node_id], n.node_id),
+        )
+
+    def _allocate(self, job: Job, nodes: list[TimeSharedNode], now: float) -> None:
+        assert self.cluster is not None and self.rms is not None
+        work = self.cluster.work_of(job.runtime)
+        est_work = self.cluster.work_of(job.estimated_runtime)
+        job.mark_running(now, [n.node_id for n in nodes])
+        self._track(job)
+        self.rms.notify_accepted(job)
+        for node in nodes:
+            node.add_task(job, work=work, est_work=est_work, now=now)

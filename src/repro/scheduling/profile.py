@@ -1,0 +1,150 @@
+"""Capacity profiles: node availability over (estimated) future time.
+
+Reservation-based schedulers (conservative backfilling, schedulability
+tests for soft-deadline admission) need to answer one question: *given
+what we believe about the future, when is the earliest instant at
+which ``n`` nodes are simultaneously free for ``d`` seconds?*
+
+:class:`CapacityProfile` models free capacity as a step function built
+from three ingredients:
+
+* a base capacity (nodes free right now),
+* **releases** — capacity returning at estimated completion times of
+  running jobs,
+* **reservations** — capacity committed to queued jobs over
+  ``[start, end)`` windows.
+
+All times are estimates; callers are expected to rebuild profiles as
+reality diverges (this is what conservative backfilling's
+"schedule compression" is).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class CapacityProfile:
+    """Step-function view of future free capacity.
+
+    Parameters
+    ----------
+    base_free:
+        Nodes free at (and after) ``origin`` before any release or
+        reservation is considered.
+    origin:
+        The "now" of the profile; queries below it are invalid.
+    """
+
+    def __init__(self, base_free: int, origin: float = 0.0) -> None:
+        if base_free < 0:
+            raise ValueError(f"base_free must be >= 0, got {base_free}")
+        self.base_free = int(base_free)
+        self.origin = float(origin)
+        # Capacity deltas at absolute times: +n for releases and
+        # reservation ends, -n for reservation starts.
+        self._deltas: dict[float, int] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_release(self, time: float, count: int) -> None:
+        """``count`` nodes become free at ``time`` (estimated completion)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return
+        t = max(float(time), self.origin)
+        self._deltas[t] = self._deltas.get(t, 0) + count
+
+    def add_reservation(self, start: float, end: float, count: int) -> None:
+        """Commit ``count`` nodes over ``[start, end)``."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if end < start:
+            raise ValueError(f"reservation end {end} before start {start}")
+        if count == 0 or end == start:
+            return
+        s = max(float(start), self.origin)
+        e = max(float(end), self.origin)
+        if e <= s:
+            return
+        self._deltas[s] = self._deltas.get(s, 0) - count
+        self._deltas[e] = self._deltas.get(e, 0) + count
+
+    # -- queries ----------------------------------------------------------------
+    def breakpoints(self) -> list[float]:
+        """Times (ascending) at which free capacity changes."""
+        return sorted(t for t, d in self._deltas.items() if d != 0)
+
+    def free_at(self, time: float) -> int:
+        """Free capacity at absolute ``time`` (>= origin)."""
+        if time < self.origin - 1e-9:
+            raise ValueError(f"query at t={time} precedes profile origin {self.origin}")
+        free = self.base_free
+        for t, delta in self._deltas.items():
+            if t <= time:
+                free += delta
+        return free
+
+    def min_free_over(self, start: float, end: float) -> int:
+        """Minimum free capacity over the window ``[start, end)``."""
+        if end < start:
+            raise ValueError("end before start")
+        lowest = self.free_at(start)
+        for t in self.breakpoints():
+            if start < t < end:
+                lowest = min(lowest, self.free_at(t))
+        return lowest
+
+    def earliest_fit(
+        self,
+        count: int,
+        duration: float,
+        not_before: Optional[float] = None,
+    ) -> Optional[float]:
+        """Earliest start ``s >= not_before`` with ``count`` nodes free
+        over ``[s, s + duration)``; ``None`` if capacity never suffices.
+
+        Candidate starts are ``not_before`` and every later breakpoint
+        (capacity is piecewise constant, so no other instant can be the
+        earliest feasible start).
+        """
+        if count < 0 or duration < 0:
+            raise ValueError("count and duration must be >= 0")
+        floor = self.origin if not_before is None else max(not_before, self.origin)
+        candidates = [floor] + [t for t in self.breakpoints() if t > floor]
+        for s in candidates:
+            if self.min_free_over(s, s + duration) >= count:
+                return s
+        return None
+
+    def would_fit(self, count: int, start: float, duration: float) -> bool:
+        """True iff ``count`` nodes are free over ``[start, start+duration)``."""
+        return self.min_free_over(start, start + duration) >= count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        steps = ", ".join(
+            f"t={t:g}:{'+' if d > 0 else ''}{d}" for t, d in sorted(self._deltas.items())
+        )
+        return f"<CapacityProfile base={self.base_free} origin={self.origin:g} [{steps}]>"
+
+
+def profile_from_cluster(cluster, now: float) -> CapacityProfile:
+    """Build a profile from a space-shared cluster's current state.
+
+    Free capacity is the idle-node count; each running job contributes
+    a release at its *estimated* completion (never before ``now``).
+    """
+    idle = sum(1 for n in cluster if n.available_for_work)
+    profile = CapacityProfile(base_free=idle, origin=now)
+    seen: dict[int, tuple[float, int]] = {}
+    for node in cluster:
+        for job_id, task in node.tasks.items():
+            job = task.job
+            started = job.start_time if job.start_time is not None else now
+            est_end = max(now, started + job.estimated_runtime)
+            end, count = seen.get(job_id, (est_end, 0))
+            seen[job_id] = (end, count + 1)
+    for est_end, count in seen.values():
+        profile.add_release(est_end, count)
+    return profile

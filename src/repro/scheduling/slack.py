@@ -1,0 +1,84 @@
+"""QoPS-style soft-deadline admission control (slack factor).
+
+The paper's related work (§2) contrasts Libra's hard deadlines with
+QoPS (Islam, Balaji, Sadayappan & Panda, Cluster 2004), which "allows
+soft deadlines by defining a slack factor for each job so that earlier
+jobs can be delayed up to the slack factor if necessary to accommodate
+later more urgent jobs".  This module implements that idea as an
+extension baseline:
+
+* every job's *soft* deadline is ``submit + deadline × slack_factor``;
+* a new job is admitted iff a tentative EDF-ordered schedule of the
+  whole queue **plus the new job** (built on estimated runtimes via a
+  :class:`~repro.scheduling.profile.CapacityProfile`) completes every
+  job by its soft deadline — i.e. accepting the newcomer may delay
+  earlier jobs, but never beyond their slack;
+* dispatch is EDF on space-shared nodes.
+
+Note the headline metric still counts the *hard* deadline, so slack
+trades a few late completions for a higher acceptance rate — a
+qualitatively different answer to estimate risk than LibraRisk's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.job import Job
+from repro.scheduling.edf import QueuedSpaceSharedPolicy
+from repro.scheduling.profile import profile_from_cluster
+
+
+class SlackAdmissionPolicy(QueuedSpaceSharedPolicy):
+    """Soft-deadline schedulability admission with EDF dispatch."""
+
+    name = "qops-slack"
+
+    def __init__(self, slack_factor: float = 1.2, admission_check: bool = True) -> None:
+        super().__init__(admission_check=admission_check)
+        if slack_factor < 1.0:
+            raise ValueError(f"slack_factor must be >= 1, got {slack_factor}")
+        self.slack_factor = slack_factor
+
+    # -- soft deadlines -----------------------------------------------------
+    def soft_deadline(self, job: Job) -> float:
+        """Absolute soft deadline: hard deadline stretched by the slack."""
+        return job.submit_time + job.deadline * self.slack_factor
+
+    # -- admission ------------------------------------------------------------
+    def on_job_submitted(self, job: Job, now: float) -> None:
+        if self.admission_check and not self._schedulable_with(job, now):
+            self._reject(job, "tentative schedule violates a soft deadline")
+            return
+        job.mark_queued()
+        self.queue.append(job)
+        self._dispatch(now)
+
+    def _schedulable_with(self, new_job: Job, now: float) -> bool:
+        """Can queue + new job all meet their soft deadlines (by estimate)?"""
+        assert self.cluster is not None
+        profile = profile_from_cluster(self.cluster, now)
+        tentative = sorted(
+            [*self.queue, new_job],
+            key=lambda j: (j.absolute_deadline, j.submit_time, j.job_id),
+        )
+        for j in tentative:
+            start = profile.earliest_fit(j.numproc, j.estimated_runtime, now)
+            if start is None:
+                return False
+            if start + j.estimated_runtime > self.soft_deadline(j):
+                return False
+            profile.add_reservation(start, start + j.estimated_runtime, j.numproc)
+        return True
+
+    # -- dispatch (EDF order, soft-deadline dispatch check) ---------------------
+    def select_next(self, now: float) -> Optional[Job]:
+        if not self.queue:
+            return None
+        return min(
+            self.queue,
+            key=lambda j: (j.absolute_deadline, j.submit_time, j.job_id),
+        )
+
+    def _feasible(self, job: Job, now: float) -> bool:
+        return now + job.estimated_runtime <= self.soft_deadline(job)

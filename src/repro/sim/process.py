@@ -1,0 +1,120 @@
+"""Generator-based process layer on top of the event kernel.
+
+The admission-control simulations in this library are written directly
+against kernel callbacks (it is faster and the state machines are
+simple), but examples, tests and downstream users often want the
+SimPy-style coroutine idiom::
+
+    def customer(sim):
+        yield Timeout(5.0)        # sleep 5 simulated seconds
+        door.open()
+        got = yield waiter        # park until someone triggers the waiter
+
+    Process(sim, customer(sim))
+
+A process is a Python generator that yields *wait directives*:
+
+* :class:`Timeout` — resume after a fixed delay;
+* :class:`Waiter` — resume when some other component calls
+  :meth:`Waiter.trigger`, receiving the triggered value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+
+
+class Timeout:
+    """Wait directive: resume the process after ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+
+class Waiter:
+    """One-shot-per-trigger rendezvous between processes.
+
+    Any number of processes can be parked on a waiter; a call to
+    :meth:`trigger` wakes all of them (FIFO) and delivers ``value`` as
+    the result of their ``yield``.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._parked: List["Process"] = []
+
+    def park(self, process: "Process") -> None:
+        self._parked.append(process)
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake every parked process; returns how many were woken."""
+        parked, self._parked = self._parked, []
+        for proc in parked:
+            self.sim.schedule(
+                0.0,
+                lambda ev, p=proc: p._resume(value),
+                priority=EventPriority.NORMAL,
+                name=f"waiter:{self.name}",
+            )
+        return len(parked)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._parked)
+
+
+class Process:
+    """Drives a generator as a cooperatively scheduled process.
+
+    The generator runs immediately up to its first ``yield`` upon
+    construction.  When the generator returns, :attr:`done` becomes
+    true and :attr:`result` holds its return value.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any], name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._resume(None, first=True)
+
+    def _resume(self, value: Any, first: bool = False) -> None:
+        if self.done:
+            return
+        try:
+            directive = self.generator.send(None if first else value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            return
+        except BaseException as exc:  # surfaced to the caller via .error
+            self.done = True
+            self.error = exc
+            raise
+        self._handle(directive)
+
+    def _handle(self, directive: Any) -> None:
+        if isinstance(directive, Timeout):
+            self.sim.schedule(
+                directive.delay,
+                lambda ev: self._resume(None),
+                priority=EventPriority.NORMAL,
+                name=f"timeout:{self.name}",
+            )
+        elif isinstance(directive, Waiter):
+            directive.park(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(directive).__name__}; "
+                "expected Timeout or Waiter"
+            )

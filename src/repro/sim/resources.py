@@ -1,0 +1,158 @@
+"""Process-layer synchronisation resources for the simulation kernel.
+
+Rounds out the SimPy-substitute substrate: generator-based processes
+(:mod:`repro.sim.process`) often need more than timeouts —
+
+* :class:`Semaphore` — counted capacity with FIFO waiters (models
+  anything from licence tokens to a bounded device);
+* :class:`Store` — a FIFO item queue with blocking get (producer/
+  consumer pipelines);
+* :class:`Gate` — a level-triggered barrier processes can wait on.
+
+All of them integrate with :class:`~repro.sim.process.Process` through
+:class:`~repro.sim.process.Waiter` rendezvous, so acquisition order is
+deterministic (FIFO) and replayable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Waiter
+
+
+class Semaphore:
+    """Counted resource with FIFO blocking acquisition.
+
+    Usage from a process::
+
+        yield from sem.acquire()
+        ...critical section...
+        sem.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "semaphore") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self.name = name
+        self._available = int(capacity)
+        self._waiters: Deque[Waiter] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquisition attempt."""
+        if self._available > 0:
+            self._available -= 1
+            return True
+        return False
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Blocking acquisition (``yield from`` inside a process)."""
+        while not self.try_acquire():
+            waiter = Waiter(self.sim, name=f"{self.name}:acquire")
+            self._waiters.append(waiter)
+            yield waiter
+
+    def release(self) -> None:
+        """Return one unit; wakes the oldest waiter if any."""
+        if self._available >= self.capacity and not self._waiters:
+            raise RuntimeError(f"{self.name}: release without matching acquire")
+        self._available = min(self.capacity, self._available + 1)
+        if self._waiters:
+            self._waiters.popleft().trigger()
+
+
+class Store:
+    """FIFO item queue with blocking ``get`` and optional capacity bound."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Waiter] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> bool:
+        """Add an item; returns False (dropped) when the store is full."""
+        if self.full:
+            return False
+        self._items.append(item)
+        if self._getters:
+            self._getters.popleft().trigger()
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Blocking get (``item = yield from store.get()``)."""
+        while True:
+            ok, item = self.try_get()
+            if ok:
+                return item
+            waiter = Waiter(self.sim, name=f"{self.name}:get")
+            self._getters.append(waiter)
+            yield waiter
+
+
+class Gate:
+    """Level-triggered barrier: processes wait until the gate is open.
+
+    While open, waiting is a no-op; closing makes subsequent waiters
+    park until the next :meth:`open`.
+    """
+
+    def __init__(self, sim: Simulator, open_: bool = False, name: str = "gate") -> None:
+        self.sim = sim
+        self.name = name
+        self._open = bool(open_)
+        self._waiter = Waiter(sim, name=f"{name}:gate")
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def waiting(self) -> int:
+        return self._waiter.waiting
+
+    def open(self) -> int:
+        """Open the gate, waking every parked process; returns the count."""
+        self._open = True
+        return self._waiter.trigger()
+
+    def close(self) -> None:
+        self._open = False
+
+    def wait(self) -> Generator[Any, Any, None]:
+        """``yield from gate.wait()`` — returns immediately if open."""
+        while not self._open:
+            yield self._waiter

@@ -1,0 +1,99 @@
+"""Event trace recording for post-hoc inspection of simulations.
+
+The kernel optionally records every fired event into an
+:class:`EventTrace`.  Traces are bounded ring buffers by default so a
+long simulation cannot exhaust memory, and they support simple
+filtering so tests can assert on the exact interleaving of, say, job
+completions versus arrivals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """An immutable snapshot of one fired event."""
+
+    time: float
+    priority: int
+    seq: int
+    name: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:.6g} [{self.priority}] {self.name or '<anon>'}"
+
+
+class EventTrace:
+    """Bounded in-memory log of fired events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of records retained (oldest evicted first).
+        ``None`` keeps everything.
+    predicate:
+        Optional filter applied at record time; events for which it
+        returns ``False`` are not stored.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = 100_000,
+        predicate: Optional[Callable[["Event"], bool]] = None,
+    ) -> None:
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._predicate = predicate
+        self._total_recorded = 0
+
+    def record(self, event: "Event") -> None:
+        """Store a snapshot of ``event`` (called by the kernel)."""
+        if self._predicate is not None and not self._predicate(event):
+            return
+        self._records.append(
+            TraceRecord(time=event.time, priority=event.priority, seq=event.seq, name=event.name)
+        )
+        self._total_recorded += 1
+
+    # -- inspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> TraceRecord:
+        return self._records[idx]
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of records ever stored (including any evicted ones)."""
+        return self._total_recorded
+
+    def names(self) -> list[str]:
+        """Names of retained records, in firing order."""
+        return [r.name for r in self._records]
+
+    def filter(self, substring: str) -> list[TraceRecord]:
+        """Retained records whose name contains ``substring``."""
+        return [r for r in self._records if substring in r.name]
+
+    def between(self, start: float, end: float) -> list[TraceRecord]:
+        """Retained records with ``start <= time <= end``."""
+        return [r for r in self._records if start <= r.time <= end]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (for debugging/tests)."""
+        records = list(self._records)
+        if limit is not None:
+            records = records[-limit:]
+        return "\n".join(str(r) for r in records)

@@ -1,0 +1,133 @@
+"""Registry of Parallel Workloads Archive traces the paper family uses.
+
+The archive (https://www.cs.huji.ac.il/labs/parallel/workload/) hosts
+the SWF traces this literature evaluates on.  The registry records the
+metadata needed to use them correctly offline: machine size, node SPEC
+rating where the papers state one, and whether the trace carries real
+user runtime estimates (most do not, which is *why* the paper picks
+SDSC SP2 — §4).
+
+``locate``/``load`` find a trace file on disk (by explicit path or
+conventional filename in a search directory) and sanity-check its
+header against the registry entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.workload.swf import SWFHeader, SWFRecord, read_swf_file
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """Metadata for one archive trace."""
+
+    key: str
+    filename: str
+    computer: str
+    max_nodes: int
+    #: SPEC rating per node where the papers state one (else None).
+    node_rating: Optional[float]
+    #: Whether requested_time carries genuine user estimates.
+    has_user_estimates: bool
+    note: str = ""
+
+
+#: Traces relevant to the deadline-admission-control literature.  The
+#: paper uses SDSC SP2 because it is the rare trace with genuine user
+#: estimates *and* the highest utilisation of its contemporaries.
+KNOWN_TRACES: dict[str, TraceInfo] = {
+    info.key: info
+    for info in (
+        TraceInfo(
+            key="sdsc-sp2",
+            filename="SDSC-SP2-1998-4.2-cln.swf",
+            computer="IBM SP2",
+            max_nodes=128,
+            node_rating=168.0,
+            has_user_estimates=True,
+            note="The paper's trace: last 3000 jobs, highest utilisation (~83%).",
+        ),
+        TraceInfo(
+            key="ctc-sp2",
+            filename="CTC-SP2-1996-3.1-cln.swf",
+            computer="IBM SP2",
+            max_nodes=338,
+            node_rating=None,
+            has_user_estimates=True,
+            note="Cornell Theory Center SP2.",
+        ),
+        TraceInfo(
+            key="kth-sp2",
+            filename="KTH-SP2-1996-2.1-cln.swf",
+            computer="IBM SP2",
+            max_nodes=100,
+            node_rating=None,
+            has_user_estimates=True,
+            note="KTH Stockholm SP2.",
+        ),
+        TraceInfo(
+            key="sdsc-par95",
+            filename="SDSC-Par-1995-3.1-cln.swf",
+            computer="Intel Paragon",
+            max_nodes=416,
+            node_rating=None,
+            has_user_estimates=False,
+            note="No user estimates — unusable for this paper's question.",
+        ),
+        TraceInfo(
+            key="lanl-cm5",
+            filename="LANL-CM5-1994-4.1-cln.swf",
+            computer="TMC CM-5",
+            max_nodes=1024,
+            node_rating=None,
+            has_user_estimates=False,
+        ),
+    )
+}
+
+
+def traces_with_estimates() -> list[TraceInfo]:
+    """Traces that can drive the paper's experiments."""
+    return [t for t in KNOWN_TRACES.values() if t.has_user_estimates]
+
+
+def locate(key: str, search_dir: Union[str, Path]) -> Optional[Path]:
+    """Path of the registry trace in ``search_dir``, or None if absent."""
+    info = KNOWN_TRACES.get(key)
+    if info is None:
+        raise KeyError(f"unknown trace {key!r}; known: {sorted(KNOWN_TRACES)}")
+    candidate = Path(search_dir) / info.filename
+    return candidate if candidate.is_file() else None
+
+
+class TraceMismatch(ValueError):
+    """The file's SWF header contradicts the registry metadata."""
+
+
+def load(
+    key: str,
+    path: Union[str, Path],
+    strict: bool = True,
+) -> tuple[SWFHeader, list[SWFRecord]]:
+    """Read a trace and verify it is the machine the registry says.
+
+    With ``strict`` the machine size must match exactly; otherwise a
+    mismatch only has to be non-catastrophic (file size present).
+    """
+    info = KNOWN_TRACES.get(key)
+    if info is None:
+        raise KeyError(f"unknown trace {key!r}; known: {sorted(KNOWN_TRACES)}")
+    header, records = read_swf_file(path)
+    declared = header.max_nodes or header.max_procs
+    if declared is not None and declared != info.max_nodes:
+        message = (
+            f"{path}: header declares {declared} nodes; registry expects "
+            f"{info.max_nodes} for {info.key}"
+        )
+        if strict:
+            raise TraceMismatch(message)
+    return header, records

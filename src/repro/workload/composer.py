@@ -1,0 +1,100 @@
+"""Compose arbitrary workloads from pluggable statistical pieces.
+
+Where :mod:`repro.workload.synthetic` is the fixed SDSC-SP2 calibration
+the paper needs, :class:`WorkloadComposition` lets studies assemble any
+combination of arrival process, runtime distribution, processor-count
+table and user-estimate model into SWF records that flow through the
+same ``build_jobs`` pipeline, CLI and experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+from repro.workload.estimates import ModalOverestimateModel
+from repro.workload.models import (
+    ArrivalProcess,
+    GammaArrivals,
+    LognormalRuntimes,
+    RuntimeDistribution,
+)
+from repro.workload.swf import STATUS_COMPLETED, SWFRecord
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Discrete processor-count distribution."""
+
+    choices: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    weights: tuple[float, ...] = (0.28, 0.12, 0.14, 0.16, 0.13, 0.10, 0.05, 0.02)
+    max_procs: int = 128
+
+    def __post_init__(self) -> None:
+        if len(self.choices) != len(self.weights):
+            raise ValueError("choices and weights must align")
+        if not self.choices:
+            raise ValueError("need at least one processor choice")
+        if any(c < 1 or c > self.max_procs for c in self.choices):
+            raise ValueError("choices must lie in [1, max_procs]")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        w = np.asarray(self.weights, dtype=float)
+        return rng.choice(np.asarray(self.choices), size=n, p=w / w.sum()).astype(int)
+
+    @classmethod
+    def capped(cls, max_procs: int) -> "ProcessorModel":
+        """Default table restricted to a smaller machine."""
+        default = cls()
+        kept = [(c, w) for c, w in zip(default.choices, default.weights) if c <= max_procs]
+        if not kept:
+            kept = [(1, 1.0)]
+        choices, weights = zip(*kept)
+        return cls(choices=choices, weights=weights, max_procs=max_procs)
+
+
+@dataclass(frozen=True)
+class WorkloadComposition:
+    """A full recipe for a synthetic workload."""
+
+    num_jobs: int = 1000
+    arrivals: ArrivalProcess = field(default_factory=lambda: GammaArrivals(2131.0))
+    runtimes: RuntimeDistribution = field(default_factory=LognormalRuntimes)
+    processors: ProcessorModel = field(default_factory=ProcessorModel)
+    estimates: ModalOverestimateModel = field(default_factory=ModalOverestimateModel)
+
+    def __post_init__(self) -> None:
+        if self.num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+
+
+def compose_records(
+    composition: WorkloadComposition,
+    streams: RngStreams,
+) -> list[SWFRecord]:
+    """Generate SWF records from a composition (deterministic in seed)."""
+    n = composition.num_jobs
+    submit = composition.arrivals.submit_times(n, streams.get("compose.arrivals"))
+    runtimes = composition.runtimes.runtimes(n, streams.get("compose.runtimes"))
+    procs = composition.processors.draw(n, streams.get("compose.procs"))
+    estimates = composition.estimates.draw(runtimes, streams.get("compose.estimates"))
+    users = streams.get("compose.users").integers(1, 200, size=n)
+
+    return [
+        SWFRecord(
+            job_number=i + 1,
+            submit_time=float(submit[i]),
+            wait_time=0.0,
+            run_time=float(runtimes[i]),
+            allocated_procs=int(procs[i]),
+            requested_procs=int(procs[i]),
+            requested_time=float(estimates[i]),
+            status=STATUS_COMPLETED,
+            user_id=int(users[i]),
+        )
+        for i in range(n)
+    ]

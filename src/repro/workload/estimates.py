@@ -1,0 +1,148 @@
+"""User runtime-estimate models.
+
+The paper evaluates each admission control under two endpoints —
+perfectly **accurate** estimates and the **actual** (inaccurate, mostly
+over-estimated) estimates recorded in the trace — and, in §5.5, a sweep
+of the *percentage of inaccuracy* between them:
+
+* 0 % inaccuracy  → ``estimate = runtime`` (accurate);
+* 100 % inaccuracy → ``estimate = trace estimate``;
+* p % → linear interpolation (:func:`interpolate_inaccuracy`).
+
+When the genuine trace is unavailable the *trace estimate* itself comes
+from :class:`ModalOverestimateModel`, which reproduces the two robust
+findings about user estimates on the SDSC SP2 (Mu'alem & Feitelson
+2001; Tsafrir, Etsion & Feitelson 2005):
+
+* users pick estimates from a small set of **round/canonical values**
+  (15 min, 1 h, 2 h, 4 h, 18 h, ...), with generous headroom — the
+  bulk of jobs is heavily over-estimated;
+* a minority of jobs **reaches or exceeds** its estimate (jobs killed
+  at the limit, grace periods) — the overrun population whose Eq. 1
+  share collapses to zero and which LibraRisk's risk metric is built
+  to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Canonical estimate values users actually pick, in seconds
+#: (5/10/15/20/30 min, 1/2/3/4/6/8/12/18/24/36/48/72 h).
+CANONICAL_ESTIMATES: tuple[float, ...] = (
+    300.0, 600.0, 900.0, 1200.0, 1800.0,
+    3600.0, 7200.0, 10800.0, 14400.0, 21600.0, 28800.0,
+    43200.0, 64800.0, 86400.0, 129600.0, 172800.0, 259200.0,
+)
+
+
+@dataclass(frozen=True)
+class ModalOverestimateModel:
+    """Tsafrir-style modal user-estimate generator.
+
+    For each job one of three user behaviours is drawn:
+
+    * **over** (probability ``1 − p_exact − p_overrun``): the user pads
+      the runtime by a lognormal headroom factor ≥ 1 and rounds *up* to
+      the next canonical value — the dominant, over-estimating case;
+    * **exact** (``p_exact``): the estimate equals the runtime (the
+      user nailed it, or the job was killed exactly at its limit);
+    * **overrun** (``p_overrun``): the actual runtime *exceeds* the
+      estimate by up to ``max_overrun_factor`` (grace periods, lax
+      enforcement) — the estimate is the runtime divided by a uniform
+      factor in ``(1, max_overrun_factor]``.
+    """
+
+    p_exact: float = 0.10
+    p_overrun: float = 0.10
+    #: Lognormal parameters of the headroom factor (≥ 1 after shift).
+    headroom_mu: float = 0.8
+    headroom_sigma: float = 0.9
+    #: Upper bound on runtime/estimate for overrun jobs.
+    max_overrun_factor: float = 1.5
+    #: Round over-estimates up to canonical values.
+    use_canonical: bool = True
+    canonical: tuple[float, ...] = CANONICAL_ESTIMATES
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.p_exact <= 1.0 and 0.0 <= self.p_overrun <= 1.0):
+            raise ValueError("probabilities must be in [0, 1]")
+        if self.p_exact + self.p_overrun > 1.0:
+            raise ValueError("p_exact + p_overrun must be <= 1")
+        if self.max_overrun_factor <= 1.0:
+            raise ValueError("max_overrun_factor must be > 1")
+        if self.use_canonical and not self.canonical:
+            raise ValueError("canonical value list must not be empty")
+
+    def draw(self, runtimes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vector of estimates for ``runtimes`` (element-wise, > 0)."""
+        runtimes = np.asarray(runtimes, dtype=float)
+        n = runtimes.shape[0]
+        u = rng.random(n)
+        exact_mask = u < self.p_exact
+        overrun_mask = (u >= self.p_exact) & (u < self.p_exact + self.p_overrun)
+        over_mask = ~(exact_mask | overrun_mask)
+
+        estimates = runtimes.copy()
+
+        # Over-estimators: pad then round up to a canonical value.
+        headroom = 1.0 + rng.lognormal(self.headroom_mu, self.headroom_sigma, size=n)
+        padded = runtimes * headroom
+        if self.use_canonical:
+            grid = np.asarray(sorted(self.canonical), dtype=float)
+            idx = np.searchsorted(grid, padded, side="left")
+            rounded = np.where(idx < len(grid), grid[np.minimum(idx, len(grid) - 1)], padded)
+            # Values beyond the grid keep their padded value.
+            rounded = np.where(padded > grid[-1], padded, rounded)
+            padded = np.maximum(rounded, runtimes)  # never below the runtime
+        estimates = np.where(over_mask, padded, estimates)
+
+        # Overrunners: the job outlives its estimate.
+        overrun_factor = rng.uniform(1.0 + 1e-9, self.max_overrun_factor, size=n)
+        estimates = np.where(overrun_mask, runtimes / overrun_factor, estimates)
+
+        return np.maximum(estimates, 1.0)
+
+
+def accurate_estimates(runtimes: np.ndarray) -> np.ndarray:
+    """The paper's 'accurate runtime estimates' endpoint: estimate = runtime."""
+    return np.asarray(runtimes, dtype=float).copy()
+
+
+def interpolate_inaccuracy(
+    runtimes: np.ndarray,
+    trace_estimates: np.ndarray,
+    inaccuracy_pct: float,
+) -> np.ndarray:
+    """§5.5 inaccuracy sweep: blend accurate and trace estimates.
+
+    ``estimate(p) = runtime + (p/100) · (trace_estimate − runtime)``
+
+    so 0 % reproduces the accurate endpoint and 100 % the trace
+    endpoint, for both over- and under-estimated jobs.
+    """
+    if not 0.0 <= inaccuracy_pct <= 100.0:
+        raise ValueError(f"inaccuracy_pct must be in [0, 100], got {inaccuracy_pct}")
+    runtimes = np.asarray(runtimes, dtype=float)
+    trace_estimates = np.asarray(trace_estimates, dtype=float)
+    if runtimes.shape != trace_estimates.shape:
+        raise ValueError("runtimes and trace_estimates must have the same shape")
+    frac = inaccuracy_pct / 100.0
+    blended = runtimes + frac * (trace_estimates - runtimes)
+    return np.maximum(blended, 1.0)
+
+
+def overestimation_summary(runtimes: np.ndarray, estimates: np.ndarray) -> dict[str, float]:
+    """Descriptive statistics of estimate quality (for reports/tests)."""
+    runtimes = np.asarray(runtimes, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    factor = estimates / runtimes
+    return {
+        "mean_factor": float(factor.mean()),
+        "median_factor": float(np.median(factor)),
+        "frac_overestimated": float((factor > 1.0 + 1e-9).mean()),
+        "frac_exact": float((np.abs(factor - 1.0) <= 1e-9).mean()),
+        "frac_underestimated": float((factor < 1.0 - 1e-9).mean()),
+    }

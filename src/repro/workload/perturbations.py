@@ -1,0 +1,131 @@
+"""Workload perturbations for robustness and failure-injection studies.
+
+The paper sweeps one inaccuracy axis; these transforms inject other
+real-world pathologies into an existing record stream so the test
+suite and ablations can probe robustness:
+
+* :func:`corrupt_estimates` — a fraction of jobs gets a *wildly* wrong
+  estimate (fat-fingered requests, script bugs);
+* :func:`inject_arrival_storm` — compress a window of arrivals into a
+  burst (flash crowds, post-maintenance backlog);
+* :func:`drop_jobs` — randomly cancel a fraction of submissions
+  (SWF status CANCELLED), as users do;
+* :func:`inflate_runtimes` — stretch actual runtimes while leaving the
+  estimates untouched, turning over-estimators into overrunners.
+
+All transforms are pure (new record lists; inputs untouched) and
+deterministic in the supplied generator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.workload.swf import STATUS_CANCELLED, SWFRecord
+
+
+def _replace(rec: SWFRecord, **changes) -> SWFRecord:
+    return dataclasses.replace(rec, **changes)
+
+
+def corrupt_estimates(
+    records: Sequence[SWFRecord],
+    fraction: float,
+    rng: np.random.Generator,
+    low_factor: float = 0.01,
+    high_factor: float = 100.0,
+) -> list[SWFRecord]:
+    """Give a ``fraction`` of jobs estimates off by orders of magnitude.
+
+    Corrupted estimates are ``runtime × f`` with ``log10(f)`` uniform
+    between ``log10(low_factor)`` and ``log10(high_factor)``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if not 0 < low_factor <= high_factor:
+        raise ValueError("need 0 < low_factor <= high_factor")
+    out = []
+    for rec in records:
+        if rec.run_time > 0 and rng.random() < fraction:
+            exponent = rng.uniform(np.log10(low_factor), np.log10(high_factor))
+            out.append(_replace(rec, requested_time=max(1.0, rec.run_time * 10**exponent)))
+        else:
+            out.append(rec)
+    return out
+
+
+def inject_arrival_storm(
+    records: Sequence[SWFRecord],
+    start: float,
+    end: float,
+    compression: float = 0.01,
+) -> list[SWFRecord]:
+    """Compress every arrival inside ``[start, end)`` towards ``start``.
+
+    Arrivals in the window land at ``start + compression × offset``;
+    later arrivals keep their absolute times (the storm does not create
+    or destroy jobs, it only clumps them).
+    """
+    if end < start:
+        raise ValueError("end before start")
+    if not 0.0 < compression <= 1.0:
+        raise ValueError("compression must be in (0, 1]")
+    out = []
+    for rec in records:
+        t = rec.submit_time
+        if start <= t < end:
+            out.append(_replace(rec, submit_time=start + compression * (t - start)))
+        else:
+            out.append(rec)
+    return sorted(out, key=lambda r: (r.submit_time, r.job_number))
+
+
+def drop_jobs(
+    records: Sequence[SWFRecord],
+    fraction: float,
+    rng: np.random.Generator,
+) -> list[SWFRecord]:
+    """Cancel a random ``fraction`` of jobs (marked, not removed).
+
+    Cancelled records get SWF status CANCELLED and ``run_time = -1``,
+    which makes them unusable for simulation — exactly how cancelled
+    jobs appear in real archive traces.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    out = []
+    for rec in records:
+        if rng.random() < fraction:
+            out.append(_replace(rec, status=STATUS_CANCELLED, run_time=-1.0))
+        else:
+            out.append(rec)
+    return out
+
+
+def inflate_runtimes(
+    records: Sequence[SWFRecord],
+    fraction: float,
+    rng: np.random.Generator,
+    max_inflation: float = 2.0,
+) -> list[SWFRecord]:
+    """Stretch a ``fraction`` of actual runtimes by up to ``max_inflation``.
+
+    Estimates stay put, so inflated jobs whose new runtime exceeds
+    their request become overrunners — the population LibraRisk's risk
+    metric exists to catch.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if max_inflation <= 1.0:
+        raise ValueError("max_inflation must be > 1")
+    out = []
+    for rec in records:
+        if rec.run_time > 0 and rng.random() < fraction:
+            factor = rng.uniform(1.0, max_inflation)
+            out.append(_replace(rec, run_time=rec.run_time * factor))
+        else:
+            out.append(rec)
+    return out

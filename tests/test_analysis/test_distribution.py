@@ -1,0 +1,79 @@
+"""Tests for distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    compare_distributions,
+    ecdf,
+    ecdf_at,
+    histogram_ascii,
+    summarize_distribution,
+)
+
+
+class TestSummarize:
+    def test_quantiles_and_moments(self):
+        values = list(range(1, 101))
+        s = summarize_distribution("x", values)
+        assert s.n == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.quantiles[0.50] == pytest.approx(50.5)
+        assert s.quantiles[0.99] > s.quantiles[0.50]
+
+    def test_single_value(self):
+        s = summarize_distribution("x", [5.0])
+        assert s.std == 0.0
+        assert s.quantiles[0.5] == 5.0
+
+    def test_non_finite_filtered(self):
+        s = summarize_distribution("x", [1.0, float("inf"), 2.0, float("nan")])
+        assert s.n == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_distribution("x", [])
+
+    def test_as_row_order(self):
+        s = summarize_distribution("x", [1.0, 2.0], quantiles=(0.5,))
+        row = s.as_row((0.5,))
+        assert row[0] == "x" and row[1] == 2
+
+
+class TestEcdf:
+    def test_sorted_with_probs(self):
+        xs, ps = ecdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+        assert ps[0] == pytest.approx(1 / 3)
+
+    def test_ecdf_at(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert ecdf_at(values, 2.5) == pytest.approx(0.5)
+        assert ecdf_at(values, 0.0) == 0.0
+        assert ecdf_at(values, 10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestHistogram:
+    def test_renders_bins_and_bars(self):
+        values = [1.0] * 90 + [10.0] * 10
+        out = histogram_ascii(values, bins=3, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "#" * 20 in lines[0]  # dominant first bin at full width
+        assert "90" in lines[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_ascii([])
+
+
+class TestCompare:
+    def test_table_with_both_samples(self):
+        out = compare_distributions({"a": [1.0, 2.0, 3.0], "b": [10.0, 20.0]})
+        assert "a" in out and "b" in out
+        assert "p50" in out and "p99" in out

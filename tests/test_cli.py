@@ -1,0 +1,150 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestBasicCommands:
+    def test_policies(self, capsys):
+        code, out = run_cli(capsys, "policies")
+        assert code == 0
+        for name in ("edf", "libra", "librarisk"):
+            assert name in out
+
+    def test_trace_stats(self, capsys):
+        code, out = run_cli(capsys, "trace-stats", "--jobs", "100")
+        assert code == 0
+        assert "mean_runtime_h" in out
+        assert "synthetic" in out
+
+    def test_run_single_scenario(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--policy", "libra", "--jobs", "60", "--nodes", "16"
+        )
+        assert code == 0
+        assert "pct_deadlines_fulfilled" in out
+        assert "simulated horizon" in out
+
+    def test_compare(self, capsys):
+        code, out = run_cli(capsys, "compare", "--jobs", "50", "--nodes", "16")
+        assert code == 0
+        assert "librarisk" in out and "edf" in out
+
+
+class TestFigureCommands:
+    def test_figure1_table(self, capsys):
+        code, out = run_cli(
+            capsys, "figure1", "--jobs", "60", "--nodes", "16",
+            "--policies", "libra", "librarisk",
+        )
+        assert code == 0
+        assert "Figure 1" in out
+        assert "(a)" in out and "(d)" in out
+
+    def test_figure_chart_mode(self, capsys):
+        code, out = run_cli(
+            capsys, "figure3", "--jobs", "60", "--nodes", "16",
+            "--policies", "libra", "librarisk", "--chart",
+        )
+        assert code == 0
+        assert "*=libra" in out and "o=librarisk" in out
+        assert "+-" in out  # an axis was drawn
+
+    def test_figure4_csv(self, capsys):
+        code, out = run_cli(
+            capsys, "figure4", "--jobs", "50", "--nodes", "16",
+            "--policies", "libra", "--csv",
+        )
+        assert code == 0
+        assert "# panel (a)" in out
+        assert "% of inaccuracy,libra" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure1", "--policies", "quantum"])
+
+    def test_run_with_inaccuracy_mode(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "--policy", "librarisk", "--jobs", "50", "--nodes", "16",
+            "--estimate-mode", "inaccuracy", "--inaccuracy", "40",
+        )
+        assert code == 0
+
+    def test_trace_stats_from_file(self, capsys, tmp_path):
+        from repro.sim.rng import RngStreams
+        from repro.workload.swf import write_swf_file
+        from repro.workload.synthetic import SDSCSP2Model, generate_sdsc_like_records
+
+        path = tmp_path / "t.swf"
+        write_swf_file(
+            path, generate_sdsc_like_records(SDSCSP2Model(num_jobs=80), RngStreams(seed=1))
+        )
+        code, out = run_cli(capsys, "trace-stats", "--trace", str(path), "--jobs", "50")
+        assert code == 0
+        assert str(path) in out
+
+
+class TestValidateCommand:
+    def test_validate_prints_claim_report(self, capsys):
+        code, out = run_cli(
+            capsys, "validate", "--jobs", "150", "--nodes", "64", "--figures", "4"
+        )
+        assert "paper claims hold" in out
+        assert "F4." in out
+        assert code in (0, 1)  # tiny scale may legitimately fail a claim
+
+
+class TestReplicateCommand:
+    def test_replicate_reports_ci_and_pairing(self, capsys):
+        code, out = run_cli(
+            capsys, "replicate", "--jobs", "80", "--nodes", "16",
+            "--seeds", "1", "2", "--policies", "libra", "librarisk",
+        )
+        assert code == 0
+        assert "±" in out
+        assert "paired librarisk − libra" in out
+
+    def test_replicate_without_pair_skips_comparison(self, capsys):
+        code, out = run_cli(
+            capsys, "replicate", "--jobs", "60", "--nodes", "16",
+            "--seeds", "1", "--policies", "edf",
+        )
+        assert code == 0
+        assert "paired" not in out
+
+
+class TestSensitivityCommand:
+    def test_sensitivity_table(self, capsys):
+        code, out = run_cli(
+            capsys, "sensitivity", "--jobs", "60", "--nodes", "16",
+            "--policy", "libra",
+        )
+        assert code == 0
+        assert "Sensitivity of libra" in out
+        assert "most sensitive knob:" in out
+
+
+class TestRobustnessCommand:
+    def test_robustness_grid(self, capsys):
+        code, out = run_cli(capsys, "robustness", "--jobs", "60", "--nodes", "16")
+        assert code == 0
+        assert "MTBF" in out
+        assert "librarisk" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

@@ -1,0 +1,81 @@
+"""Tests for the space-shared node (EDF's execution discipline)."""
+
+import pytest
+
+from repro.cluster.node import SpaceSharedNode
+from tests.conftest import make_job
+
+
+def make_node(sim, rating=1.0, listener=None):
+    return SpaceSharedNode(0, rating, sim, listener=listener)
+
+
+class TestExecution:
+    def test_task_completes_after_work_over_rating(self, sim):
+        done = []
+        node = make_node(sim, rating=2.0, listener=lambda n, t, now: done.append(now))
+        job = make_job(runtime=100.0)
+        node.start_task(job, work=100.0, now=0.0)  # 100 work / rating 2 = 50 s
+        sim.run()
+        assert done == [50.0]
+        assert node.idle
+
+    def test_node_busy_while_running(self, sim):
+        node = make_node(sim)
+        node.start_task(make_job(), work=10.0, now=0.0)
+        assert not node.available
+        assert node.num_tasks == 1
+
+    def test_second_task_rejected_while_busy(self, sim):
+        node = make_node(sim)
+        node.start_task(make_job(), work=10.0, now=0.0)
+        with pytest.raises(RuntimeError, match="already busy"):
+            node.start_task(make_job(), work=10.0, now=0.0)
+
+    def test_sequential_tasks_after_completion(self, sim):
+        done = []
+        node = make_node(sim, listener=lambda n, t, now: done.append((t.job.job_id, now)))
+        a, b = make_job(job_id=1), make_job(job_id=2)
+        node.start_task(a, work=10.0, now=0.0)
+        sim.run()
+        node.start_task(b, work=5.0, now=sim.now)
+        sim.run()
+        assert done == [(1, 10.0), (2, 15.0)]
+
+    def test_busy_time_accumulates_work(self, sim):
+        node = make_node(sim, rating=4.0)
+        node.start_task(make_job(), work=100.0, now=0.0)
+        sim.run()
+        assert node.busy_time == pytest.approx(100.0)
+
+    def test_utilisation(self, sim):
+        node = make_node(sim, rating=2.0)
+        node.start_task(make_job(), work=100.0, now=0.0)  # busy 50 s
+        sim.run()
+        # over a 100 s horizon: 100 work / (2 rating * 100 s) = 0.5
+        assert node.utilisation(100.0) == pytest.approx(0.5)
+
+    def test_utilisation_zero_horizon(self, sim):
+        node = make_node(sim)
+        assert node.utilisation(0.0) == 0.0
+
+    def test_listener_sees_empty_node(self, sim):
+        states = []
+        node = make_node(sim)
+        node.listener = lambda n, t, now: states.append(n.idle)
+        node.start_task(make_job(), work=1.0, now=0.0)
+        sim.run()
+        assert states == [True]  # task removed before notification
+
+
+class TestValidation:
+    def test_bad_rating_rejected(self, sim):
+        with pytest.raises(ValueError):
+            SpaceSharedNode(0, 0.0, sim)
+
+    def test_has_job(self, sim):
+        node = make_node(sim)
+        job = make_job(job_id=9)
+        node.start_task(job, work=10.0, now=0.0)
+        assert node.has_job(9)
+        assert not node.has_job(10)

@@ -1,0 +1,100 @@
+"""Tests for the Eq. 1–2 share arithmetic and the rate policy."""
+
+import math
+
+import pytest
+
+from repro.cluster.share import (
+    ShareParams,
+    admission_share,
+    effective_rates,
+    nominal_share,
+    total_share,
+)
+
+
+class TestShareParams:
+    def test_defaults_valid(self):
+        p = ShareParams()
+        assert 0.0 < p.overrun_floor_share <= 1.0
+        assert p.redistribute_spare is False
+
+    @pytest.mark.parametrize("floor", [0.0, -0.1, 1.5])
+    def test_invalid_floor_rejected(self, floor):
+        with pytest.raises(ValueError):
+            ShareParams(overrun_floor_share=floor)
+
+
+class TestNominalShare:
+    def test_eq1_basic(self):
+        # 50 s of estimated work, 100 s until deadline -> half the node.
+        assert nominal_share(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_clamped_at_one(self):
+        assert nominal_share(200.0, 100.0) == 1.0
+
+    def test_overrun_gets_floor(self):
+        p = ShareParams(overrun_floor_share=0.07)
+        assert nominal_share(0.0, 100.0, p) == 0.07
+
+    def test_expired_deadline_gets_floor(self):
+        p = ShareParams(overrun_floor_share=0.07)
+        assert nominal_share(50.0, -5.0, p) == 0.07
+        assert nominal_share(50.0, 0.0, p) == 0.07
+
+    def test_share_positive_for_tiny_work(self):
+        assert nominal_share(1e-30, 100.0) > 0.0
+
+
+class TestAdmissionShare:
+    def test_unclamped(self):
+        assert admission_share(200.0, 100.0) == pytest.approx(2.0)
+
+    def test_expired_deadline_is_infinite(self):
+        assert math.isinf(admission_share(50.0, 0.0))
+        assert math.isinf(admission_share(50.0, -1.0))
+
+    def test_zero_work_zero_share(self):
+        assert admission_share(0.0, 100.0) == 0.0
+
+    def test_negative_work_clamped(self):
+        assert admission_share(-5.0, 100.0) == 0.0
+
+    def test_total_share_sums(self):
+        assert total_share([0.2, 0.3, 0.1]) == pytest.approx(0.6)
+        assert total_share([]) == 0.0
+
+
+class TestEffectiveRates:
+    def test_exact_allocation_when_fits(self):
+        assert effective_rates([0.2, 0.3]) == [0.2, 0.3]
+
+    def test_overcommit_rescales_to_unit_sum(self):
+        rates = effective_rates([1.0, 1.0])
+        assert sum(rates) == pytest.approx(1.0)
+        assert rates == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_overcommit_preserves_proportions(self):
+        rates = effective_rates([0.9, 0.3])
+        assert rates[0] / rates[1] == pytest.approx(3.0)
+        assert sum(rates) == pytest.approx(1.0)
+
+    def test_redistribute_spare_fills_node(self):
+        p = ShareParams(redistribute_spare=True)
+        rates = effective_rates([0.2, 0.2], p)
+        assert sum(rates) == pytest.approx(1.0)
+        assert rates[0] == pytest.approx(0.5)
+
+    def test_no_redistribution_by_default(self):
+        rates = effective_rates([0.2, 0.2])
+        assert sum(rates) == pytest.approx(0.4)
+
+    def test_empty_input(self):
+        assert effective_rates([]) == []
+
+    def test_all_zero_shares(self):
+        assert effective_rates([0.0, 0.0]) == [0.0, 0.0]
+
+    def test_rates_never_exceed_capacity(self):
+        for shares in ([0.5], [0.7, 0.7, 0.7], [1.0] * 10):
+            assert sum(effective_rates(shares)) <= 1.0 + 1e-12

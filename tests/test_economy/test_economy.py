@@ -1,0 +1,158 @@
+"""Tests for the economy substrate (pricing, budgets, revenue)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.rms import ResourceManagementSystem
+from repro.economy.budget import LibraBudgetPolicy
+from repro.economy.metrics import economic_summary
+from repro.economy.pricing import BudgetModel, LibraPricing
+from repro.sim.kernel import Simulator
+from tests.conftest import make_job
+
+
+class TestPricing:
+    def test_two_term_formula(self):
+        pricing = LibraPricing(alpha=1.0, beta=100.0)
+        # per node: 1*200 + 100*(200/400) = 250; two nodes -> 500.
+        assert pricing.price(200.0, 400.0, 2) == pytest.approx(500.0)
+
+    def test_tighter_deadline_costs_more(self):
+        pricing = LibraPricing(alpha=1.0, beta=100.0)
+        assert pricing.price(200.0, 200.0, 1) > pricing.price(200.0, 800.0, 1)
+
+    def test_price_scales_with_numproc(self):
+        pricing = LibraPricing()
+        assert pricing.price(100.0, 200.0, 4) == pytest.approx(
+            4 * pricing.price(100.0, 200.0, 1)
+        )
+
+    def test_price_job_uses_estimate(self):
+        pricing = LibraPricing(alpha=1.0, beta=0.0)
+        job = make_job(runtime=10.0, estimate=100.0, deadline=400.0)
+        assert pricing.price_job(job) == pytest.approx(100.0)
+
+    def test_invalid_request(self):
+        with pytest.raises(ValueError):
+            LibraPricing().price(0.0, 100.0, 1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"alpha": -1.0},
+        {"alpha": 0.0, "beta": 0.0},
+    ])
+    def test_invalid_coefficients(self, kwargs):
+        with pytest.raises(ValueError):
+            LibraPricing(**kwargs)
+
+
+class TestBudgetModel:
+    def test_budgets_track_prices(self):
+        jobs = [make_job(runtime=100.0, estimate=100.0, deadline=400.0, job_id=i + 1)
+                for i in range(200)]
+        model = BudgetModel(mean_factor=1.5, cv=0.0)
+        budgets = model.assign(jobs, np.random.default_rng(1))
+        price = model.pricing.price_job(jobs[0])
+        assert budgets[1] == pytest.approx(1.5 * price)
+
+    def test_truncation_at_min_factor(self):
+        jobs = [make_job(job_id=i + 1) for i in range(500)]
+        model = BudgetModel(mean_factor=0.5, cv=2.0, min_factor=0.2)
+        budgets = model.assign(jobs, np.random.default_rng(2))
+        floor = 0.2 * model.pricing.price_job(jobs[0])
+        assert min(budgets.values()) >= floor - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetModel(mean_factor=0.0)
+
+
+class TestBudgetPolicy:
+    def run(self, jobs, budgets=None, num_nodes=2):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, num_nodes, rating=1.0, discipline="time_shared")
+        policy = LibraBudgetPolicy(pricing=LibraPricing(alpha=1.0, beta=0.0))
+        if budgets:
+            policy.set_budgets(budgets)
+        rms = ResourceManagementSystem(sim, cluster, policy)
+        rms.submit_all(jobs)
+        sim.run()
+        return rms, policy
+
+    def test_over_budget_job_rejected(self):
+        job = make_job(runtime=100.0, estimate=100.0, deadline=400.0, job_id=1)
+        rms, _ = self.run([job], budgets={1: 50.0})  # price 100 > budget 50
+        assert len(rms.rejected) == 1
+        assert "budget" in rms.rejected[0].reject_reason
+
+    def test_affordable_job_passes_to_libra_check(self):
+        job = make_job(runtime=100.0, estimate=100.0, deadline=400.0, job_id=1)
+        rms, policy = self.run([job], budgets={1: 150.0})
+        assert len(rms.completed) == 1
+        assert policy.quoted[1] == pytest.approx(100.0)
+
+    def test_no_budget_table_degrades_to_libra(self):
+        job = make_job(runtime=100.0, estimate=100.0, deadline=400.0, job_id=1)
+        rms, policy = self.run([job])
+        assert len(rms.completed) == 1
+
+    def test_budget_pass_does_not_bypass_capacity(self):
+        jobs = [
+            make_job(runtime=90.0, deadline=100.0, submit=0.0, job_id=1),
+            make_job(runtime=90.0, deadline=100.0, submit=1.0, job_id=2),
+        ]
+        rms, _ = self.run(jobs, budgets={1: 1e9, 2: 1e9}, num_nodes=1)
+        assert len(rms.rejected) == 1  # Eq. 2 still enforced
+
+
+class TestEconomicSummary:
+    def test_revenue_and_penalties(self):
+        met = make_job(runtime=10.0, deadline=100.0, job_id=1)
+        met.mark_submitted(); met.mark_running(0.0, [0]); met.mark_completed(10.0)
+        late = make_job(runtime=10.0, deadline=100.0, job_id=2)
+        late.mark_submitted(); late.mark_running(0.0, [0]); late.mark_completed(500.0)
+        rejected = make_job(job_id=3)
+        rejected.mark_submitted(); rejected.mark_rejected()
+
+        summary = economic_summary(
+            [met, late, rejected],
+            quoted={1: 100.0, 2: 80.0},
+            penalty_rate=0.5,
+        )
+        assert summary.revenue == pytest.approx(100.0)
+        assert summary.penalties == pytest.approx(40.0)
+        assert summary.profit == pytest.approx(60.0)
+        assert summary.jobs_paid == 1
+        assert summary.jobs_penalised == 1
+
+    def test_unquoted_jobs_ignored(self):
+        job = make_job(job_id=9)
+        job.mark_submitted(); job.mark_running(0.0, [0]); job.mark_completed(1.0)
+        summary = economic_summary([job], quoted={})
+        assert summary.profit == 0.0
+
+    def test_negative_penalty_rate_rejected(self):
+        with pytest.raises(ValueError):
+            economic_summary([], {}, penalty_rate=-0.1)
+
+    def test_librarisk_earns_more_than_libra_under_trace_estimates(self):
+        """Economic framing of the headline result: more fulfilled
+        deadlines at similar penalty exposure means more profit."""
+        from repro.cluster.cluster import Cluster as Cl
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario_jobs
+        from repro.scheduling.registry import make_policy
+
+        base = ScenarioConfig(num_jobs=300, estimate_mode="trace")
+        pricing = LibraPricing()
+        profits = {}
+        for name in ("libra", "librarisk"):
+            jobs = build_scenario_jobs(base)
+            sim = Simulator()
+            cluster = Cl.homogeneous(sim, 128, discipline="time_shared")
+            rms = ResourceManagementSystem(sim, cluster, make_policy(name))
+            rms.submit_all(jobs)
+            sim.run()
+            quoted = {j.job_id: pricing.price_job(j) for j in rms.accepted}
+            profits[name] = economic_summary(rms.jobs, quoted).profit
+        assert profits["librarisk"] > profits["libra"]

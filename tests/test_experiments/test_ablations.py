@@ -1,0 +1,62 @@
+"""Tests for the design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_node_order,
+    ablation_overrun_floor,
+    ablation_redistribute_spare,
+    ablation_suitability,
+)
+from repro.experiments.config import ScenarioConfig
+
+SMALL = ScenarioConfig(num_jobs=120, num_nodes=32, seed=13)
+
+
+class TestSuitabilityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_suitability(SMALL)
+
+    def test_variants_present(self, result):
+        assert set(result.results) == {
+            "sigma (paper)", "no-delay (strict)", "libra (reference)"
+        }
+
+    def test_sigma_beats_strict_under_trace_estimates(self, result):
+        """The empty-node gamble is the advantage; removing it (strict
+        mode) must not fulfil more jobs than the paper criterion."""
+        s = result.series("pct_deadlines_fulfilled")
+        assert s["sigma (paper)"] >= s["no-delay (strict)"]
+
+    def test_sigma_beats_libra(self, result):
+        s = result.series("pct_deadlines_fulfilled")
+        assert s["sigma (paper)"] > s["libra (reference)"]
+
+    def test_render_is_table(self, result):
+        out = result.render()
+        assert "Ablation" in out and "sigma (paper)" in out
+
+
+class TestOtherAblations:
+    def test_node_order_variants(self):
+        result = ablation_node_order(SMALL)
+        assert set(result.results) == {"worst_fit", "best_fit", "index"}
+
+    def test_overrun_floor_grid(self):
+        result = ablation_overrun_floor(SMALL, floors=(0.05, 0.25))
+        assert len(result.results) == 4  # 2 policies x 2 floors
+        assert "libra floor=0.05" in result.results
+
+    def test_redistribute_spare_variants(self):
+        result = ablation_redistribute_spare(SMALL)
+        assert set(result.results) == {
+            "libra spare=off", "libra spare=on",
+            "librarisk spare=off", "librarisk spare=on",
+        }
+
+    def test_spare_redistribution_reduces_slowdown(self):
+        # Giving idle capacity to running jobs finishes them earlier.
+        result = ablation_redistribute_spare(SMALL)
+        s = result.series("avg_slowdown")
+        assert s["libra spare=on"] <= s["libra spare=off"]

@@ -1,0 +1,79 @@
+"""Tests for ScenarioConfig."""
+
+import pytest
+
+from repro.cluster.share import ShareParams
+from repro.experiments.config import ScenarioConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_defaults(self):
+        cfg = ScenarioConfig()
+        assert cfg.num_jobs == 3000
+        assert cfg.num_nodes == 128
+        assert cfg.rating == 168.0
+        assert cfg.high_urgency_fraction == 0.20
+        assert cfg.deadline_ratio == 4.0
+        assert cfg.arrival_delay_factor == 1.0
+        assert cfg.estimate_mode == "trace"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"policy": "unknown"},
+        {"num_nodes": 0},
+        {"num_jobs": 0},
+        {"estimate_mode": "psychic"},
+        {"arrival_delay_factor": 0.0},
+        {"high_urgency_fraction": 1.5},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+
+class TestBuilders:
+    def test_share_params(self):
+        cfg = ScenarioConfig(overrun_floor_share=0.1, redistribute_spare=True)
+        assert cfg.share_params() == ShareParams(
+            overrun_floor_share=0.1, redistribute_spare=True
+        )
+
+    def test_deadline_model(self):
+        cfg = ScenarioConfig(high_urgency_fraction=0.5, deadline_ratio=6.0)
+        model = cfg.deadline_model()
+        assert model.high_urgency_fraction == 0.5
+        assert model.ratio == 6.0
+
+    def test_workload_spec(self):
+        cfg = ScenarioConfig(estimate_mode="inaccuracy", inaccuracy_pct=40.0,
+                             arrival_delay_factor=0.5)
+        spec = cfg.workload_spec()
+        assert spec.estimate_mode == "inaccuracy"
+        assert spec.inaccuracy_pct == 40.0
+        assert spec.arrival_delay_factor == 0.5
+
+    def test_synthetic_model_caps_procs_to_cluster(self):
+        cfg = ScenarioConfig(num_nodes=16)
+        model = cfg.synthetic_model()
+        assert all(c <= 16 for c in model.proc_choices)
+        assert model.max_procs == 16
+
+    def test_replace(self):
+        cfg = ScenarioConfig()
+        other = cfg.replace(policy="edf", seed=7)
+        assert other.policy == "edf"
+        assert other.seed == 7
+        assert cfg.policy == "librarisk"  # original untouched
+
+    def test_label_mentions_policy_and_mode(self):
+        cfg = ScenarioConfig(policy="libra", estimate_mode="accurate")
+        label = cfg.label()
+        assert "libra" in label and "accurate" in label
+
+    def test_label_includes_kwargs_and_inaccuracy(self):
+        cfg = ScenarioConfig(
+            policy="librarisk", policy_kwargs={"node_order": "index"},
+            estimate_mode="inaccuracy", inaccuracy_pct=60.0,
+        )
+        label = cfg.label()
+        assert "node_order=index" in label
+        assert "60" in label

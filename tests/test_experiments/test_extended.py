@@ -1,0 +1,42 @@
+"""Tests for the extended all-policy comparison."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.extended import ALL_POLICIES, extended_comparison
+
+SMALL = ScenarioConfig(num_jobs=150, num_nodes=32, seed=5)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return extended_comparison(SMALL)
+
+
+class TestExtendedComparison:
+    def test_all_policies_present_in_both_modes(self, comparison):
+        expected = {p if isinstance(p, str) else p[0] for p in ALL_POLICIES}
+        assert set(comparison.accurate) == expected
+        assert set(comparison.trace) == expected
+
+    def test_librarisk_wins_trace_mode(self, comparison):
+        assert comparison.winner("trace") == "librarisk"
+
+    def test_render_contains_both_tables(self, comparison):
+        text = comparison.render()
+        assert "accurate estimates" in text
+        assert "trace estimates" in text
+        assert "conservative" in text
+
+    def test_winner_by_other_metric(self, comparison):
+        # Space-shared policies run jobs at full speed: one of them has
+        # the best slowdown.
+        best_slowdown = min(
+            comparison.trace,
+            key=lambda k: comparison.trace[k].metrics.avg_slowdown or 1e9,
+        )
+        assert best_slowdown not in ("libra", "librarisk")
+
+    def test_paired_workloads_across_policies(self, comparison):
+        totals = {r.metrics.total_submitted for r in comparison.trace.values()}
+        assert totals == {150}

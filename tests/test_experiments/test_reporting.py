@@ -1,0 +1,54 @@
+"""Tests for ASCII/CSV reporting."""
+
+import pytest
+
+from repro.experiments.reporting import metrics_table, render_table, series_table, to_csv
+
+
+class TestRenderTable:
+    def test_aligned_columns(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["long-name", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert len(set(len(l) for l in lines)) == 1  # equal widths
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1.23456]])
+        assert "1.23" in out
+        out = render_table(["v"], [[1.23456]], float_fmt="{:.4f}")
+        assert "1.2346" in out
+
+    def test_non_float_values_passed_through(self):
+        out = render_table(["a", "b"], [[True, "text"]])
+        assert "True" in out and "text" in out
+
+
+class TestSeriesTable:
+    def test_one_row_per_x(self):
+        out = series_table("x", [1, 2, 3], {"edf": [10.0, 20.0, 30.0]})
+        assert len(out.splitlines()) == 5
+
+    def test_policy_columns(self):
+        out = series_table("x", [1], {"edf": [1.0], "libra": [2.0]})
+        header = out.splitlines()[0]
+        assert "edf" in header and "libra" in header
+
+
+class TestCsv:
+    def test_round_trippable(self):
+        csv = to_csv("x", [0.1, 0.2], {"edf": [50.0, 60.0], "libra": [55.0, 65.0]})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,edf,libra"
+        assert lines[1].split(",")[0] == "0.1"
+        assert float(lines[2].split(",")[2]) == 65.0
+
+
+class TestMetricsTable:
+    def test_uses_scenario_results(self):
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+
+        cfg = ScenarioConfig(num_jobs=40, num_nodes=8, policy="libra")
+        out = metrics_table({"libra": run_scenario(cfg)}, ("pct_deadlines_fulfilled",))
+        assert "libra" in out
+        assert "pct_deadlines_fulfilled" in out

@@ -1,0 +1,65 @@
+"""Tests for the failure-robustness experiment."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.robustness import robustness_grid, run_with_failures
+
+SMALL = ScenarioConfig(num_jobs=100, num_nodes=16, seed=23, estimate_mode="trace")
+
+
+class TestRunWithFailures:
+    def test_no_failures_baseline(self):
+        cell = run_with_failures(SMALL.replace(policy="libra"), mtbf_hours=None)
+        assert cell.failures_injected == 0
+        assert cell.metrics.failed == 0
+
+    def test_aggressive_failures_kill_jobs(self):
+        cell = run_with_failures(SMALL.replace(policy="libra"), mtbf_hours=10.0)
+        assert cell.failures_injected > 0
+        assert cell.metrics.failed > 0
+
+    def test_everything_terminal_despite_failures(self):
+        cell = run_with_failures(SMALL.replace(policy="librarisk"), mtbf_hours=10.0)
+        m = cell.metrics
+        assert m.unfinished == 0
+        assert m.accepted == m.completed + m.failed
+
+    def test_deterministic(self):
+        a = run_with_failures(SMALL.replace(policy="libra"), mtbf_hours=20.0)
+        b = run_with_failures(SMALL.replace(policy="libra"), mtbf_hours=20.0)
+        assert a.metrics == b.metrics
+        assert a.failures_injected == b.failures_injected
+
+
+class TestGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return robustness_grid(
+            SMALL, policies=("libra", "librarisk"), mtbfs=(None, 50.0)
+        )
+
+    def test_full_grid(self, grid):
+        assert len(grid.cells) == 4
+        assert grid.cell("libra", None).failures_injected == 0
+
+    def test_failures_reduce_fulfilment(self, grid):
+        for policy in ("libra", "librarisk"):
+            clean = grid.cell(policy, None).metrics.pct_deadlines_fulfilled
+            faulty = grid.cell(policy, 50.0).metrics.pct_deadlines_fulfilled
+            assert faulty <= clean
+
+    def test_librarisk_still_ahead_under_failures(self, grid):
+        assert (
+            grid.cell("librarisk", 50.0).metrics.pct_deadlines_fulfilled
+            > grid.cell("libra", 50.0).metrics.pct_deadlines_fulfilled
+        )
+
+    def test_render(self, grid):
+        text = grid.render()
+        assert "MTBF" in text and "jobs killed" in text
+        assert "none" in text
+
+    def test_missing_cell_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.cell("libra", 123.0)

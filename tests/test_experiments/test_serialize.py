@@ -1,0 +1,60 @@
+"""Tests for experiment artefact serialisation."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.serialize import (
+    config_from_dict,
+    config_to_dict,
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    load_figures,
+    save_figure,
+    save_figures,
+)
+from tests.test_experiments.test_validation import paper_like_figure
+
+
+class TestConfigRoundTrip:
+    def test_round_trip_preserves_all_fields(self):
+        cfg = ScenarioConfig(policy="libra", num_jobs=77, seed=9,
+                             estimate_mode="inaccuracy", inaccuracy_pct=30.0)
+        back = config_from_dict(config_to_dict(cfg))
+        assert back == cfg
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        json.dumps(config_to_dict(ScenarioConfig()))
+
+
+class TestFigureRoundTrip:
+    def test_dict_round_trip(self):
+        fig = paper_like_figure("3")
+        back = figure_from_dict(figure_to_dict(fig))
+        assert back.figure_id == fig.figure_id
+        assert back.panel("b").series == fig.panel("b").series
+        assert back.panel("a").x_values == fig.panel("a").x_values
+
+    def test_file_round_trip(self, tmp_path):
+        fig = paper_like_figure("2")
+        path = save_figure(fig, tmp_path / "fig2.json")
+        assert path.exists()
+        back = load_figure(path)
+        assert back.panel("d").series == fig.panel("d").series
+
+    def test_save_and_load_figure_set(self, tmp_path):
+        figures = {"2": paper_like_figure("2"), "3": paper_like_figure("3")}
+        paths = save_figures(figures, tmp_path / "out")
+        assert len(paths) == 2
+        back = load_figures(tmp_path / "out")
+        assert set(back) == {"2", "3"}
+
+    def test_validation_runs_on_deserialized_figure(self, tmp_path):
+        from repro.experiments.validation import validate_figure
+
+        fig = paper_like_figure("3")
+        save_figure(fig, tmp_path / "f.json")
+        report = validate_figure(load_figure(tmp_path / "f.json"))
+        assert report.all_passed

@@ -1,0 +1,107 @@
+"""Tests for the paper-claims validator.
+
+Runs the validator against (a) synthetic figure data crafted to match
+or violate the paper shapes, and (b) small regenerated figures.
+"""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import FULFILLED, SLOWDOWN, FigureResult, Panel, figure3
+from repro.experiments.validation import (
+    ClaimResult,
+    ValidationReport,
+    figure3_claims,
+    overview_claims,
+    validate_figure,
+)
+
+
+def make_figure(fid, a, b, c, d, x=(0.0, 50.0, 100.0)):
+    """Craft a FigureResult from explicit per-policy series."""
+    panels = (
+        Panel("a", "fulfilled accurate", "x", FULFILLED, tuple(x), a),
+        Panel("b", "fulfilled trace", "x", FULFILLED, tuple(x), b),
+        Panel("c", "slowdown accurate", "x", SLOWDOWN, tuple(x), c),
+        Panel("d", "slowdown trace", "x", SLOWDOWN, tuple(x), d),
+    )
+    return FigureResult(figure_id=fid, title="synthetic", panels=panels,
+                        base=ScenarioConfig())
+
+
+def paper_like_figure(fid="3"):
+    """Series exhibiting exactly the paper's §5 shapes."""
+    a = {"edf": [60, 55, 50], "libra": [95, 92, 88], "librarisk": [95, 92, 88]}
+    b = {"edf": [50, 40, 30], "libra": [55, 45, 35], "librarisk": [80, 82, 84]}
+    c = {"edf": [1.5, 1.4, 1.3], "libra": [7.0, 6.0, 5.0], "librarisk": [7.0, 6.0, 5.0]}
+    d = {"edf": [1.3, 1.2, 1.1], "libra": [3.3, 3.0, 2.8], "librarisk": [2.7, 2.4, 2.2]}
+    return make_figure(fid, a, b, c, d)
+
+
+class TestOverviewClaims:
+    def test_all_pass_on_paper_shapes(self):
+        claims = overview_claims(paper_like_figure())
+        assert all(c.passed for c in claims), [c.render() for c in claims if not c.passed]
+
+    def test_detects_librarisk_regression(self):
+        fig = paper_like_figure()
+        # Sabotage: LibraRisk no better than Libra under trace estimates.
+        broken = {**fig.panel("b").series, "librarisk": [55, 45, 35]}
+        bad = make_figure("3", fig.panel("a").series, broken,
+                          fig.panel("c").series, fig.panel("d").series)
+        claims = {c.claim_id: c for c in overview_claims(bad)}
+        assert not claims["F3.librarisk-beats-libra-trace"].passed
+
+    def test_detects_slowdown_divergence_accurate(self):
+        fig = paper_like_figure()
+        broken_c = {**fig.panel("c").series, "librarisk": [9.0, 8.0, 7.0]}
+        bad = make_figure("3", fig.panel("a").series, fig.panel("b").series,
+                          broken_c, fig.panel("d").series)
+        claims = {c.claim_id: c for c in overview_claims(bad)}
+        assert not claims["F3.same-slowdown-accurate"].passed
+
+    def test_detects_edf_slowdown_violation(self):
+        fig = paper_like_figure()
+        broken_c = {**fig.panel("c").series, "edf": [10.0, 10.0, 10.0]}
+        bad = make_figure("3", fig.panel("a").series, fig.panel("b").series,
+                          broken_c, fig.panel("d").series)
+        claims = {c.claim_id: c for c in overview_claims(bad)}
+        assert not claims["F3.edf-lowest-slowdown"].passed
+
+
+class TestFigure3Claims:
+    def test_pass_on_paper_shapes(self):
+        claims = figure3_claims(paper_like_figure())
+        assert all(c.passed for c in claims)
+
+    def test_detects_librarisk_collapse_with_urgency(self):
+        fig = paper_like_figure()
+        broken_b = {**fig.panel("b").series, "librarisk": [80, 60, 40]}
+        bad = make_figure("3", fig.panel("a").series, broken_b,
+                          fig.panel("c").series, fig.panel("d").series)
+        claims = {c.claim_id: c for c in figure3_claims(bad)}
+        assert not claims["F3.librarisk-holds-up-under-urgency"].passed
+
+
+class TestValidationReport:
+    def test_counts_and_render(self):
+        claims = (
+            ClaimResult("a", "§5", "x", True, "ok"),
+            ClaimResult("b", "§5", "y", False, "bad"),
+        )
+        report = ValidationReport(claims=claims)
+        assert report.passed == 1
+        assert report.failed == 1
+        assert not report.all_passed
+        text = report.render()
+        assert "[PASS] a" in text and "[FAIL] b" in text
+        assert "1/2" in text
+
+
+class TestEndToEndValidation:
+    def test_figure3_claims_hold_at_moderate_scale(self):
+        base = ScenarioConfig(num_jobs=600, num_nodes=128, seed=42)
+        fig = figure3(base=base, x_values=(20.0, 80.0))
+        report = validate_figure(fig)
+        failed = [c.render() for c in report.claims if not c.passed]
+        assert report.all_passed, failed

@@ -1,0 +1,94 @@
+"""Tests for the Computation-at-Risk metrics."""
+
+import pytest
+
+from repro.metrics.car import CaRReport, car_by_policy, computation_at_risk
+from tests.conftest import make_job
+
+
+def finished_job(runtime=10.0, finish=20.0, job_id=None):
+    job = make_job(runtime=runtime, deadline=10_000.0, job_id=job_id)
+    job.mark_submitted()
+    job.mark_running(0.0, [0])
+    job.mark_completed(finish)
+    return job
+
+
+def portfolio(response_times):
+    return [finished_job(runtime=10.0, finish=rt) for rt in response_times]
+
+
+class TestComputationAtRisk:
+    def test_car_is_quantile_of_makespan(self):
+        jobs = portfolio([float(i) for i in range(1, 101)])
+        report = computation_at_risk(jobs, measure="makespan", confidence=0.95)
+        assert report.car == pytest.approx(95.05, rel=0.01)
+        assert report.n_jobs == 100
+
+    def test_conditional_car_is_tail_mean(self):
+        jobs = portfolio([10.0] * 90 + [100.0] * 10)
+        report = computation_at_risk(jobs, measure="makespan", confidence=0.9)
+        assert report.conditional_car == pytest.approx(100.0)
+
+    def test_expansion_factor_measure_uses_slowdown(self):
+        jobs = portfolio([20.0, 40.0])  # runtimes 10 -> slowdowns 2 and 4
+        report = computation_at_risk(jobs, measure="expansion_factor", confidence=0.5)
+        assert 2.0 <= report.car <= 4.0
+        assert report.mean == pytest.approx(3.0)
+
+    def test_tail_ratio(self):
+        jobs = portfolio([10.0] * 99 + [1000.0])
+        report = computation_at_risk(jobs, measure="makespan", confidence=0.99)
+        assert report.tail_ratio > 10.0
+
+    def test_incomplete_jobs_excluded(self):
+        running = make_job()
+        running.mark_submitted()
+        running.mark_running(0.0, [0])
+        jobs = portfolio([10.0, 20.0]) + [running]
+        assert computation_at_risk(jobs).n_jobs == 2
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError, match="no completed jobs"):
+            computation_at_risk([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5])
+    def test_bad_confidence(self, confidence):
+        with pytest.raises(ValueError):
+            computation_at_risk(portfolio([1.0]), confidence=confidence)
+
+    def test_bad_measure(self):
+        with pytest.raises(ValueError, match="measure"):
+            computation_at_risk(portfolio([1.0]), measure="vibes")
+
+    def test_as_dict(self):
+        report = computation_at_risk(portfolio([1.0, 2.0]))
+        d = report.as_dict()
+        assert set(d) == {"car", "conditional_car", "mean", "tail_ratio", "n_jobs"}
+
+
+class TestCarByPolicy:
+    def test_multiple_policies(self):
+        results = {
+            "calm": portfolio([10.0] * 50),
+            "spiky": portfolio([10.0] * 45 + [500.0] * 5),
+        }
+        reports = car_by_policy(results, measure="makespan", confidence=0.9)
+        assert reports["spiky"].car > reports["calm"].car
+
+    def test_librarisk_tail_not_worse_than_libra(self):
+        """Portfolio-level risk view of the headline scenario: despite
+        accepting more jobs, LibraRisk's slowdown tail (CCaR) stays at
+        or below Libra's."""
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import build_scenario_jobs
+        from tests.conftest import run_jobs
+
+        reports = {}
+        for policy in ("libra", "librarisk"):
+            jobs = build_scenario_jobs(ScenarioConfig(num_jobs=300, estimate_mode="trace"))
+            rms, _, _ = run_jobs(policy, jobs, num_nodes=128, rating=168.0)
+            reports[policy] = computation_at_risk(
+                rms.jobs, measure="expansion_factor", confidence=0.9
+            )
+        assert reports["librarisk"].conditional_car <= reports["libra"].conditional_car * 1.1

@@ -1,0 +1,105 @@
+"""Tests for the simulation time-series monitor."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.rms import ResourceManagementSystem
+from repro.metrics.timeseries import SimulationMonitor, TimeSeries
+from repro.scheduling.registry import make_policy
+from repro.sim.kernel import Simulator
+from tests.conftest import make_job
+
+
+def run_monitored(jobs, period=10.0, policy="libra", num_nodes=2):
+    sim = Simulator()
+    discipline = "time_shared" if policy in ("libra", "librarisk") else "space_shared"
+    cluster = Cluster.homogeneous(sim, num_nodes, rating=1.0, discipline=discipline)
+    rms = ResourceManagementSystem(sim, cluster, make_policy(policy))
+    monitor = SimulationMonitor(sim, cluster, rms, period=period)
+    rms.submit_all(jobs)
+    monitor.start()
+    sim.run()
+    return monitor, rms, sim
+
+
+class TestTimeSeries:
+    def test_append_and_stats(self):
+        ts = TimeSeries("x")
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+            ts.append(t, v)
+        assert len(ts) == 3
+        assert ts.peak == 3.0
+        assert ts.mean == pytest.approx(2.0)
+
+    def test_at_or_before(self):
+        ts = TimeSeries("x")
+        ts.append(0.0, 1.0)
+        ts.append(10.0, 2.0)
+        assert ts.at_or_before(5.0) == 1.0
+        assert ts.at_or_before(10.0) == 2.0
+        assert ts.at_or_before(-1.0) is None
+
+    def test_empty_stats(self):
+        ts = TimeSeries("x")
+        assert ts.peak == 0.0
+        assert ts.mean == 0.0
+
+
+class TestMonitor:
+    def test_samples_busy_nodes_over_time(self):
+        jobs = [make_job(runtime=50.0, deadline=100.0, submit=0.0)]
+        monitor, _, _ = run_monitored(jobs, period=10.0)
+        busy = monitor["busy_nodes"]
+        # Busy while the job runs (t in [0, 100)), free afterwards.
+        assert busy.at_or_before(0.0) == 1.0
+        assert busy.values[-1] == 0.0
+
+    def test_cumulative_counts_monotone(self):
+        jobs = [
+            make_job(runtime=20.0, deadline=100.0, submit=float(i * 5), job_id=i + 1)
+            for i in range(5)
+        ]
+        monitor, rms, _ = run_monitored(jobs, period=7.0)
+        for name in ("accepted", "rejected", "completed"):
+            vals = monitor[name].values
+            assert vals == sorted(vals)
+        assert monitor["completed"].values[-1] == float(len(rms.completed))
+
+    def test_allocated_share_tracks_eq1(self):
+        # One job with share 0.5 on one node.
+        jobs = [make_job(runtime=50.0, deadline=100.0)]
+        monitor, _, _ = run_monitored(jobs, period=25.0)
+        assert monitor["allocated_share"].at_or_before(0.0) == pytest.approx(0.5)
+
+    def test_monitor_terminates_after_drain(self):
+        jobs = [make_job(runtime=10.0, deadline=100.0)]
+        monitor, _, sim = run_monitored(jobs, period=5.0)
+        # The simulation ended; the monitor did not keep it alive forever.
+        assert sim.peek() is None
+        assert len(monitor["busy_nodes"]) >= 2
+
+    def test_min_samples_respected(self):
+        monitor, _, _ = run_monitored([], period=5.0)
+        assert len(monitor["busy_nodes"]) >= 2
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, 1, discipline="time_shared")
+        rms = ResourceManagementSystem(sim, cluster, make_policy("libra"))
+        monitor = SimulationMonitor(sim, cluster, rms)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.start()
+
+    def test_bad_period(self):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, 1, discipline="time_shared")
+        rms = ResourceManagementSystem(sim, cluster, make_policy("libra"))
+        with pytest.raises(ValueError):
+            SimulationMonitor(sim, cluster, rms, period=0.0)
+
+    def test_convenience_views(self):
+        jobs = [make_job(runtime=50.0, deadline=100.0, numproc=2)]
+        monitor, _, _ = run_monitored(jobs, period=20.0)
+        assert monitor.peak_busy_nodes() == 2.0
+        assert monitor.mean_running_jobs() > 0.0

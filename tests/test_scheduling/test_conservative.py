@@ -1,0 +1,114 @@
+"""Tests for conservative backfilling with reservation-based admission."""
+
+import pytest
+
+from repro.cluster.job import JobState
+from tests.conftest import make_job, run_jobs
+
+
+class TestReservations:
+    def test_single_job_starts_immediately(self):
+        jobs = [make_job(runtime=10.0, deadline=100.0)]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        assert rms.completed[0].start_time == 0.0
+
+    def test_every_queued_job_gets_a_reservation(self):
+        jobs = [
+            make_job(runtime=100.0, deadline=10000.0, numproc=2, submit=0.0, job_id=1),
+            make_job(runtime=10.0, deadline=10000.0, numproc=2, submit=1.0, job_id=2),
+            make_job(runtime=10.0, deadline=10000.0, numproc=2, submit=2.0, job_id=3),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        by_id = {j.job_id: j for j in rms.completed}
+        assert by_id[2].start_time == pytest.approx(100.0)
+        assert by_id[3].start_time == pytest.approx(110.0)
+
+    def test_backfills_without_delaying_reservations(self):
+        jobs = [
+            make_job(runtime=100.0, deadline=10000.0, numproc=1, submit=0.0, job_id=1),
+            make_job(runtime=50.0, deadline=10000.0, numproc=2, submit=1.0, job_id=2),
+            # 1-node 5 s job: fits on the idle node before job 2's
+            # t=100 reservation.
+            make_job(runtime=5.0, deadline=10000.0, numproc=1, submit=2.0, job_id=3),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        by_id = {j.job_id: j for j in rms.completed}
+        assert by_id[3].start_time == pytest.approx(2.0)
+        assert by_id[2].start_time == pytest.approx(100.0)
+
+    def test_conservative_blocks_backfill_that_easy_allows(self):
+        # A long narrow job may backfill under EASY only against the
+        # head's reservation; conservative also protects job 3's.
+        jobs = [
+            make_job(runtime=100.0, deadline=100000.0, numproc=1, submit=0.0, job_id=1),
+            make_job(runtime=10.0, deadline=100000.0, numproc=2, submit=1.0, job_id=2),
+            make_job(runtime=10.0, deadline=100000.0, numproc=2, submit=2.0, job_id=3),
+            # Would delay job 3's reservation (start 110, both nodes).
+            make_job(runtime=150.0, deadline=100000.0, numproc=1, submit=3.0, job_id=4),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2, admission_check=False)
+        by_id = {j.job_id: j for j in rms.completed}
+        assert by_id[3].start_time == pytest.approx(110.0)
+        assert by_id[4].start_time >= 110.0
+
+    def test_early_completion_compresses_schedule(self):
+        jobs = [
+            # Claims 100 s, actually runs 20 s.
+            make_job(runtime=20.0, estimate=100.0, deadline=10000.0, numproc=2,
+                     submit=0.0, job_id=1),
+            make_job(runtime=10.0, deadline=10000.0, numproc=2, submit=1.0, job_id=2),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        by_id = {j.job_id: j for j in rms.completed}
+        assert by_id[2].start_time == pytest.approx(20.0)  # not 100
+
+
+class TestSubmissionAdmission:
+    def test_rejects_at_submission_when_reservation_misses_deadline(self):
+        jobs = [
+            make_job(runtime=100.0, deadline=10000.0, numproc=2, submit=0.0, job_id=1),
+            # Earliest start 100, est 50 -> completion 150 > deadline 80.
+            make_job(runtime=50.0, deadline=80.0, numproc=2, submit=1.0, job_id=2),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        rejected = {j.job_id for j in rms.rejected}
+        assert rejected == {2}
+        # Rejected immediately, never queued/started.
+        job2 = next(j for j in rms.jobs if j.job_id == 2)
+        assert job2.start_time is None
+
+    def test_accepted_jobs_meet_deadlines_under_honest_estimates(self):
+        jobs = [
+            make_job(runtime=50.0, deadline=200.0, numproc=1, submit=float(i), job_id=i + 1)
+            for i in range(6)
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        assert all(j.deadline_met for j in rms.completed)
+        assert len(rms.completed) + len(rms.rejected) == 6
+
+    def test_overrun_slippage_rejects_queued_job(self):
+        jobs = [
+            # Claims 10 s but runs 100 s on both nodes.
+            make_job(runtime=100.0, estimate=10.0, deadline=10000.0, numproc=2,
+                     submit=0.0, job_id=1),
+            # Admitted believing start=10, completion 60 < deadline 70;
+            # reality slips past it.
+            make_job(runtime=50.0, estimate=50.0, deadline=70.0, numproc=2,
+                     submit=1.0, job_id=2),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        job2 = next(j for j in rms.jobs if j.job_id == 2)
+        assert job2.state is JobState.REJECTED
+
+    def test_impossible_numproc_rejected(self):
+        jobs = [make_job(runtime=10.0, deadline=1e6, numproc=9)]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2)
+        assert len(rms.rejected) == 1
+
+    def test_admission_check_off_runs_everything_possible(self):
+        jobs = [
+            make_job(runtime=100.0, deadline=10000.0, numproc=2, submit=0.0, job_id=1),
+            make_job(runtime=50.0, deadline=80.0, numproc=2, submit=1.0, job_id=2),
+        ]
+        rms, _, _ = run_jobs("conservative", jobs, num_nodes=2, admission_check=False)
+        assert len(rms.completed) == 2

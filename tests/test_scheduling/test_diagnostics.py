@@ -1,0 +1,83 @@
+"""Tests for admission-state diagnostics."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.scheduling.diagnostics import (
+    cluster_risk_profile,
+    explain_admission,
+    node_snapshot,
+    render_profile,
+)
+from repro.sim.kernel import Simulator
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster.homogeneous(sim, 3, rating=1.0, discipline="time_shared")
+
+
+class TestNodeSnapshot:
+    def test_empty_node_healthy(self, cluster):
+        snap = node_snapshot(cluster.node(0), 0.0)
+        assert snap.num_tasks == 0
+        assert snap.total_share == 0.0
+        assert snap.healthy
+
+    def test_loaded_node_counts_share(self, cluster):
+        cluster.node(0).add_task(make_job(runtime=60.0, deadline=100.0),
+                                 work=60.0, est_work=60.0, now=0.0)
+        snap = node_snapshot(cluster.node(0), 0.0)
+        assert snap.num_tasks == 1
+        assert snap.total_share == pytest.approx(0.6)
+        assert snap.healthy
+
+    def test_overrun_flagged(self, sim, cluster):
+        node = cluster.node(0)
+        node.add_task(make_job(runtime=1000.0, estimate=10.0, deadline=20.0),
+                      work=1000.0, est_work=10.0, now=0.0)
+        sim.run(until=100.0)
+        snap = node_snapshot(node, 100.0)
+        assert snap.overruns == 1
+        assert snap.expired == 1
+        assert not snap.healthy
+
+
+class TestClusterProfile:
+    def test_one_snapshot_per_node(self, cluster):
+        profile = cluster_risk_profile(cluster, 0.0)
+        assert [s.node_id for s in profile] == [0, 1, 2]
+
+    def test_render_is_table(self, cluster):
+        cluster.node(1).add_task(make_job(runtime=30.0, deadline=100.0),
+                                 work=30.0, est_work=30.0, now=0.0)
+        text = render_profile(cluster_risk_profile(cluster, 0.0))
+        assert "zero-risk" in text
+        assert "0.300" in text
+
+
+class TestExplainAdmission:
+    def test_both_accept_feasible_job(self, cluster):
+        exp = explain_admission(cluster, make_job(runtime=50.0, deadline=100.0), 0.0)
+        assert exp.libra_accepts and exp.librarisk_accepts
+        assert len(exp.libra_suitable) == 3
+
+    def test_gamble_divergence_visible(self, cluster):
+        # Estimate-infeasible job: Libra rejects, LibraRisk gambles.
+        job = make_job(runtime=50.0, estimate=500.0, deadline=100.0)
+        exp = explain_admission(cluster, job, 0.0)
+        assert not exp.libra_accepts
+        assert exp.librarisk_accepts
+        text = exp.render()
+        assert "REJECT" in text and "ACCEPT" in text
+
+    def test_numproc_threshold(self, cluster):
+        job = make_job(runtime=50.0, deadline=100.0, numproc=4)  # > 3 nodes
+        exp = explain_admission(cluster, job, 0.0)
+        assert not exp.libra_accepts and not exp.librarisk_accepts
+
+    def test_dry_run_does_not_place_job(self, cluster):
+        job = make_job(runtime=50.0, deadline=100.0)
+        explain_admission(cluster, job, 0.0)
+        assert all(n.idle for n in cluster)

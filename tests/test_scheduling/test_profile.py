@@ -1,0 +1,138 @@
+"""Tests for the capacity-profile component."""
+
+import pytest
+
+from repro.scheduling.profile import CapacityProfile, profile_from_cluster
+from tests.conftest import make_job
+
+
+class TestBasics:
+    def test_constant_capacity(self):
+        p = CapacityProfile(base_free=4)
+        assert p.free_at(0.0) == 4
+        assert p.free_at(1e9) == 4
+
+    def test_release_adds_capacity(self):
+        p = CapacityProfile(base_free=1)
+        p.add_release(10.0, 3)
+        assert p.free_at(5.0) == 1
+        assert p.free_at(10.0) == 4
+
+    def test_reservation_removes_capacity_over_window(self):
+        p = CapacityProfile(base_free=4)
+        p.add_reservation(10.0, 20.0, 3)
+        assert p.free_at(5.0) == 4
+        assert p.free_at(10.0) == 1
+        assert p.free_at(19.999) == 1
+        assert p.free_at(20.0) == 4
+
+    def test_release_before_origin_clamped(self):
+        p = CapacityProfile(base_free=0, origin=100.0)
+        p.add_release(50.0, 2)
+        assert p.free_at(100.0) == 2
+
+    def test_zero_count_noop(self):
+        p = CapacityProfile(base_free=1)
+        p.add_release(10.0, 0)
+        p.add_reservation(1.0, 2.0, 0)
+        assert p.breakpoints() == []
+
+    def test_query_before_origin_rejected(self):
+        p = CapacityProfile(base_free=1, origin=10.0)
+        with pytest.raises(ValueError):
+            p.free_at(5.0)
+
+    @pytest.mark.parametrize("call", [
+        lambda p: p.add_release(0.0, -1),
+        lambda p: p.add_reservation(0.0, 1.0, -1),
+        lambda p: p.add_reservation(5.0, 1.0, 1),
+    ])
+    def test_invalid_arguments(self, call):
+        with pytest.raises(ValueError):
+            call(CapacityProfile(base_free=1))
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityProfile(base_free=-1)
+
+
+class TestMinFree:
+    def test_min_over_window_sees_dips(self):
+        p = CapacityProfile(base_free=4)
+        p.add_reservation(5.0, 8.0, 3)
+        assert p.min_free_over(0.0, 10.0) == 1
+        assert p.min_free_over(0.0, 5.0) == 4  # dip starts at 5, window open
+        assert p.min_free_over(8.0, 10.0) == 4
+
+
+class TestEarliestFit:
+    def test_fits_now_when_free(self):
+        p = CapacityProfile(base_free=4)
+        assert p.earliest_fit(2, 100.0) == 0.0
+
+    def test_waits_for_release(self):
+        p = CapacityProfile(base_free=1)
+        p.add_release(50.0, 3)
+        assert p.earliest_fit(2, 10.0) == 50.0
+
+    def test_skips_over_reservation(self):
+        p = CapacityProfile(base_free=2)
+        p.add_reservation(10.0, 30.0, 2)
+        # A 15 s window of 2 nodes fits before the reservation? No:
+        # [0, 15) overlaps [10, 30) with zero free -> wait until 30.
+        assert p.earliest_fit(2, 15.0) == 30.0
+        # But a 10 s job fits exactly before it.
+        assert p.earliest_fit(2, 10.0) == 0.0
+
+    def test_respects_not_before(self):
+        p = CapacityProfile(base_free=4)
+        assert p.earliest_fit(1, 5.0, not_before=42.0) == 42.0
+
+    def test_none_when_impossible(self):
+        p = CapacityProfile(base_free=2)
+        assert p.earliest_fit(3, 1.0) is None
+
+    def test_result_is_always_feasible(self):
+        p = CapacityProfile(base_free=3)
+        p.add_reservation(5.0, 15.0, 2)
+        p.add_release(20.0, 1)
+        for count in (1, 2, 3, 4):
+            for duration in (1.0, 7.0, 30.0):
+                start = p.earliest_fit(count, duration)
+                if start is not None:
+                    assert p.would_fit(count, start, duration)
+
+    def test_zero_duration_fits_anywhere_capacity_allows(self):
+        p = CapacityProfile(base_free=1)
+        assert p.earliest_fit(1, 0.0) == 0.0
+
+
+class TestProfileFromCluster:
+    def test_reflects_idle_and_running(self, sim):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster.homogeneous(sim, 4, rating=1.0, discipline="space_shared")
+        job = make_job(runtime=100.0, estimate=120.0, deadline=1000.0, numproc=2)
+        job.mark_submitted()
+        job.mark_running(0.0, [0, 1])
+        for nid in (0, 1):
+            cluster.node(nid).start_task(job, work=100.0, now=0.0)
+
+        p = profile_from_cluster(cluster, now=0.0)
+        assert p.free_at(0.0) == 2
+        # Release at the ESTIMATED completion (120), not the actual (100).
+        assert p.free_at(119.0) == 2
+        assert p.free_at(120.0) == 4
+
+    def test_overrunning_job_releases_now_for_planning(self, sim):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster.homogeneous(sim, 2, rating=1.0, discipline="space_shared")
+        job = make_job(runtime=100.0, estimate=10.0, deadline=1000.0)
+        job.mark_submitted()
+        job.mark_running(0.0, [0])
+        cluster.node(0).start_task(job, work=100.0, now=0.0)
+        # At t=50 the estimate (10) is long past: planning treats the
+        # release as immediate.
+        p = profile_from_cluster(cluster, now=50.0)
+        assert p.free_at(50.0) == 2

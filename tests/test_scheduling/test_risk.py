@@ -1,0 +1,126 @@
+"""Tests for the deadline-delay metric and risk assessment (Eq. 4–6)."""
+
+import math
+
+import pytest
+
+from repro.scheduling.risk import RiskAssessment, assess_delays, deadline_delay
+
+
+class TestDeadlineDelay:
+    def test_zero_delay_gives_one(self):
+        assert deadline_delay(0.0, 100.0) == 1.0
+
+    def test_paper_example_values(self):
+        # Paper §3.2: same delay, shorter remaining deadline -> higher
+        # impact.  delay=200, rem=50 -> 5; delay=200, rem=100 -> 3.
+        assert deadline_delay(200.0, 50.0) == pytest.approx(5.0)
+        assert deadline_delay(200.0, 100.0) == pytest.approx(3.0)
+
+    def test_longer_delay_higher_impact(self):
+        assert deadline_delay(50.0, 100.0) < deadline_delay(80.0, 100.0)
+
+    def test_shorter_remaining_deadline_higher_impact(self):
+        assert deadline_delay(50.0, 200.0) < deadline_delay(50.0, 100.0)
+
+    def test_expired_deadline_is_infinite(self):
+        assert math.isinf(deadline_delay(10.0, 0.0))
+        assert math.isinf(deadline_delay(10.0, -5.0))
+
+    def test_infinite_delay_is_infinite(self):
+        assert math.isinf(deadline_delay(math.inf, 100.0))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            deadline_delay(-1.0, 100.0)
+
+    def test_minimum_value_is_one(self):
+        for delay, rem in [(0.0, 1.0), (0.0, 1e9), (1.0, 1e9)]:
+            assert deadline_delay(delay, rem) >= 1.0
+
+
+class TestAssessDelays:
+    def test_empty_node_is_zero_risk(self):
+        a = assess_delays([])
+        assert a.zero_risk and a.strictly_safe
+        assert a.mu == 1.0 and a.sigma == 0.0 and a.n_jobs == 0
+
+    def test_all_on_time_is_zero_risk(self):
+        a = assess_delays([(0.0, 100.0), (0.0, 50.0), (0.0, 10.0)])
+        assert a.zero_risk and a.strictly_safe
+        assert a.mu == pytest.approx(1.0)
+        assert a.sigma == pytest.approx(0.0)
+        assert a.max_delay == 0.0
+
+    def test_single_delayed_job_has_sigma_zero(self):
+        # The literal criterion: one value -> no spread -> "zero risk".
+        # This is the empty-node gamble at the heart of LibraRisk.
+        a = assess_delays([(500.0, 100.0)])
+        assert a.sigma == 0.0
+        assert a.zero_risk
+        assert not a.strictly_safe
+        assert a.max_delay == 500.0
+
+    def test_unequal_delays_nonzero_sigma(self):
+        a = assess_delays([(0.0, 100.0), (50.0, 100.0)])
+        assert a.sigma > 0.0
+        assert not a.zero_risk
+
+    def test_equal_deadline_delays_sigma_zero(self):
+        # Two jobs with proportionally identical Eq. 4 values.
+        a = assess_delays([(100.0, 100.0), (50.0, 50.0)])  # both dd = 2
+        assert a.sigma == pytest.approx(0.0)
+        assert a.zero_risk
+        assert not a.strictly_safe
+
+    def test_expired_deadline_never_zero_risk(self):
+        a = assess_delays([(10.0, -5.0)])
+        assert math.isinf(a.sigma)
+        assert not a.zero_risk
+
+    def test_infinite_delay_never_zero_risk(self):
+        a = assess_delays([(math.inf, 100.0), (0.0, 100.0)])
+        assert math.isinf(a.sigma)
+        assert not a.zero_risk
+
+    def test_mu_sigma_match_eq5_eq6(self):
+        pairs = [(10.0, 100.0), (40.0, 200.0), (0.0, 50.0)]
+        values = [(d + r) / r for d, r in pairs]
+        n = len(values)
+        mu = sum(values) / n
+        sigma = math.sqrt(sum(v * v for v in values) / n - mu * mu)
+        a = assess_delays(pairs)
+        assert a.mu == pytest.approx(mu)
+        assert a.sigma == pytest.approx(sigma)
+
+    def test_sigma_never_negative_under_float_noise(self):
+        # Many identical values: E[X^2]-mu^2 can go slightly negative.
+        a = assess_delays([(1/3, 100.0)] * 97)
+        assert a.sigma >= 0.0
+
+    def test_n_jobs_counted(self):
+        assert assess_delays([(0.0, 1.0)] * 5).n_jobs == 5
+
+
+class TestDegenerateSigmaAlgebra:
+    """Documents why the risk projection must stagger completions.
+
+    Under a single-phase proportional rescale, every job's predicted
+    finish is ``rem_deadline × Σ`` and therefore every Eq. 4 value is
+    exactly Σ — σ = 0 no matter how over-committed the node is.
+    """
+
+    def test_single_phase_rescale_is_sigma_blind(self):
+        sigma_total = 1.4
+        rems = [100.0, 250.0, 30.0]
+        pairs = [(r * sigma_total - r, r) for r in rems]  # delay = r(Σ-1)
+        a = assess_delays(pairs)
+        # σ is zero up to float rounding of the Eq. 4 divisions — far
+        # too small for the σ-criterion to catch the over-commitment.
+        assert a.sigma == pytest.approx(0.0, abs=1e-6)
+        assert a.mu == pytest.approx(sigma_total)
+
+    def test_riskassessment_is_frozen(self):
+        a = RiskAssessment(mu=1.0, sigma=0.0, max_delay=0.0, n_jobs=0)
+        with pytest.raises(AttributeError):
+            a.mu = 2.0  # type: ignore[misc]

@@ -1,0 +1,97 @@
+"""Tests for the QoPS-style soft-deadline admission policy."""
+
+import pytest
+
+from repro.scheduling.slack import SlackAdmissionPolicy
+from tests.conftest import make_job, run_jobs
+
+
+class TestSoftDeadlines:
+    def test_soft_deadline_stretches_hard_one(self):
+        policy = SlackAdmissionPolicy(slack_factor=1.5)
+        job = make_job(submit=100.0, deadline=200.0)
+        assert policy.soft_deadline(job) == pytest.approx(400.0)
+
+    def test_slack_one_matches_hard_deadline(self):
+        policy = SlackAdmissionPolicy(slack_factor=1.0)
+        job = make_job(submit=0.0, deadline=200.0)
+        assert policy.soft_deadline(job) == pytest.approx(200.0)
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            SlackAdmissionPolicy(slack_factor=0.9)
+
+
+class TestAdmission:
+    def test_accepts_job_that_fits_only_with_slack(self):
+        # Job 2 must wait 100 s and needs 50 s against a 120 s hard
+        # deadline: infeasible hard, feasible with slack 1.5 (180 s).
+        def mk():
+            return [
+                make_job(runtime=100.0, deadline=10000.0, numproc=1, submit=0.0, job_id=1),
+                make_job(runtime=50.0, deadline=120.0, numproc=1, submit=1.0, job_id=2),
+            ]
+
+        strict, _, _ = run_jobs("qops-slack", mk(), num_nodes=1, slack_factor=1.0)
+        assert {j.job_id for j in strict.rejected} == {2}
+
+        slack, _, _ = run_jobs("qops-slack", mk(), num_nodes=1, slack_factor=1.5)
+        assert slack.rejected == []
+        job2 = next(j for j in slack.completed if j.job_id == 2)
+        assert not job2.deadline_met  # hard deadline still missed ...
+        assert job2.finish_time <= 1.0 + 120.0 * 1.5  # ... but soft one kept
+
+    def test_rejects_job_that_would_break_others_slack(self):
+        jobs = [
+            make_job(runtime=100.0, deadline=110.0, numproc=1, submit=0.0, job_id=1),
+            # Earlier deadline -> would run first under EDF and push job
+            # 1 past even its slacked deadline.
+            make_job(runtime=100.0, deadline=105.0, numproc=1, submit=1.0, job_id=2),
+        ]
+        rms, _, _ = run_jobs("qops-slack", jobs, num_nodes=1, slack_factor=1.05)
+        assert {j.job_id for j in rms.rejected} == {2}
+
+    def test_accepts_urgent_latecomer_that_fits_in_others_slack(self):
+        """The QoPS idea verbatim: an earlier job may be delayed up to
+        its slack to accommodate a later, more urgent job."""
+        def mk():
+            return [
+                # Runs 0-100 and occupies the node.
+                make_job(runtime=100.0, deadline=10000.0, numproc=1, submit=0.0, job_id=0),
+                # Queued: tentative 100-160, hard deadline 1+165=166 OK.
+                make_job(runtime=60.0, deadline=165.0, numproc=1, submit=1.0, job_id=1),
+                # Urgent latecomer (abs deadline 122 < 166): EDF runs it
+                # first, pushing job 1 to 110-170 — past its hard
+                # deadline but within slack 1.2 (soft 199).
+                make_job(runtime=10.0, deadline=120.0, numproc=1, submit=2.0, job_id=2),
+            ]
+
+        with_slack, _, _ = run_jobs("qops-slack", mk(), num_nodes=1, slack_factor=1.2)
+        assert with_slack.rejected == []
+        job1 = next(j for j in with_slack.completed if j.job_id == 1)
+        assert job1.start_time == pytest.approx(110.0)
+
+        without, _, _ = run_jobs("qops-slack", mk(), num_nodes=1, slack_factor=1.0)
+        assert {j.job_id for j in without.rejected} == {2}
+
+    def test_dispatch_is_edf_order(self):
+        jobs = [
+            make_job(runtime=50.0, deadline=10000.0, numproc=1, submit=0.0, job_id=1),
+            make_job(runtime=10.0, deadline=9000.0, numproc=1, submit=1.0, job_id=2),
+            make_job(runtime=10.0, deadline=500.0, numproc=1, submit=2.0, job_id=3),
+        ]
+        rms, _, _ = run_jobs("qops-slack", jobs, num_nodes=1, slack_factor=2.0)
+        by_id = {j.job_id: j for j in rms.completed}
+        assert by_id[3].start_time < by_id[2].start_time
+
+    def test_higher_slack_accepts_at_least_as_many(self):
+        def mk():
+            return [
+                make_job(runtime=60.0, deadline=100.0, numproc=1,
+                         submit=float(i * 5), job_id=i + 1)
+                for i in range(8)
+            ]
+
+        tight, _, _ = run_jobs("qops-slack", mk(), num_nodes=2, slack_factor=1.0)
+        loose, _, _ = run_jobs("qops-slack", mk(), num_nodes=2, slack_factor=2.0)
+        assert len(loose.accepted) >= len(tight.accepted)

@@ -1,0 +1,71 @@
+"""Tests for Event objects and their ordering semantics."""
+
+import pytest
+
+from repro.sim.events import Event, EventPriority
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        a = Event(1.0, EventPriority.NORMAL, None)
+        b = Event(2.0, EventPriority.NORMAL, None)
+        a.seq, b.seq = 0, 1
+        assert a < b
+        assert not b < a
+
+    def test_priority_breaks_ties(self):
+        completion = Event(1.0, EventPriority.COMPLETION, None)
+        arrival = Event(1.0, EventPriority.ARRIVAL, None)
+        completion.seq, arrival.seq = 5, 1  # seq would favour the arrival
+        assert completion < arrival
+
+    def test_seq_breaks_full_ties(self):
+        a = Event(1.0, EventPriority.NORMAL, None)
+        b = Event(1.0, EventPriority.NORMAL, None)
+        a.seq, b.seq = 0, 1
+        assert a < b
+
+    def test_sort_key_shape(self):
+        ev = Event(3.5, EventPriority.ARRIVAL, None)
+        ev.seq = 42
+        assert ev.sort_key() == (3.5, int(EventPriority.ARRIVAL), 42)
+
+
+class TestEventBasics:
+    def test_time_coerced_to_float(self):
+        ev = Event(3, EventPriority.NORMAL, None)
+        assert isinstance(ev.time, float)
+
+    def test_payload_round_trip(self):
+        payload = {"job": 1}
+        ev = Event(0.0, EventPriority.NORMAL, None, payload=payload)
+        assert ev.payload is payload
+
+    def test_cancel_flags(self):
+        ev = Event(0.0, EventPriority.NORMAL, None)
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_cancel_is_idempotent(self):
+        ev = Event(0.0, EventPriority.NORMAL, None)
+        ev.cancel()
+        ev.cancel()
+        assert ev.cancelled
+
+
+class TestPriorityValues:
+    def test_completion_before_arrival(self):
+        # The admission control must see capacity freed "now" before a
+        # job arriving "now" is evaluated.
+        assert EventPriority.COMPLETION < EventPriority.ARRIVAL
+
+    def test_urgent_first_monitor_last(self):
+        values = [
+            EventPriority.URGENT,
+            EventPriority.COMPLETION,
+            EventPriority.ARRIVAL,
+            EventPriority.NORMAL,
+            EventPriority.MONITOR,
+        ]
+        assert values == sorted(values)

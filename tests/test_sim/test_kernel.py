@@ -1,0 +1,243 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.events import Event, EventPriority
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_fires_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(7.5, lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.5]
+
+    def test_schedule_relative_delay(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_relative_delay_is_from_current_now(self, sim):
+        fired = []
+
+        def first(ev):
+            sim.schedule(2.0, lambda e: fired.append(sim.now))
+
+        sim.schedule(5.0, first)
+        sim.run()
+        assert fired == [7.0]
+
+    def test_schedule_in_past_raises(self, sim):
+        sim.schedule_at(10.0, lambda ev: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="cannot schedule"):
+            sim.schedule_at(5.0, lambda ev: None)
+
+    def test_schedule_nan_raises(self, sim):
+        with pytest.raises(SimulationError, match="finite"):
+            sim.schedule_at(float("nan"), lambda ev: None)
+
+    def test_schedule_inf_raises(self, sim):
+        with pytest.raises(SimulationError, match="finite"):
+            sim.schedule_at(float("inf"), lambda ev: None)
+
+    def test_schedule_at_current_time_allowed(self, sim):
+        fired = []
+        sim.schedule_at(0.0, lambda ev: fired.append("x"))
+        sim.run()
+        assert fired == ["x"]
+
+    def test_schedule_event_object(self, sim):
+        fired = []
+        ev = Event(4.0, EventPriority.NORMAL, lambda e: fired.append(e.name), name="obj")
+        sim.schedule_event(ev)
+        sim.run()
+        assert fired == ["obj"]
+
+    def test_schedule_event_in_past_raises(self, sim):
+        sim.schedule_at(1.0, lambda ev: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_event(Event(0.5, EventPriority.NORMAL, None))
+
+
+class TestOrdering:
+    def test_time_order(self, sim):
+        order = []
+        sim.schedule_at(3.0, lambda ev: order.append(3))
+        sim.schedule_at(1.0, lambda ev: order.append(1))
+        sim.schedule_at(2.0, lambda ev: order.append(2))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_priority_breaks_time_ties(self, sim):
+        order = []
+        sim.schedule_at(1.0, lambda ev: order.append("arrival"), priority=EventPriority.ARRIVAL)
+        sim.schedule_at(
+            1.0, lambda ev: order.append("completion"), priority=EventPriority.COMPLETION
+        )
+        sim.run()
+        assert order == ["completion", "arrival"]
+
+    def test_fifo_within_same_time_and_priority(self, sim):
+        order = []
+        for i in range(10):
+            sim.schedule_at(1.0, lambda ev, i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_monitor_priority_runs_last(self, sim):
+        order = []
+        sim.schedule_at(1.0, lambda ev: order.append("monitor"), priority=EventPriority.MONITOR)
+        sim.schedule_at(1.0, lambda ev: order.append("normal"), priority=EventPriority.NORMAL)
+        sim.run()
+        assert order == ["normal", "monitor"]
+
+    def test_event_scheduled_at_now_runs_in_same_pass(self, sim):
+        order = []
+
+        def outer(ev):
+            order.append("outer")
+            sim.schedule(0.0, lambda e: order.append("inner"))
+
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 1.0
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_bound(self, sim):
+        sim.schedule_at(10.0, lambda ev: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_executes_events_at_bound(self, sim):
+        fired = []
+        sim.schedule_at(5.0, lambda ev: fired.append("x"))
+        sim.run(until=5.0)
+        assert fired == ["x"]
+
+    def test_run_until_in_past_raises(self, sim):
+        sim.schedule_at(10.0, lambda ev: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_resume_after_until(self, sim):
+        fired = []
+        sim.schedule_at(10.0, lambda ev: fired.append(sim.now))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [10.0]
+
+    def test_stop_aborts_run(self, sim):
+        fired = []
+
+        def stopper(ev):
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule_at(1.0, stopper)
+        sim.schedule_at(2.0, lambda ev: fired.append("after"))
+        sim.run()
+        assert fired == ["stop"]
+        sim.run()
+        assert fired == ["stop", "after"]
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def loop(ev):
+            sim.schedule(0.0, loop)
+
+        sim.schedule_at(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_events_fired_counts(self, sim):
+        for i in range(5):
+            sim.schedule_at(float(i), lambda ev: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_empty_run_is_noop(self, sim):
+        sim.run()
+        assert sim.now == 0.0
+        assert sim.events_fired == 0
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50.0, lambda ev: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        ev = sim.schedule_at(1.0, lambda e: fired.append("x"))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_from_earlier_event(self, sim):
+        fired = []
+        later = sim.schedule_at(2.0, lambda e: fired.append("later"))
+        sim.schedule_at(1.0, lambda e: later.cancel())
+        sim.run()
+        assert fired == []
+
+    def test_peek_skips_cancelled(self, sim):
+        ev = sim.schedule_at(1.0, lambda e: None)
+        sim.schedule_at(2.0, lambda e: None)
+        ev.cancel()
+        assert sim.peek() == 2.0
+
+    def test_drain_cancelled(self, sim):
+        events = [sim.schedule_at(float(i + 1), lambda e: None) for i in range(10)]
+        for ev in events[:7]:
+            ev.cancel()
+        removed = sim.drain_cancelled()
+        assert removed == 7
+        assert sim.pending == 3
+        sim.run()
+        assert sim.events_fired == 3
+
+    def test_iter_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule_at(1.0, lambda e: None, name="keep")
+        drop = sim.schedule_at(2.0, lambda e: None, name="drop")
+        drop.cancel()
+        names = [e.name for e in sim.iter_pending()]
+        assert names == ["keep"]
+        keep.cancel()  # silence unused warnings
+
+
+class TestStep:
+    def test_step_executes_single_event(self, sim):
+        fired = []
+        sim.schedule_at(1.0, lambda e: fired.append(1))
+        sim.schedule_at(2.0, lambda e: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_step_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+
+class TestDeterminism:
+    def test_identical_schedules_identical_execution(self):
+        def build():
+            sim = Simulator()
+            order = []
+            for i in range(50):
+                t = (i * 37) % 11
+                sim.schedule_at(float(t), lambda ev, i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert build() == build()

@@ -1,0 +1,145 @@
+"""Tests for the generator-based process layer."""
+
+import pytest
+
+from repro.sim.process import Process, Timeout, Waiter
+
+
+class TestTimeout:
+    def test_process_sleeps(self, sim):
+        log = []
+
+        def proc():
+            log.append(("start", sim.now))
+            yield Timeout(5.0)
+            log.append(("woke", sim.now))
+
+        Process(sim, proc())
+        sim.run()
+        assert log == [("start", 0.0), ("woke", 5.0)]
+
+    def test_multiple_timeouts_accumulate(self, sim):
+        times = []
+
+        def proc():
+            for _ in range(3):
+                yield Timeout(2.0)
+                times.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_zero_timeout_allowed(self, sim):
+        done = []
+
+        def proc():
+            yield Timeout(0.0)
+            done.append(True)
+
+        Process(sim, proc())
+        sim.run()
+        assert done == [True]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_result_captured(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = Process(sim, proc())
+        sim.run()
+        assert p.done
+        assert p.result == 42
+
+    def test_process_runs_to_first_yield_immediately(self, sim):
+        log = []
+
+        def proc():
+            log.append("immediate")
+            yield Timeout(1.0)
+
+        Process(sim, proc())
+        assert log == ["immediate"]
+
+
+class TestWaiter:
+    def test_trigger_wakes_process(self, sim):
+        waiter = Waiter(sim, name="door")
+        got = []
+
+        def waiting():
+            value = yield waiter
+            got.append((value, sim.now))
+
+        def opener():
+            yield Timeout(3.0)
+            waiter.trigger("opened")
+
+        Process(sim, waiting())
+        Process(sim, opener())
+        sim.run()
+        assert got == [("opened", 3.0)]
+
+    def test_trigger_wakes_all_parked(self, sim):
+        waiter = Waiter(sim)
+        woken = []
+
+        def waiting(tag):
+            yield waiter
+            woken.append(tag)
+
+        for tag in ("a", "b", "c"):
+            Process(sim, waiting(tag))
+        assert waiter.waiting == 3
+        assert waiter.trigger() == 3
+        sim.run()
+        assert woken == ["a", "b", "c"]
+
+    def test_trigger_with_nobody_parked(self, sim):
+        waiter = Waiter(sim)
+        assert waiter.trigger() == 0
+
+    def test_waiter_reusable_across_triggers(self, sim):
+        waiter = Waiter(sim)
+        counts = []
+
+        def looper():
+            for _ in range(2):
+                yield waiter
+                counts.append(sim.now)
+
+        Process(sim, looper())
+
+        def driver():
+            yield Timeout(1.0)
+            waiter.trigger()
+            yield Timeout(1.0)
+            waiter.trigger()
+
+        Process(sim, driver())
+        sim.run()
+        assert counts == [1.0, 2.0]
+
+
+class TestErrors:
+    def test_bad_directive_raises(self, sim):
+        def proc():
+            yield "not a directive"
+
+        with pytest.raises(TypeError, match="expected Timeout or Waiter"):
+            Process(sim, proc())
+
+    def test_process_exception_surfaces(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        p = Process(sim, proc())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert p.done
+        assert isinstance(p.error, RuntimeError)

@@ -1,0 +1,186 @@
+"""Tests for the process-layer resources."""
+
+import pytest
+
+from repro.sim.process import Process, Timeout
+from repro.sim.resources import Gate, Semaphore, Store
+
+
+class TestSemaphore:
+    def test_try_acquire_counts_down(self, sim):
+        sem = Semaphore(sim, capacity=2)
+        assert sem.try_acquire() and sem.try_acquire()
+        assert not sem.try_acquire()
+        assert sem.available == 0
+
+    def test_release_restores(self, sim):
+        sem = Semaphore(sim, capacity=1)
+        sem.try_acquire()
+        sem.release()
+        assert sem.available == 1
+
+    def test_release_without_acquire_rejected(self, sim):
+        sem = Semaphore(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            sem.release()
+
+    def test_blocking_fifo_order(self, sim):
+        sem = Semaphore(sim, capacity=1)
+        order = []
+
+        def worker(tag, hold):
+            yield from sem.acquire()
+            order.append((tag, sim.now))
+            yield Timeout(hold)
+            sem.release()
+
+        Process(sim, worker("a", 10.0))
+        Process(sim, worker("b", 5.0))
+        Process(sim, worker("c", 1.0))
+        sim.run()
+        assert [t for t, _ in order] == ["a", "b", "c"]
+        assert [when for _, when in order] == [0.0, 10.0, 15.0]
+
+    def test_capacity_two_runs_pairs(self, sim):
+        sem = Semaphore(sim, capacity=2)
+        starts = []
+
+        def worker(tag):
+            yield from sem.acquire()
+            starts.append((tag, sim.now))
+            yield Timeout(10.0)
+            sem.release()
+
+        for tag in "abc":
+            Process(sim, worker(tag))
+        sim.run()
+        assert dict(starts)["a"] == 0.0
+        assert dict(starts)["b"] == 0.0
+        assert dict(starts)["c"] == 10.0
+
+    def test_bad_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        store.put("x")
+        Process(sim, consumer())
+        sim.run()
+        assert got == [("x", 0.0)]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield Timeout(7.0)
+            store.put(42)
+
+        Process(sim, consumer())
+        Process(sim, producer())
+        sim.run()
+        assert got == [(42, 7.0)]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for i in range(3):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield from store.get()))
+
+        Process(sim, consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_bound_drops(self, sim):
+        store = Store(sim, capacity=1)
+        assert store.put("a")
+        assert not store.put("b")
+        assert len(store) == 1
+        assert store.full
+
+    def test_try_get_empty(self, sim):
+        ok, item = Store(sim).try_get()
+        assert not ok and item is None
+
+    def test_bad_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestGate:
+    def test_wait_on_open_gate_is_noop(self, sim):
+        gate = Gate(sim, open_=True)
+        done = []
+
+        def proc():
+            yield from gate.wait()
+            done.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert done == [0.0]
+
+    def test_closed_gate_parks_until_open(self, sim):
+        gate = Gate(sim)
+        done = []
+
+        def proc():
+            yield from gate.wait()
+            done.append(sim.now)
+
+        def opener():
+            yield Timeout(5.0)
+            gate.open()
+
+        Process(sim, proc())
+        Process(sim, opener())
+        assert gate.waiting == 1
+        sim.run()
+        assert done == [5.0]
+
+    def test_open_wakes_all(self, sim):
+        gate = Gate(sim)
+        done = []
+
+        def proc(tag):
+            yield from gate.wait()
+            done.append(tag)
+
+        for tag in "abc":
+            Process(sim, proc(tag))
+        assert gate.open() == 3
+        sim.run()
+        assert sorted(done) == ["a", "b", "c"]
+
+    def test_close_reparks_new_waiters(self, sim):
+        gate = Gate(sim, open_=True)
+        gate.close()
+        done = []
+
+        def proc():
+            yield from gate.wait()
+            done.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert done == []
+        gate.open()
+        sim.run()
+        assert done == [0.0]

@@ -1,0 +1,73 @@
+"""Tests for the event trace recorder."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.trace import EventTrace
+
+
+def run_with_trace(n: int, capacity=None, predicate=None) -> tuple[Simulator, EventTrace]:
+    trace = EventTrace(capacity=capacity, predicate=predicate)
+    sim = Simulator(trace=trace)
+    for i in range(n):
+        sim.schedule_at(float(i), lambda ev: None, name=f"ev{i}")
+    sim.run()
+    return sim, trace
+
+
+class TestRecording:
+    def test_records_all_events_in_order(self):
+        _, trace = run_with_trace(5)
+        assert trace.names() == [f"ev{i}" for i in range(5)]
+        assert [r.time for r in trace] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_len_and_total(self):
+        _, trace = run_with_trace(5)
+        assert len(trace) == 5
+        assert trace.total_recorded == 5
+
+    def test_capacity_evicts_oldest(self):
+        _, trace = run_with_trace(10, capacity=3)
+        assert trace.names() == ["ev7", "ev8", "ev9"]
+        assert trace.total_recorded == 10
+
+    def test_predicate_filters(self):
+        _, trace = run_with_trace(10, predicate=lambda ev: ev.name.endswith(("0", "5")))
+        assert trace.names() == ["ev0", "ev5"]
+
+    def test_cancelled_events_not_recorded(self):
+        trace = EventTrace()
+        sim = Simulator(trace=trace)
+        ev = sim.schedule_at(1.0, lambda e: None, name="gone")
+        sim.schedule_at(2.0, lambda e: None, name="kept")
+        ev.cancel()
+        sim.run()
+        assert trace.names() == ["kept"]
+
+
+class TestQueries:
+    def test_filter_by_substring(self):
+        _, trace = run_with_trace(12)
+        assert [r.name for r in trace.filter("ev1")] == ["ev1", "ev10", "ev11"]
+
+    def test_between(self):
+        _, trace = run_with_trace(10)
+        assert [r.time for r in trace.between(3.0, 5.0)] == [3.0, 4.0, 5.0]
+
+    def test_getitem(self):
+        _, trace = run_with_trace(3)
+        assert trace[0].name == "ev0"
+        assert trace[-1].name == "ev2"
+
+    def test_clear(self):
+        _, trace = run_with_trace(3)
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_dump_renders_lines(self):
+        _, trace = run_with_trace(3)
+        dump = trace.dump()
+        assert "ev0" in dump and "ev2" in dump
+        assert len(dump.splitlines()) == 3
+
+    def test_dump_limit(self):
+        _, trace = run_with_trace(10)
+        assert len(trace.dump(limit=2).splitlines()) == 2

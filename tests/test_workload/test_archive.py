@@ -1,0 +1,71 @@
+"""Tests for the Parallel Workloads Archive registry."""
+
+import pytest
+
+from repro.workload.archive import (
+    KNOWN_TRACES,
+    TraceMismatch,
+    load,
+    locate,
+    traces_with_estimates,
+)
+from repro.workload.swf import SWFHeader, SWFRecord, write_swf_file
+
+
+def write_fake_trace(path, max_nodes=128):
+    header = SWFHeader(version="2.2", computer="IBM SP2", max_nodes=max_nodes)
+    records = [
+        SWFRecord(job_number=i + 1, submit_time=float(i * 60), run_time=100.0,
+                  allocated_procs=2, requested_procs=2, requested_time=200.0)
+        for i in range(5)
+    ]
+    write_swf_file(path, records, header=header)
+    return path
+
+
+class TestRegistry:
+    def test_paper_trace_present_with_rating(self):
+        info = KNOWN_TRACES["sdsc-sp2"]
+        assert info.max_nodes == 128
+        assert info.node_rating == 168.0
+        assert info.has_user_estimates
+
+    def test_traces_with_estimates_excludes_estimate_free(self):
+        keys = {t.key for t in traces_with_estimates()}
+        assert "sdsc-sp2" in keys
+        assert "sdsc-par95" not in keys
+
+
+class TestLocate:
+    def test_found(self, tmp_path):
+        write_fake_trace(tmp_path / KNOWN_TRACES["sdsc-sp2"].filename)
+        assert locate("sdsc-sp2", tmp_path) is not None
+
+    def test_absent(self, tmp_path):
+        assert locate("sdsc-sp2", tmp_path) is None
+
+    def test_unknown_key(self, tmp_path):
+        with pytest.raises(KeyError, match="known:"):
+            locate("bogus", tmp_path)
+
+
+class TestLoad:
+    def test_load_matching_header(self, tmp_path):
+        path = write_fake_trace(tmp_path / "t.swf", max_nodes=128)
+        header, records = load("sdsc-sp2", path)
+        assert header.max_nodes == 128
+        assert len(records) == 5
+
+    def test_mismatch_raises_in_strict_mode(self, tmp_path):
+        path = write_fake_trace(tmp_path / "t.swf", max_nodes=999)
+        with pytest.raises(TraceMismatch):
+            load("sdsc-sp2", path)
+
+    def test_mismatch_tolerated_when_lenient(self, tmp_path):
+        path = write_fake_trace(tmp_path / "t.swf", max_nodes=999)
+        header, _ = load("sdsc-sp2", path, strict=False)
+        assert header.max_nodes == 999
+
+    def test_unknown_key(self, tmp_path):
+        with pytest.raises(KeyError):
+            load("bogus", tmp_path / "t.swf")

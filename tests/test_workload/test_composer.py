@@ -1,0 +1,67 @@
+"""Tests for the workload composer."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.workload.composer import ProcessorModel, WorkloadComposition, compose_records
+from repro.workload.models import HyperExponentialRuntimes, PoissonArrivals
+from repro.workload.traces import WorkloadSpec, build_jobs, describe_records
+
+
+class TestProcessorModel:
+    def test_draw_respects_choices(self):
+        model = ProcessorModel(choices=(2, 4), weights=(0.5, 0.5), max_procs=8)
+        procs = model.draw(1000, np.random.default_rng(1))
+        assert set(procs) <= {2, 4}
+
+    def test_capped_filters_table(self):
+        model = ProcessorModel.capped(16)
+        assert max(model.choices) <= 16
+        assert model.max_procs == 16
+
+    def test_capped_tiny_machine(self):
+        model = ProcessorModel.capped(1)
+        assert model.choices == (1,)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"choices": (1, 2), "weights": (1.0,)},
+        {"choices": (), "weights": ()},
+        {"choices": (256,), "weights": (1.0,)},
+        {"choices": (1,), "weights": (-1.0,)},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcessorModel(**kwargs)
+
+
+class TestComposeRecords:
+    def test_deterministic(self):
+        comp = WorkloadComposition(num_jobs=100)
+        a = compose_records(comp, RngStreams(seed=4))
+        b = compose_records(comp, RngStreams(seed=4))
+        assert a == b
+
+    def test_custom_pieces_flow_through(self):
+        comp = WorkloadComposition(
+            num_jobs=500,
+            arrivals=PoissonArrivals(100.0),
+            runtimes=HyperExponentialRuntimes(short_mean=50.0, long_mean=5000.0,
+                                              short_fraction=0.9),
+            processors=ProcessorModel(choices=(1,), weights=(1.0,), max_procs=4),
+        )
+        records = compose_records(comp, RngStreams(seed=4))
+        stats = describe_records(records)
+        assert stats["max_procs"] == 1.0
+        assert stats["mean_interarrival_s"] == pytest.approx(100.0, rel=0.3)
+
+    def test_records_feed_the_job_pipeline(self):
+        comp = WorkloadComposition(num_jobs=50)
+        records = compose_records(comp, RngStreams(seed=4))
+        jobs = build_jobs(records, WorkloadSpec(estimate_mode="trace"), RngStreams(seed=4))
+        assert len(jobs) == 50
+        assert all(j.deadline > 0 for j in jobs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadComposition(num_jobs=0)

@@ -1,0 +1,92 @@
+"""Tests for the urgency-class deadline model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import UrgencyClass
+from repro.workload.deadlines import DeadlineModel
+
+
+@pytest.fixture
+def runtimes():
+    return np.full(20000, 100.0)
+
+
+class TestAssignment:
+    def test_deadlines_always_exceed_runtimes(self, runtimes):
+        model = DeadlineModel()
+        rng = np.random.default_rng(1)
+        deadlines, _ = model.assign(runtimes, rng)
+        assert np.all(deadlines >= runtimes * model.min_factor - 1e-9)
+
+    def test_high_urgency_fraction(self, runtimes):
+        model = DeadlineModel(high_urgency_fraction=0.3)
+        _, classes = model.assign(runtimes, np.random.default_rng(1))
+        frac = sum(1 for c in classes if c is UrgencyClass.HIGH) / len(classes)
+        assert frac == pytest.approx(0.3, abs=0.02)
+
+    def test_class_means_follow_ratio(self, runtimes):
+        model = DeadlineModel(high_urgency_fraction=0.5, low_factor_mean=2.0, ratio=4.0)
+        deadlines, classes = model.assign(runtimes, np.random.default_rng(2))
+        factors = deadlines / runtimes
+        high = np.array([f for f, c in zip(factors, classes) if c is UrgencyClass.HIGH])
+        low = np.array([f for f, c in zip(factors, classes) if c is UrgencyClass.LOW])
+        assert high.mean() == pytest.approx(2.0, rel=0.05)
+        assert low.mean() == pytest.approx(8.0, rel=0.05)
+
+    def test_ratio_one_makes_classes_identical(self, runtimes):
+        model = DeadlineModel(high_urgency_fraction=0.5, ratio=1.0)
+        deadlines, classes = model.assign(runtimes, np.random.default_rng(3))
+        factors = deadlines / runtimes
+        high = np.array([f for f, c in zip(factors, classes) if c is UrgencyClass.HIGH])
+        low = np.array([f for f, c in zip(factors, classes) if c is UrgencyClass.LOW])
+        assert high.mean() == pytest.approx(low.mean(), rel=0.05)
+
+    def test_zero_fraction_all_low_urgency(self, runtimes):
+        model = DeadlineModel(high_urgency_fraction=0.0)
+        _, classes = model.assign(runtimes, np.random.default_rng(4))
+        assert all(c is UrgencyClass.LOW for c in classes)
+
+    def test_full_fraction_all_high_urgency(self, runtimes):
+        model = DeadlineModel(high_urgency_fraction=1.0)
+        _, classes = model.assign(runtimes, np.random.default_rng(5))
+        assert all(c is UrgencyClass.HIGH for c in classes)
+
+    def test_deterministic_given_rng_seed(self, runtimes):
+        model = DeadlineModel()
+        a, ca = model.assign(runtimes, np.random.default_rng(6))
+        b, cb = model.assign(runtimes, np.random.default_rng(6))
+        assert np.array_equal(a, b)
+        assert ca == cb
+
+    def test_cv_controls_spread(self, runtimes):
+        tight = DeadlineModel(cv=0.01, high_urgency_fraction=0.0)
+        wide = DeadlineModel(cv=0.5, high_urgency_fraction=0.0)
+        rng = np.random.default_rng(7)
+        d_tight, _ = tight.assign(runtimes, rng)
+        d_wide, _ = wide.assign(runtimes, np.random.default_rng(7))
+        assert d_tight.std() < d_wide.std()
+
+    def test_deadlines_scale_with_runtime(self):
+        model = DeadlineModel(cv=0.0)
+        runtimes = np.array([10.0, 1000.0])
+        deadlines, _ = model.assign(runtimes, np.random.default_rng(8))
+        assert deadlines[1] / deadlines[0] == pytest.approx(100.0, rel=0.01)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"high_urgency_fraction": -0.1},
+        {"high_urgency_fraction": 1.1},
+        {"low_factor_mean": 1.0},
+        {"ratio": 0.5},
+        {"cv": -0.1},
+        {"min_factor": 0.9},
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            DeadlineModel(**kwargs)
+
+    def test_high_factor_mean_property(self):
+        model = DeadlineModel(low_factor_mean=2.0, ratio=4.0)
+        assert model.high_factor_mean == 8.0

@@ -1,0 +1,144 @@
+"""Tests for the runtime-estimate models."""
+
+import numpy as np
+import pytest
+
+from repro.workload.estimates import (
+    CANONICAL_ESTIMATES,
+    ModalOverestimateModel,
+    accurate_estimates,
+    interpolate_inaccuracy,
+    overestimation_summary,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture
+def runtimes(rng):
+    return rng.lognormal(8.0, 1.5, size=5000)
+
+
+class TestModalModel:
+    def test_behaviour_fractions_respected(self, runtimes, rng):
+        model = ModalOverestimateModel(p_exact=0.2, p_overrun=0.1)
+        est = model.draw(runtimes, rng)
+        factor = est / runtimes
+        frac_exact = np.mean(np.abs(factor - 1.0) < 1e-12)
+        frac_under = np.mean(factor < 1.0 - 1e-12)
+        assert frac_exact == pytest.approx(0.2, abs=0.03)
+        assert frac_under == pytest.approx(0.1, abs=0.03)
+
+    def test_overestimates_land_on_canonical_values(self, runtimes, rng):
+        model = ModalOverestimateModel(p_exact=0.0, p_overrun=0.0)
+        est = model.draw(runtimes, rng)
+        grid = set(CANONICAL_ESTIMATES)
+        on_grid = np.mean([e in grid for e in est])
+        # Values beyond the largest canonical keep their padded value,
+        # so not 100 %, but the overwhelming majority snaps to the grid.
+        assert on_grid > 0.8
+
+    def test_overestimates_never_below_runtime(self, runtimes, rng):
+        model = ModalOverestimateModel(p_exact=0.0, p_overrun=0.0)
+        est = model.draw(runtimes, rng)
+        assert np.all(est >= runtimes - 1e-9)
+
+    def test_overrun_factor_bounded(self, runtimes, rng):
+        model = ModalOverestimateModel(p_exact=0.0, p_overrun=1.0, max_overrun_factor=1.5)
+        est = model.draw(runtimes, rng)
+        factor = runtimes / est
+        assert np.all(factor > 1.0)
+        assert np.all(factor <= 1.5 + 1e-9)
+
+    def test_estimates_positive(self, rng):
+        model = ModalOverestimateModel()
+        est = model.draw(np.array([0.5, 1.0, 2.0]), rng)
+        assert np.all(est >= 1.0)
+
+    def test_no_canonical_rounding_mode(self, runtimes, rng):
+        model = ModalOverestimateModel(p_exact=0.0, p_overrun=0.0, use_canonical=False)
+        est = model.draw(runtimes, rng)
+        assert np.all(est > runtimes)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p_exact": -0.1},
+        {"p_overrun": 1.5},
+        {"p_exact": 0.7, "p_overrun": 0.5},
+        {"max_overrun_factor": 1.0},
+        {"use_canonical": True, "canonical": ()},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ModalOverestimateModel(**kwargs)
+
+
+class TestAccurate:
+    def test_identity(self):
+        r = np.array([1.0, 2.0, 3.0])
+        est = accurate_estimates(r)
+        assert np.array_equal(est, r)
+
+    def test_returns_copy(self):
+        r = np.array([1.0, 2.0])
+        est = accurate_estimates(r)
+        est[0] = 99.0
+        assert r[0] == 1.0
+
+
+class TestInterpolation:
+    def test_zero_pct_is_accurate(self):
+        r = np.array([10.0, 20.0])
+        t = np.array([100.0, 5.0])
+        assert np.array_equal(interpolate_inaccuracy(r, t, 0.0), r)
+
+    def test_hundred_pct_is_trace(self):
+        r = np.array([10.0, 20.0])
+        t = np.array([100.0, 5.0])
+        assert np.array_equal(interpolate_inaccuracy(r, t, 100.0), t)
+
+    def test_midpoint(self):
+        r = np.array([10.0])
+        t = np.array([110.0])
+        assert interpolate_inaccuracy(r, t, 50.0)[0] == pytest.approx(60.0)
+
+    def test_monotone_in_pct_for_overestimates(self):
+        r = np.array([10.0])
+        t = np.array([100.0])
+        values = [interpolate_inaccuracy(r, t, p)[0] for p in (0, 25, 50, 75, 100)]
+        assert values == sorted(values)
+
+    def test_underestimates_interpolate_downwards(self):
+        r = np.array([100.0])
+        t = np.array([60.0])
+        values = [interpolate_inaccuracy(r, t, p)[0] for p in (0, 50, 100)]
+        assert values == sorted(values, reverse=True)
+
+    def test_result_floored_at_one_second(self):
+        r = np.array([0.5])
+        t = np.array([0.1])
+        assert interpolate_inaccuracy(r, t, 100.0)[0] == 1.0
+
+    def test_out_of_range_pct(self):
+        r = t = np.array([1.0])
+        with pytest.raises(ValueError):
+            interpolate_inaccuracy(r, t, -1.0)
+        with pytest.raises(ValueError):
+            interpolate_inaccuracy(r, t, 101.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            interpolate_inaccuracy(np.array([1.0]), np.array([1.0, 2.0]), 50.0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        r = np.array([10.0, 10.0, 10.0, 10.0])
+        e = np.array([20.0, 10.0, 5.0, 40.0])
+        s = overestimation_summary(r, e)
+        assert s["frac_overestimated"] == pytest.approx(0.5)
+        assert s["frac_exact"] == pytest.approx(0.25)
+        assert s["frac_underestimated"] == pytest.approx(0.25)
+        assert s["mean_factor"] == pytest.approx((2.0 + 1.0 + 0.5 + 4.0) / 4)

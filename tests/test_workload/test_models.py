@@ -1,0 +1,127 @@
+"""Tests for the pluggable workload models."""
+
+import numpy as np
+import pytest
+
+from repro.workload.models import (
+    SECONDS_PER_DAY,
+    BoundedParetoRuntimes,
+    DailyCycleArrivals,
+    GammaArrivals,
+    HyperExponentialRuntimes,
+    LognormalRuntimes,
+    PoissonArrivals,
+    WeibullArrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+N = 20_000
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("process", [
+        PoissonArrivals(1000.0),
+        GammaArrivals(1000.0, shape=0.45),
+        WeibullArrivals(1000.0, shape=0.7),
+    ])
+    def test_times_sorted_and_start_at_zero(self, process, rng):
+        times = process.submit_times(500, rng)
+        assert times[0] == 0.0
+        assert np.all(np.diff(times) >= 0)
+
+    @pytest.mark.parametrize("process", [
+        PoissonArrivals(1000.0),
+        GammaArrivals(1000.0),
+        WeibullArrivals(1000.0),
+    ])
+    def test_mean_interarrival_matches_target(self, process, rng):
+        times = process.submit_times(N, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1000.0, rel=0.1)
+
+    def test_poisson_cv_near_one(self, rng):
+        gaps = np.diff(PoissonArrivals(1000.0).submit_times(N, rng))
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_gamma_burstier_than_poisson(self, rng):
+        gaps = np.diff(GammaArrivals(1000.0, shape=0.3).submit_times(N, rng))
+        assert gaps.std() / gaps.mean() > 1.3
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (PoissonArrivals, {"mean_interarrival": 0.0}),
+        (GammaArrivals, {"mean_interarrival": 100.0, "shape": 0.0}),
+        (WeibullArrivals, {"mean_interarrival": -1.0}),
+    ])
+    def test_validation(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(**kwargs)
+
+
+class TestDailyCycle:
+    def test_zero_depth_is_identity(self, rng):
+        base = PoissonArrivals(600.0)
+        wrapped = DailyCycleArrivals(base, depth=0.0)
+        a = base.submit_times(200, np.random.default_rng(5))
+        b = wrapped.submit_times(200, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+    def test_cycle_modulates_hourly_rate(self, rng):
+        wrapped = DailyCycleArrivals(PoissonArrivals(120.0), depth=0.8)
+        times = wrapped.submit_times(N, rng)
+        # Bucket arrivals by hour-of-day; peak hours must see far more
+        # traffic than trough hours.
+        hours = ((times % SECONDS_PER_DAY) // 3600).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert counts.max() > 1.8 * max(counts.min(), 1)
+
+    def test_times_still_sorted(self, rng):
+        wrapped = DailyCycleArrivals(GammaArrivals(500.0), depth=0.5, phase=0.3)
+        times = wrapped.submit_times(2000, rng)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            DailyCycleArrivals(PoissonArrivals(1.0), depth=1.0)
+
+
+class TestRuntimeDistributions:
+    def test_lognormal_mean_and_bounds(self, rng):
+        dist = LognormalRuntimes(mean=5000.0, sigma=1.5, minimum=10.0, maximum=100_000.0)
+        r = dist.runtimes(N, rng)
+        assert np.all((r >= 10.0) & (r <= 100_000.0))
+        # Clamping biases the mean down a little; stay in the ballpark.
+        assert r.mean() == pytest.approx(5000.0, rel=0.25)
+
+    def test_hyperexponential_mixture(self, rng):
+        dist = HyperExponentialRuntimes(short_mean=100.0, long_mean=50_000.0,
+                                        short_fraction=0.8)
+        r = dist.runtimes(N, rng)
+        assert r.mean() == pytest.approx(dist.mean, rel=0.1)
+        # Distinctly bimodal: lots of short jobs AND a real tail.
+        assert np.mean(r < 500.0) > 0.5
+        assert np.mean(r > 20_000.0) > 0.05
+
+    def test_bounded_pareto_bounds(self, rng):
+        dist = BoundedParetoRuntimes(alpha=1.1, low=60.0, high=10_000.0)
+        r = dist.runtimes(N, rng)
+        assert np.all((r >= 60.0 - 1e-6) & (r <= 10_000.0 + 1e-6))
+
+    def test_bounded_pareto_heavy_tail(self, rng):
+        r = BoundedParetoRuntimes(alpha=0.9, low=60.0, high=200_000.0).runtimes(N, rng)
+        assert np.median(r) < r.mean() / 3.0
+
+    @pytest.mark.parametrize("cls,kwargs", [
+        (LognormalRuntimes, {"mean": -1.0}),
+        (LognormalRuntimes, {"minimum": 10.0, "maximum": 1.0}),
+        (HyperExponentialRuntimes, {"short_fraction": 1.5}),
+        (BoundedParetoRuntimes, {"low": 10.0, "high": 5.0}),
+        (BoundedParetoRuntimes, {"alpha": 0.0}),
+    ])
+    def test_validation(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(**kwargs)

@@ -1,0 +1,140 @@
+"""Tests for the SWF parser/writer."""
+
+import pytest
+
+from repro.workload.swf import (
+    MISSING,
+    STATUS_COMPLETED,
+    SWFHeader,
+    SWFParseError,
+    SWFRecord,
+    iter_swf_records,
+    parse_swf,
+    read_swf_file,
+    write_swf_file,
+)
+
+SAMPLE = """\
+; Version: 2.2
+; Computer: IBM SP2
+; Installation: SDSC
+; MaxJobs: 73496
+; MaxNodes: 128
+; UnixStartTime: 893534157
+; TimeZone: US/Pacific
+; Note: cleaned trace
+; custom free-form comment
+1 0 10 100 8 -1 -1 8 120 -1 1 3 1 -1 1 -1 -1 -1
+2 60 0 50 -1 -1 -1 16 3600 -1 1 4 1 -1 1 -1 -1 -1
+3 120 5 -1 4 -1 -1 4 600 -1 0 5 1 -1 1 -1 -1 -1
+"""
+
+
+class TestParsing:
+    def test_parses_records(self):
+        header, records = parse_swf(SAMPLE)
+        assert len(records) == 3
+        r = records[0]
+        assert r.job_number == 1
+        assert r.submit_time == 0.0
+        assert r.wait_time == 10.0
+        assert r.run_time == 100.0
+        assert r.allocated_procs == 8
+        assert r.requested_time == 120.0
+        assert r.status == STATUS_COMPLETED
+
+    def test_header_directives(self):
+        header, _ = parse_swf(SAMPLE)
+        assert header.version == "2.2"
+        assert header.computer == "IBM SP2"
+        assert header.installation == "SDSC"
+        assert header.max_jobs == 73496
+        assert header.max_nodes == 128
+        assert header.unix_start_time == 893534157
+        assert header.timezone == "US/Pacific"
+        assert header.note == "cleaned trace"
+        assert "custom free-form comment" in header.extra
+
+    def test_blank_lines_skipped(self):
+        _, records = parse_swf("\n\n1 0 0 10 1 -1 -1 1 20 -1 1 1 1 -1 1 -1 -1 -1\n\n")
+        assert len(records) == 1
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(SWFParseError, match="expected 18 fields"):
+            parse_swf("1 2 3\n")
+
+    def test_bad_value_raises_with_field_name(self):
+        line = "1 0 0 abc 1 -1 -1 1 20 -1 1 1 1 -1 1 -1 -1 -1\n"
+        with pytest.raises(SWFParseError, match="run_time"):
+            parse_swf(line)
+
+    def test_float_submit_times_allowed(self):
+        _, records = parse_swf("1 12.5 0 10 1 -1 -1 1 20 -1 1 1 1 -1 1 -1 -1 -1\n")
+        assert records[0].submit_time == 12.5
+
+
+class TestRecordViews:
+    def test_procs_prefers_allocated(self):
+        _, records = parse_swf(SAMPLE)
+        assert records[0].procs == 8
+        assert records[1].procs == 16  # allocated missing -> requested
+
+    def test_estimate_is_requested_time(self):
+        _, records = parse_swf(SAMPLE)
+        assert records[0].estimate == 120.0
+
+    def test_usable(self):
+        _, records = parse_swf(SAMPLE)
+        assert records[0].usable
+        assert records[1].usable
+        assert not records[2].usable  # run_time missing
+
+    def test_unusable_without_procs(self):
+        r = SWFRecord(job_number=1, submit_time=0.0, run_time=10.0)
+        assert not r.usable
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        header, records = parse_swf(SAMPLE)
+        path = tmp_path / "out.swf"
+        count = write_swf_file(path, records, header=header)
+        assert count == 3
+        header2, records2 = read_swf_file(path)
+        assert records2 == records
+        assert header2.max_nodes == header.max_nodes
+        assert header2.version == header.version
+
+    def test_to_line_renders_ints_compactly(self):
+        r = SWFRecord(job_number=1, submit_time=5.0, run_time=10.0)
+        line = r.to_line()
+        assert line.split()[:4] == ["1", "5", "-1", "10"]
+
+    def test_iter_swf_records_streams(self, tmp_path):
+        path = tmp_path / "t.swf"
+        _, records = parse_swf(SAMPLE)
+        write_swf_file(path, records)
+        streamed = list(iter_swf_records(path))
+        assert streamed == records
+
+
+class TestHeaderRendering:
+    def test_to_lines_round_trips_directives(self):
+        header = SWFHeader(version="2.2", max_nodes=128, note="x")
+        rebuilt = SWFHeader()
+        for line in header.to_lines():
+            rebuilt.absorb(line)
+        assert rebuilt.version == "2.2"
+        assert rebuilt.max_nodes == 128
+        assert rebuilt.note == "x"
+
+    def test_unknown_directive_kept_in_extra(self):
+        header = SWFHeader()
+        header.absorb("; Frobnication Level: 9")
+        assert header.extra == ["Frobnication Level: 9"]
+
+    def test_malformed_int_directive_falls_back_to_extra(self):
+        header = SWFHeader()
+        header.absorb("; MaxNodes: lots")
+        assert header.max_nodes is None
+        assert "MaxNodes: lots" in header.extra

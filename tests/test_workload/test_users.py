@@ -1,0 +1,109 @@
+"""Tests for per-user consistent estimate behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.workload.users import UserConsistentEstimateModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestProfiles:
+    def test_profile_deterministic_per_user_and_seed(self):
+        model = UserConsistentEstimateModel()
+        a = model.profile_for(17, seed=3)
+        b = model.profile_for(17, seed=3)
+        assert a == b
+
+    def test_different_seed_can_change_profile(self):
+        model = UserConsistentEstimateModel()
+        profiles = {model.profile_for(17, seed=s).kind for s in range(20)}
+        assert len(profiles) > 1
+
+    def test_behaviour_fractions_roughly_respected(self):
+        model = UserConsistentEstimateModel(
+            p_accurate=0.3, p_padder=0.4, p_max_requester=0.2
+        )
+        counts = model.behaviour_counts(range(3000), seed=1)
+        total = sum(counts.values())
+        assert counts["accurate"] / total == pytest.approx(0.3, abs=0.05)
+        assert counts["padder"] / total == pytest.approx(0.4, abs=0.05)
+        assert counts["overrunner"] / total == pytest.approx(0.1, abs=0.05)
+
+    def test_p_overrunner_property(self):
+        model = UserConsistentEstimateModel(p_accurate=0.2, p_padder=0.5,
+                                            p_max_requester=0.2)
+        assert model.p_overrunner == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"p_accurate": 0.6, "p_padder": 0.6},
+        {"max_overrun_factor": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            UserConsistentEstimateModel(**kwargs)
+
+
+class TestDraw:
+    def test_padder_jobs_share_their_factor(self, rng):
+        model = UserConsistentEstimateModel(
+            p_accurate=0.0, p_padder=1.0, p_max_requester=0.0, jitter=0.0
+        )
+        runtimes = np.array([100.0, 200.0, 50.0])
+        est = model.draw(runtimes, [7, 7, 7], rng, seed=1)
+        factors = est / runtimes
+        # Same user, zero jitter -> identical personal factor.
+        assert factors[0] == pytest.approx(factors[1])
+        assert factors[0] == pytest.approx(factors[2])
+        assert factors[0] > 1.0
+
+    def test_different_padders_different_factors(self, rng):
+        model = UserConsistentEstimateModel(
+            p_accurate=0.0, p_padder=1.0, p_max_requester=0.0, jitter=0.0
+        )
+        runtimes = np.full(40, 100.0)
+        est = model.draw(runtimes, list(range(40)), rng, seed=1)
+        assert len(set(np.round(est, 6))) > 10
+
+    def test_accurate_users_near_truth(self, rng):
+        model = UserConsistentEstimateModel(
+            p_accurate=1.0, p_padder=0.0, p_max_requester=0.0, jitter=0.1
+        )
+        runtimes = np.full(100, 1000.0)
+        est = model.draw(runtimes, list(range(100)), rng, seed=1)
+        assert np.all(np.abs(est / runtimes - 1.0) <= 0.06)
+
+    def test_max_requesters_never_below_runtime(self, rng):
+        model = UserConsistentEstimateModel(
+            p_accurate=0.0, p_padder=0.0, p_max_requester=1.0
+        )
+        runtimes = np.array([10.0, 1e6])
+        est = model.draw(runtimes, [1, 1], rng, seed=1)
+        assert np.all(est >= runtimes)
+
+    def test_overrunners_underestimate_boundedly(self, rng):
+        model = UserConsistentEstimateModel(
+            p_accurate=0.0, p_padder=0.0, p_max_requester=0.0,
+            max_overrun_factor=1.5,
+        )
+        runtimes = np.full(200, 300.0)
+        est = model.draw(runtimes, list(range(200)), rng, seed=1)
+        ratio = runtimes / est
+        assert np.all(ratio >= 1.0)
+        assert np.all(ratio <= 1.5 + 1e-9)
+
+    def test_alignment_checked(self, rng):
+        model = UserConsistentEstimateModel()
+        with pytest.raises(ValueError):
+            model.draw(np.array([1.0]), [1, 2], rng)
+
+    def test_estimates_floored_at_one_second(self, rng):
+        model = UserConsistentEstimateModel(
+            p_accurate=0.0, p_padder=0.0, p_max_requester=0.0,
+        )
+        est = model.draw(np.array([1.0]), [4], rng)
+        assert est[0] >= 1.0
