@@ -13,7 +13,9 @@ The package implements, from scratch:
 * the paper's three admission controls — EDF, Libra and **LibraRisk**
   — plus extension baselines (:mod:`repro.scheduling`);
 * the paper's metrics (:mod:`repro.metrics`) and the experiment
-  harness that regenerates every figure (:mod:`repro.experiments`).
+  harness that regenerates every figure (:mod:`repro.experiments`);
+* an observability layer — metrics registry, admission-decision
+  tracing, profiling hooks and exporters (:mod:`repro.obs`).
 
 Quickstart
 ----------
@@ -26,6 +28,7 @@ True
 __version__ = "1.0.0"
 
 from repro.cluster import Cluster, Job, JobState, ResourceManagementSystem, UrgencyClass
+from repro.obs import MetricsRegistry, ObsSession, RunSink
 from repro.scheduling import (
     EDFPolicy,
     LibraPolicy,
@@ -42,8 +45,11 @@ __all__ = [
     "JobState",
     "LibraPolicy",
     "LibraRiskPolicy",
+    "MetricsRegistry",
+    "ObsSession",
     "ResourceManagementSystem",
     "RngStreams",
+    "RunSink",
     "Simulator",
     "UrgencyClass",
     "__version__",

@@ -22,6 +22,7 @@ Workload statistics the paper reports in §4::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -30,6 +31,8 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures import PAPER_POLICIES, all_figures, figure1, figure2, figure3, figure4
 from repro.experiments.reporting import metrics_table, render_table, to_csv
 from repro.experiments.runner import run_policies, run_scenario
+from repro.obs.log import LOG_LEVELS, configure_logging
+from repro.obs.session import ObsSession, RunSink
 from repro.scheduling.registry import available_policies
 from repro.sim.rng import RngStreams
 from repro.workload.swf import read_swf_file
@@ -37,6 +40,18 @@ from repro.workload.synthetic import SDSCSP2Model, generate_sdsc_like_records
 from repro.workload.traces import describe_records, tail_subset
 
 _FIGURE_FNS = {"figure1": figure1, "figure2": figure2, "figure3": figure3, "figure4": figure4}
+
+
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or exotic environments
+        from repro import __version__
+
+        return __version__
 
 
 def _base_config(args: argparse.Namespace) -> ScenarioConfig:
@@ -68,16 +83,90 @@ def _progress_printer(verbose: bool):
     return emit
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the simulation-running commands."""
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write a JSON-lines metrics/decision log for every run to PATH",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect wall-time profiling (events/sec, admission-test time, "
+             "heap depth); appends a profile record to the metrics log",
+    )
+    # Also accepted after the subcommand for convenience; SUPPRESS keeps the
+    # subparser from clobbering a value parsed at the top level.
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+
+
+def _obs_sink(args: argparse.Namespace) -> RunSink:
+    """A RunSink for multi-run commands (inactive when no flag was given)."""
+    metrics_out = getattr(args, "metrics_out", None)
+    profile = getattr(args, "profile", False)
+    if metrics_out is None and not profile:
+        # A pathless, profile-less sink still observes runs; avoid that
+        # overhead (and record retention) when nothing was asked for.
+        class _NullSink:
+            runs = 0
+            records: list = []
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return None
+
+        return _NullSink()  # type: ignore[return-value]
+    if getattr(args, "processes", 1) > 1:
+        print(
+            "warning: --metrics-out/--profile only capture in-process runs; "
+            "ignoring --processes and running sequentially",
+            file=sys.stderr,
+        )
+        args.processes = 1
+    return RunSink(path=metrics_out, profile=profile)
+
+
+def _report_sink(args: argparse.Namespace, sink) -> None:
+    """Tell the user what a multi-run sink captured (if anything)."""
+    if getattr(args, "metrics_out", None) and sink.runs:
+        print(f"\nwrote metrics for {sink.runs} runs to {args.metrics_out}")
+    if getattr(args, "profile", False) and getattr(sink, "sessions", None):
+        wall = sum(
+            s.profiler.phase_wall.get("run", 0.0)
+            for s in sink.sessions if s.profiler is not None
+        )
+        events = sum(
+            s.profiler.run_events for s in sink.sessions if s.profiler is not None
+        )
+        rate = events / wall if wall > 0 else 0.0
+        print(
+            f"profile: {sink.runs} runs, {events} kernel events in "
+            f"{wall:.2f}s simulation wall time ({rate:,.0f} events/s)"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce Yeo & Buyya (ICPP 2006): EDF vs Libra vs LibraRisk",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}",
+    )
+    parser.add_argument(
+        "--log-level", default="warning", choices=LOG_LEVELS,
+        help="logging threshold for the repro.* loggers (default: warning)",
+    )
+    sub = parser.add_subparsers(dest="command")
 
     for fid in ("figure1", "figure2", "figure3", "figure4"):
         p = sub.add_parser(fid, help=f"regenerate paper {fid}")
         _add_common(p)
+        _add_obs(p)
         p.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
         p.add_argument("--chart", action="store_true",
                        help="render panels as ASCII charts instead of tables")
@@ -91,10 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figures", help="regenerate all four figures")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--verbose", action="store_true")
 
     p = sub.add_parser("run", help="run a single scenario")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--policy", default="librarisk", choices=available_policies())
     p.add_argument("--estimate-mode", default="trace",
                    choices=("accurate", "trace", "inaccuracy"))
@@ -103,11 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--high-urgency", type=float, default=20.0,
                    help="%% of high urgency jobs")
     p.add_argument("--deadline-ratio", type=float, default=4.0)
+    p.add_argument(
+        "--prom-out", type=str, default=None, metavar="PATH",
+        help="write the final metrics registry in Prometheus text format",
+    )
 
     p = sub.add_parser("compare", help="all policies on one scenario")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--estimate-mode", default="trace",
                    choices=("accurate", "trace", "inaccuracy"))
+
+    p = sub.add_parser(
+        "inspect", help="replay a JSON-lines metrics log written by --metrics-out",
+    )
+    p.add_argument("log", type=str, help="path to the .jsonl metrics log")
+    p.add_argument(
+        "--mode", default="report",
+        choices=("report", "prom", "decisions", "transitions"),
+        help="report: human summary; prom: Prometheus text of the final "
+             "registry; decisions/transitions: dump those records",
+    )
+    p.add_argument("--policy", type=str, default=None,
+                   help="filter decision output to one policy")
 
     p = sub.add_parser("trace-stats", help="workload statistics (paper §4)")
     _add_common(p)
@@ -143,19 +252,53 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # A downstream reader closed the pipe (`repro inspect ... | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush does
+        # not raise again, and exit with the conventional SIGPIPE status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _dispatch(argv: Optional[Sequence[str]]) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command is None:
+        # `repro` with no subcommand: print usage rather than erroring out.
+        parser.print_help()
+        return 2
+
+    configure_logging(args.log_level)
 
     if args.command == "policies":
         for name in available_policies():
             print(name)
         return 0
 
+    if args.command == "inspect":
+        from repro.obs.inspect import inspect_log
+
+        try:
+            print(inspect_log(args.log, mode=args.mode, policy=args.policy))
+        except OSError as exc:
+            print(f"repro inspect: cannot read {args.log}: {exc.strerror or exc}",
+                  file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"repro inspect: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
     if args.command in _FIGURE_FNS:
         base = _base_config(args)
-        fig = _FIGURE_FNS[args.command](
-            base=base, policies=args.policies,
-            progress=_progress_printer(args.verbose), processes=args.processes,
-        )
+        with _obs_sink(args) as sink:
+            fig = _FIGURE_FNS[args.command](
+                base=base, policies=args.policies,
+                progress=_progress_printer(args.verbose), processes=args.processes,
+            )
         if args.csv:
             for panel in fig.panels:
                 print(f"# panel ({panel.label}) {panel.title}")
@@ -169,13 +312,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(panel_chart(panel))
         else:
             print(fig.render())
+        _report_sink(args, sink)
         return 0
 
     if args.command == "figures":
         base = _base_config(args)
-        for fig in all_figures(base=base, progress=_progress_printer(args.verbose)).values():
-            print(fig.render())
-            print()
+        with _obs_sink(args) as sink:
+            for fig in all_figures(base=base, progress=_progress_printer(args.verbose)).values():
+                print(fig.render())
+                print()
+        _report_sink(args, sink)
         return 0
 
     if args.command == "run":
@@ -187,20 +333,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             high_urgency_fraction=args.high_urgency / 100.0,
             deadline_ratio=args.deadline_ratio,
         )
-        result = run_scenario(config)
+        session = None
+        if args.metrics_out is not None or args.profile or args.prom_out is not None:
+            session = ObsSession(scenario=config, profile=args.profile)
+        result = run_scenario(config, obs=session)
         rows = sorted(result.metrics.as_dict().items())
         print(render_table(["metric", "value"], rows))
         print(f"\nsimulated horizon: {result.horizon / 86400.0:.1f} days, "
               f"{result.events} events in {result.elapsed:.2f}s wall-clock")
+        if session is not None:
+            from repro.obs.exporters import prometheus_text, write_jsonl
+
+            if args.metrics_out is not None:
+                lines = write_jsonl(args.metrics_out, session.records)
+                print(f"wrote {lines} metric records to {args.metrics_out}")
+            if args.prom_out is not None:
+                with open(args.prom_out, "w", encoding="utf-8") as fp:
+                    fp.write(prometheus_text(session.registry))
+                print(f"wrote Prometheus metrics to {args.prom_out}")
+            if session.profiler is not None:
+                print()
+                print(session.profiler.render())
         return 0
 
     if args.command == "compare":
         base = _base_config(args).replace(estimate_mode=args.estimate_mode)
-        results = run_policies(base, available_policies())
+        with _obs_sink(args) as sink:
+            results = run_policies(base, available_policies())
         print(metrics_table(
             results,
             ("pct_deadlines_fulfilled", "avg_slowdown", "acceptance_pct", "completed_late"),
         ))
+        _report_sink(args, sink)
         return 0
 
     if args.command == "trace-stats":

@@ -23,6 +23,7 @@ from repro.sim.events import Event, EventPriority
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hooks import LifecycleObserver
     from repro.scheduling.base import SchedulingPolicy
 
 
@@ -38,7 +39,14 @@ class ResourceManagementSystem:
         self.rejected: list[Job] = []
         self.completed: list[Job] = []
         self.failed: list[Job] = []
+        #: Optional :class:`~repro.obs.hooks.LifecycleObserver` notified
+        #: of every job transition the RMS witnesses.  Must be passive.
+        self.observer: Optional["LifecycleObserver"] = None
         policy.bind(sim=sim, cluster=cluster, rms=self)
+
+    def _notify_observer(self, job: Job, transition: str) -> None:
+        if self.observer is not None:
+            self.observer.on_job_transition(job, transition, self.sim.now)
 
     # -- workload intake -----------------------------------------------------
     def submit_all(self, jobs: Iterable[Job]) -> int:
@@ -61,26 +69,31 @@ class ResourceManagementSystem:
         job: Job = event.payload
         job.mark_submitted()
         self.jobs.append(job)
+        self._notify_observer(job, "submitted")
         self.policy.on_job_submitted(job, self.sim.now)
 
     # -- policy callbacks -------------------------------------------------------
     def notify_accepted(self, job: Job) -> None:
         """Policy accepted ``job`` (it is queued or running)."""
         self.accepted.append(job)
+        self._notify_observer(job, "accepted")
 
     def notify_rejected(self, job: Job, reason: str = "") -> None:
         """Policy refused ``job`` at admission (or EDF's dispatch check)."""
         if not job.state is JobState.REJECTED:
             job.mark_rejected(reason)
         self.rejected.append(job)
+        self._notify_observer(job, "rejected")
 
     def notify_completed(self, job: Job) -> None:
         """Policy observed the last task of ``job`` finish."""
         self.completed.append(job)
+        self._notify_observer(job, "completed")
 
     def notify_failed(self, job: Job) -> None:
         """Policy observed ``job`` die with a failed node."""
         self.failed.append(job)
+        self._notify_observer(job, "failed")
 
     # -- bookkeeping views ---------------------------------------------------------
     @property

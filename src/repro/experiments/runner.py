@@ -4,6 +4,12 @@ The workload-construction streams are derived from the scenario seed
 only (not from the policy), so two scenarios differing only in
 ``policy`` simulate **identical** job streams — the paper's comparisons
 are paired, and so are ours.
+
+Observability: pass an :class:`~repro.obs.session.ObsSession` to
+:func:`run_scenario` (or install a :class:`~repro.obs.session.RunSink`
+around any multi-run helper — figures, sweeps, :func:`run_policies`) and
+every run records its admission decisions, lifecycle transitions and
+final metrics; see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -17,12 +23,16 @@ from repro.cluster.job import Job
 from repro.cluster.rms import ResourceManagementSystem
 from repro.experiments.config import ScenarioConfig
 from repro.metrics.summary import ScenarioMetrics, compute_metrics
+from repro.obs.log import get_logger
+from repro.obs.session import ObsSession, active_sink
 from repro.scheduling.registry import make_policy, policy_discipline
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
 from repro.workload.swf import SWFRecord
 from repro.workload.synthetic import generate_sdsc_like_records
 from repro.workload.traces import build_jobs, tail_subset
+
+log = get_logger("experiments.runner")
 
 
 @dataclass(frozen=True)
@@ -37,6 +47,8 @@ class ScenarioResult:
     events: int
     #: Wall-clock seconds the simulation took.
     elapsed: float
+    #: The finalized observability session, when the run was observed.
+    obs: Optional[ObsSession] = None
 
     def __str__(self) -> str:
         m = self.metrics
@@ -67,6 +79,7 @@ def build_scenario_jobs(config: ScenarioConfig) -> list[Job]:
 def run_scenario(
     config: ScenarioConfig,
     jobs: Optional[Sequence[Job]] = None,
+    obs: Optional[ObsSession] = None,
 ) -> ScenarioResult:
     """Simulate one scenario to completion and compute its metrics.
 
@@ -79,8 +92,19 @@ def run_scenario(
         are stateful); passing one lets callers reuse the expensive
         record-generation step across policies via
         :func:`build_scenario_jobs`.
+    obs:
+        Optional observability session to attach to this run.  When
+        omitted and a :class:`~repro.obs.session.RunSink` is active, a
+        session is created automatically and its records handed to the
+        sink; with neither, the run is completely uninstrumented (the
+        hooks cost one ``is None`` check each).
     """
     job_list = list(jobs) if jobs is not None else build_scenario_jobs(config)
+
+    sink = active_sink() if obs is None else None
+    session = obs if obs is not None else (
+        sink.new_session(config) if sink is not None else None
+    )
 
     t0 = time.perf_counter()
     sim = Simulator()
@@ -93,17 +117,36 @@ def run_scenario(
     )
     policy = make_policy(config.policy, **config.policy_kwargs)
     rms = ResourceManagementSystem(sim, cluster, policy)
-    rms.submit_all(job_list)
-    sim.run()
+    if session is None:
+        rms.submit_all(job_list)
+        sim.run()
+    else:
+        session.attach(sim, rms, policy)
+        with session.span("submit"):
+            rms.submit_all(job_list)
+        with session.span("run"):
+            sim.run()
     elapsed = time.perf_counter() - t0
 
-    metrics = compute_metrics(rms.jobs, cluster, sim.now)
+    if session is None:
+        metrics = compute_metrics(rms.jobs, cluster, sim.now)
+    else:
+        with session.span("collect"):
+            metrics = compute_metrics(rms.jobs, cluster, sim.now)
+        session.finalize(metrics=metrics, sim=sim)
+        if sink is not None:
+            sink.take(session)
+        log.info(
+            "scenario %s: %d events in %.3fs wall-clock",
+            config.label(), sim.events_fired, elapsed,
+        )
     return ScenarioResult(
         config=config,
         metrics=metrics,
         horizon=sim.now,
         events=sim.events_fired,
         elapsed=elapsed,
+        obs=session,
     )
 
 

@@ -1,0 +1,46 @@
+"""repro.obs — the observability layer.
+
+Everything needed to see *inside* a simulation run:
+
+* :mod:`repro.obs.metrics` — deterministic counters/gauges/histograms;
+* :mod:`repro.obs.hooks` — the observer protocols the core exposes;
+* :mod:`repro.obs.session` — :class:`ObsSession` wires one run,
+  :class:`RunSink` captures many;
+* :mod:`repro.obs.profiling` — wall-time and heap-depth profiling;
+* :mod:`repro.obs.exporters` — JSON-lines, Prometheus text, run report;
+* :mod:`repro.obs.inspect` — replay a JSON-lines log;
+* :mod:`repro.obs.log` — the shared ``repro.*`` logging configuration.
+
+See ``docs/OBSERVABILITY.md`` for the full guide.
+"""
+
+from repro.obs.exporters import (
+    prometheus_text,
+    read_jsonl,
+    run_report,
+    write_jsonl,
+)
+from repro.obs.hooks import LifecycleObserver, PolicyObserver
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import Profiler
+from repro.obs.session import ObsSession, RunSink, active_sink
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LifecycleObserver",
+    "MetricsRegistry",
+    "ObsSession",
+    "PolicyObserver",
+    "Profiler",
+    "RunSink",
+    "active_sink",
+    "configure_logging",
+    "get_logger",
+    "prometheus_text",
+    "read_jsonl",
+    "run_report",
+    "write_jsonl",
+]

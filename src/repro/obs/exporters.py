@@ -1,0 +1,221 @@
+"""Exporters: JSON-lines, Prometheus text format, human-readable report.
+
+Three ways out of the obs layer, all fed by the same record stream and
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — one JSON object per line,
+  canonically serialized (sorted keys, no whitespace) so equal record
+  streams produce **byte-identical** files;
+* :func:`prometheus_text` — the Prometheus exposition text format, for
+  scraping or eyeballing counters/gauges/histograms;
+* :func:`run_report` — a terminal-friendly summary of one or more
+  observed runs (also what ``repro inspect`` prints).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+PathOrIO = Union[str, IO[str]]
+
+
+# -- JSON lines ---------------------------------------------------------------
+
+def jsonl_line(record: dict) -> str:
+    """Canonical single-line serialization of one record."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+        allow_nan=False,
+    )
+
+
+def write_jsonl_records(fp: IO[str], records: Iterable[dict]) -> int:
+    """Append ``records`` to an open text stream; returns lines written."""
+    n = 0
+    for record in records:
+        fp.write(jsonl_line(record))
+        fp.write("\n")
+        n += 1
+    return n
+
+
+def write_jsonl(path: str, records: Iterable[dict]) -> int:
+    """Write ``records`` to ``path`` as JSON lines; returns lines written."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fp:
+        return write_jsonl_records(fp, records)
+
+
+def read_jsonl(source: PathOrIO) -> list[dict]:
+    """Parse a JSON-lines file (or open stream) back into records.
+
+    Blank lines are ignored; a malformed line raises ``ValueError``
+    naming its line number.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fp:
+            return read_jsonl(fp)
+    records = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON record: {exc}") from exc
+    return records
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(labels: dict[str, str], extra: Optional[tuple[str, str]] = None) -> str:
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus exposition text format."""
+    return prometheus_from_dump(registry.collect())
+
+
+def prometheus_from_dump(metric_dicts: Sequence[dict]) -> str:
+    """Render collected metric dicts (e.g. a ``registry`` record from a
+    JSON-lines log) in the Prometheus text format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for m in metric_dicts:
+        name, kind = m["name"], m["kind"]
+        labels = m.get("labels", {})
+        if name not in seen_headers:
+            seen_headers.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            for bound, count in m["buckets"]:
+                le = "+Inf" if bound == "+Inf" else _prom_value(float(bound))
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, ('le', le))} {count}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_value(m['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {m['count']}")
+        else:
+            lines.append(f"{name}{_prom_labels(labels)} {_prom_value(m['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human-readable run report ------------------------------------------------
+
+def _split_runs(records: Sequence[dict]) -> list[list[dict]]:
+    """Split a concatenated record stream at ``meta`` boundaries."""
+    runs: list[list[dict]] = []
+    current: list[dict] = []
+    for record in records:
+        if record.get("type") == "meta" and current:
+            runs.append(current)
+            current = []
+        current.append(record)
+    if current:
+        runs.append(current)
+    return runs
+
+
+def _top_reasons(decisions: Sequence[dict], limit: int = 5) -> list[tuple[str, int]]:
+    counts: dict[str, int] = {}
+    for d in decisions:
+        reason = d.get("reason", "<unspecified>")
+        counts[reason] = counts.get(reason, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:limit]
+
+
+def run_report(records: Sequence[dict]) -> str:
+    """Summarise a record stream (one or many runs) as readable text."""
+    runs = _split_runs(records)
+    if not runs:
+        return "empty record stream"
+    blocks = []
+    for i, run in enumerate(runs):
+        blocks.append(_one_run_report(run, index=i, total=len(runs)))
+    return "\n\n".join(blocks)
+
+
+def _one_run_report(records: Sequence[dict], index: int, total: int) -> str:
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    decisions = [r for r in records if r.get("type") == "decision"]
+    transitions = [r for r in records if r.get("type") == "transition"]
+    spans = [r for r in records if r.get("type") == "span"]
+    metrics = next((r for r in records if r.get("type") == "metrics"), None)
+    profile = next((r for r in records if r.get("type") == "profile"), None)
+
+    lines: list[str] = []
+    header = f"=== run {index + 1}/{total}"
+    if meta is not None:
+        header += (
+            f": {meta.get('scenario', '?')} "
+            f"(seed={meta.get('seed', '?')}, jobs={meta.get('num_jobs', '?')}, "
+            f"nodes={meta.get('num_nodes', '?')})"
+        )
+    lines.append(header + " ===")
+
+    if spans:
+        span_bits = ", ".join(
+            f"{s['name']}: {s['events']} events" for s in spans
+        )
+        horizon = max((s["t1"] for s in spans), default=0.0)
+        lines.append(f"phases: {span_bits}; horizon t={horizon:.6g}s "
+                     f"({horizon / 86400.0:.2f} days)")
+
+    if decisions:
+        accepted = sum(1 for d in decisions if d["outcome"] == "accepted")
+        rejected = len(decisions) - accepted
+        lines.append(
+            f"admission: {len(decisions)} decisions — "
+            f"{accepted} accepted, {rejected} rejected"
+        )
+        rejects = [d for d in decisions if d["outcome"] == "rejected"]
+        if rejects:
+            lines.append("top rejection reasons:")
+            for reason, count in _top_reasons(rejects):
+                lines.append(f"  {count:6d} × {reason}")
+
+    if transitions:
+        by_kind: dict[str, int] = {}
+        for t in transitions:
+            by_kind[t["to"]] = by_kind.get(t["to"], 0) + 1
+        bits = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        lines.append(f"lifecycle: {bits}")
+
+    if metrics is not None:
+        values = metrics["values"]
+        keys = (
+            "pct_deadlines_fulfilled", "avg_slowdown", "acceptance_pct",
+            "completed_late", "utilisation",
+        )
+        bits = ", ".join(
+            f"{k}={values[k]:.4g}" if isinstance(values.get(k), float)
+            else f"{k}={values.get(k)}"
+            for k in keys if k in values
+        )
+        lines.append(f"final metrics: {bits}")
+
+    if profile is not None:
+        lines.append(
+            f"profile: {profile.get('events', 0)} events at "
+            f"{profile.get('events_per_sec', 0.0):,.0f} events/s; "
+            "wall times are non-deterministic"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Hook protocols through which the core simulation is observed.
+
+The core packages (``sim``, ``cluster``, ``scheduling``) know nothing
+about metrics or exporters — they only carry optional observer
+attributes typed against the protocols below.  The obs layer implements
+all three in :class:`~repro.obs.session.ObsSession`; anything else
+(tests, notebooks, a future live dashboard) can implement them too.
+
+* :class:`PolicyObserver` — every admission decision, with its reason
+  (installed on :class:`~repro.scheduling.base.SchedulingPolicy`);
+* :class:`LifecycleObserver` — every job lifecycle transition
+  (installed on :class:`~repro.cluster.rms.ResourceManagementSystem`);
+* the kernel-level observer is a plain ``Callable[[Event], None]``
+  (the ``on_event`` attribute of :class:`~repro.sim.kernel.Simulator`).
+
+All hooks are **passive**: observers must not schedule events, mutate
+jobs or touch cluster state, so an instrumented run fires exactly the
+same event sequence as an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.job import Job
+
+
+@runtime_checkable
+class PolicyObserver(Protocol):
+    """Receives every admission decision a policy takes."""
+
+    def on_admission_decision(
+        self,
+        policy_name: str,
+        job: "Job",
+        accepted: bool,
+        reason: str,
+        now: float,
+        details: dict[str, Any],
+    ) -> None:
+        """One job was accepted or rejected at simulated time ``now``.
+
+        ``reason`` is the human-readable explanation (always set for
+        rejections); ``details`` carries structured policy-specific
+        context, e.g. LibraRisk's suitable/online node counts.
+        """
+        ...  # pragma: no cover
+
+
+@runtime_checkable
+class LifecycleObserver(Protocol):
+    """Receives every RMS-visible job lifecycle transition."""
+
+    def on_job_transition(self, job: "Job", transition: str, now: float) -> None:
+        """``job`` moved to ``transition`` (``submitted``, ``accepted``,
+        ``rejected``, ``completed`` or ``failed``) at time ``now``."""
+        ...  # pragma: no cover

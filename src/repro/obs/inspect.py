@@ -1,0 +1,121 @@
+"""Replay and interrogate a JSON-lines metrics log (``repro inspect``).
+
+A metrics log is self-contained: it opens with a ``meta`` record per
+run and closes with the run's final ``metrics``/``registry`` (and
+optional ``profile``) records, with every admission decision and
+lifecycle transition in between.  This module re-reads such a log and
+answers the questions the live run could have: what happened, why were
+jobs rejected, what did the counters end at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.obs.exporters import (
+    jsonl_line,
+    prometheus_from_dump,
+    read_jsonl,
+    run_report,
+)
+
+INSPECT_MODES = ("report", "prom", "decisions", "transitions")
+
+
+@dataclass
+class LogSummary:
+    """Aggregate view of one metrics log (possibly many runs)."""
+
+    runs: int = 0
+    records: int = 0
+    decisions: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    transitions: int = 0
+    has_profile: bool = False
+    #: ``reason -> count`` over every rejection in the log.
+    reject_reasons: dict[str, int] = field(default_factory=dict)
+
+
+def summarize(records: Sequence[dict]) -> LogSummary:
+    """Single-pass aggregation of a record stream."""
+    summary = LogSummary(records=len(records))
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            summary.runs += 1
+        elif kind == "decision":
+            summary.decisions += 1
+            if record.get("outcome") == "accepted":
+                summary.accepted += 1
+            else:
+                summary.rejected += 1
+                reason = record.get("reason", "<unspecified>")
+                summary.reject_reasons[reason] = (
+                    summary.reject_reasons.get(reason, 0) + 1
+                )
+        elif kind == "transition":
+            summary.transitions += 1
+        elif kind == "profile":
+            summary.has_profile = True
+    if summary.runs == 0 and summary.records:
+        summary.runs = 1  # headerless fragment still describes one run
+    return summary
+
+
+def render_inspection(
+    records: Sequence[dict],
+    mode: str = "report",
+    policy: Optional[str] = None,
+) -> str:
+    """Render a loaded record stream in one of :data:`INSPECT_MODES`.
+
+    ``policy`` filters ``decisions``/``transitions`` output to the
+    decisions taken by one policy.
+    """
+    if mode == "report":
+        return run_report(records)
+    if mode == "prom":
+        dumps = [r for r in records if r.get("type") == "registry"]
+        if not dumps:
+            return "no registry record in log\n"
+        # The last registry dump is the final state of the (last) run.
+        return prometheus_from_dump(dumps[-1]["metrics"])
+    if mode == "decisions":
+        rows = [r for r in records if r.get("type") == "decision"]
+        if policy is not None:
+            rows = [r for r in rows if r.get("policy") == policy]
+        return "\n".join(_decision_line(r) for r in rows)
+    if mode == "transitions":
+        rows = [r for r in records if r.get("type") == "transition"]
+        return "\n".join(
+            f"t={r['t']:<12.6g} job={r['job']:<6d} -> {r['to']}" for r in rows
+        )
+    raise ValueError(f"unknown inspect mode {mode!r}; choose from {INSPECT_MODES}")
+
+
+def _decision_line(record: dict) -> str:
+    base = (
+        f"t={record['t']:<12.6g} job={record['job']:<6d} "
+        f"{record.get('policy', '?'):<12s} {record['outcome']:<8s}"
+    )
+    reason = record.get("reason")
+    if reason:
+        base += f" {reason}"
+    details = record.get("details")
+    if details:
+        base += f"  {jsonl_line(details)}"
+    return base
+
+
+def inspect_log(
+    path: str,
+    mode: str = "report",
+    policy: Optional[str] = None,
+) -> str:
+    """Load ``path`` and render it (the ``repro inspect`` entry point)."""
+    records = read_jsonl(path)
+    if not records:
+        return f"{path}: empty log"
+    return render_inspection(records, mode=mode, policy=policy)

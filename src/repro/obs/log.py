@@ -1,0 +1,72 @@
+"""Shared ``logging`` configuration for the whole package.
+
+Every module logs under the ``repro`` namespace via :func:`get_logger`;
+:func:`configure_logging` installs one stderr handler on that root with
+a structured single-line format.  Nothing is configured at import time
+— a library must stay silent unless its host application opts in —
+so simulations emit no log output until the CLI (or a test) calls
+``configure_logging``.
+
+>>> log = get_logger("obs.session")
+>>> log.name
+'repro.obs.session'
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+#: Single-line structured format: component, level, then the message.
+LOG_FORMAT = "%(name)s %(levelname)s %(message)s"
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the shared ``repro`` namespace.
+
+    ``get_logger("obs.session")`` → logger ``repro.obs.session``;
+    the empty string returns the package root logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def parse_level(level: Union[int, str]) -> int:
+    """Translate a CLI level name (``"info"``) to a ``logging`` constant."""
+    if isinstance(level, int):
+        return level
+    name = level.strip().upper()
+    value = getattr(logging, name, None)
+    if not isinstance(value, int):
+        raise ValueError(f"unknown log level {level!r}; choose from {LOG_LEVELS}")
+    return value
+
+
+def configure_logging(
+    level: Union[int, str] = logging.WARNING,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger and return it.
+
+    Idempotent: previous handlers installed by this function are
+    replaced, so repeated CLI invocations in one process (tests!) do
+    not stack handlers and duplicate lines.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(parse_level(level))
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -1,0 +1,174 @@
+"""Profiling layer: where does a simulation spend its time?
+
+A :class:`Profiler` aggregates three families of cost data:
+
+* **phase wall times** — runner phases (build / submit / run / collect)
+  timed with :func:`time.perf_counter`, from which events/sec falls out;
+* **admission-test wall time** — per-policy cumulative time spent in
+  ``on_job_submitted`` (via :meth:`wrap_admission`, which shadows the
+  bound method on the policy *instance* — the class is untouched);
+* **event-heap depth** — min/mean/max of the kernel's pending-event
+  heap, sampled at every fired event.
+
+Everything here reads wall clocks, so profile output is explicitly
+**not** covered by the byte-identical-export guarantee (heap-depth
+stats are deterministic, but they ship in the same block).  The whole
+layer is off unless requested: with no profiler attached the hot path
+pays a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduling.base import SchedulingPolicy
+
+
+class _RunningStats:
+    """Streaming min/mean/max without storing samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.min if self.min is not None else 0.0,
+            "mean": self.mean,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class Profiler:
+    """Collects wall-time and heap-depth statistics for one run."""
+
+    def __init__(self) -> None:
+        self.phase_wall: dict[str, float] = {}
+        self.heap_depth = _RunningStats()
+        self.admission_wall: dict[str, float] = {}   # policy name -> seconds
+        self.admission_calls: dict[str, int] = {}
+        self._events_at_run_start = 0
+        self._events_at_run_end = 0
+
+    # -- phases -------------------------------------------------------------
+    class _Phase:
+        def __init__(self, profiler: "Profiler", name: str) -> None:
+            self._profiler = profiler
+            self._name = name
+            self._t0 = 0.0
+
+        def __enter__(self) -> "Profiler._Phase":
+            self._t0 = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc) -> None:
+            elapsed = time.perf_counter() - self._t0
+            wall = self._profiler.phase_wall
+            wall[self._name] = wall.get(self._name, 0.0) + elapsed
+
+    def phase(self, name: str) -> "Profiler._Phase":
+        """Context manager accumulating wall time under ``name``."""
+        return Profiler._Phase(self, name)
+
+    # -- kernel sampling ----------------------------------------------------
+    def sample_heap_depth(self, depth: int) -> None:
+        self.heap_depth.add(float(depth))
+
+    def note_run_bounds(self, events_before: int, events_after: int) -> None:
+        self._events_at_run_start = events_before
+        self._events_at_run_end = events_after
+
+    # -- admission timing ---------------------------------------------------
+    def wrap_admission(self, policy: "SchedulingPolicy") -> None:
+        """Shadow ``policy.on_job_submitted`` with a timing wrapper.
+
+        The wrapper lives on the instance, so the policy class and all
+        other instances keep the untimed method.
+        """
+        name = policy.name
+        original = policy.on_job_submitted
+        self.admission_wall.setdefault(name, 0.0)
+        self.admission_calls.setdefault(name, 0)
+
+        def timed(job, now):
+            t0 = time.perf_counter()
+            try:
+                original(job, now)
+            finally:
+                self.admission_wall[name] += time.perf_counter() - t0
+                self.admission_calls[name] += 1
+
+        policy.on_job_submitted = timed  # type: ignore[method-assign]
+
+    # -- report -------------------------------------------------------------
+    @property
+    def run_events(self) -> int:
+        return self._events_at_run_end - self._events_at_run_start
+
+    @property
+    def events_per_sec(self) -> float:
+        run_wall = self.phase_wall.get("run", 0.0)
+        return self.run_events / run_wall if run_wall > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        admission = {
+            name: {
+                "calls": self.admission_calls.get(name, 0),
+                "wall_s": self.admission_wall[name],
+                "mean_us": (
+                    1e6 * self.admission_wall[name] / self.admission_calls[name]
+                    if self.admission_calls.get(name)
+                    else 0.0
+                ),
+            }
+            for name in sorted(self.admission_wall)
+        }
+        return {
+            "phases_wall_s": dict(sorted(self.phase_wall.items())),
+            "events": self.run_events,
+            "events_per_sec": self.events_per_sec,
+            "admission": admission,
+            "heap_depth": self.heap_depth.as_dict(),
+        }
+
+    def render(self) -> str:
+        """Human-readable profile summary (for the CLI's ``--profile``)."""
+        d = self.as_dict()
+        lines = ["-- profile " + "-" * 45]
+        total = sum(d["phases_wall_s"].values())
+        for name, secs in d["phases_wall_s"].items():
+            lines.append(f"phase {name:<10s} {secs * 1e3:10.2f} ms")
+        lines.append(f"phase {'total':<10s} {total * 1e3:10.2f} ms")
+        lines.append(
+            f"kernel: {d['events']} events, {d['events_per_sec']:,.0f} events/s"
+        )
+        hd = d["heap_depth"]
+        lines.append(
+            f"event heap depth: min={hd['min']:.0f} mean={hd['mean']:.1f} "
+            f"max={hd['max']:.0f} over {hd['count']} events"
+        )
+        for name, a in d["admission"].items():
+            lines.append(
+                f"admission[{name}]: {a['calls']} calls, "
+                f"{a['wall_s'] * 1e3:.2f} ms total, {a['mean_us']:.1f} µs/call"
+            )
+        return "\n".join(lines)

@@ -10,12 +10,18 @@ driven entirely by events:
 
 The base class tracks multi-node job completion: a parallel job has
 ``numproc`` tasks and completes when the last one finishes.
+
+Observability: setting :attr:`SchedulingPolicy.observer` (a
+:class:`~repro.obs.hooks.PolicyObserver`) surfaces every admission
+decision — accepts via :meth:`SchedulingPolicy._track`, rejects via
+:meth:`SchedulingPolicy._reject` — with its reason and any structured
+details the concrete policy supplies.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.cluster.job import Job
 
@@ -23,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.cluster.node import Node, NodeTask
     from repro.cluster.rms import ResourceManagementSystem
+    from repro.obs.hooks import PolicyObserver
     from repro.sim.kernel import Simulator
 
 
@@ -40,6 +47,10 @@ class SchedulingPolicy(abc.ABC):
         self.sim: Optional["Simulator"] = None
         self.cluster: Optional["Cluster"] = None
         self.rms: Optional["ResourceManagementSystem"] = None
+        #: Optional :class:`~repro.obs.hooks.PolicyObserver` notified of
+        #: every admission decision with its reason.  Observers are
+        #: passive: they may not mutate jobs or scheduling state.
+        self.observer: Optional["PolicyObserver"] = None
         self._pending_tasks: dict[int, int] = {}  # job_id -> unfinished task count
 
     # -- wiring -----------------------------------------------------------
@@ -122,8 +133,20 @@ class SchedulingPolicy(abc.ABC):
         """Hook after a repair (queue-based policies re-dispatch here)."""
 
     def _track(self, job: Job) -> None:
-        """Register a started job for completion tracking."""
+        """Register a started job for completion tracking.
+
+        Every policy routes accepted jobs through here right after
+        ``mark_running``, which makes it the one place an *accepted*
+        admission decision is reliably observable across all policies.
+        """
         self._pending_tasks[job.job_id] = job.numproc
+        if self.observer is not None:
+            self._record_decision(
+                job,
+                accepted=True,
+                reason=f"started on {len(job.assigned_nodes)} node(s)",
+                nodes=list(job.assigned_nodes),
+            )
 
     @property
     def running_jobs(self) -> int:
@@ -131,10 +154,34 @@ class SchedulingPolicy(abc.ABC):
         return len(self._pending_tasks)
 
     # -- shared admission helpers --------------------------------------------
-    def _reject(self, job: Job, reason: str) -> None:
+    def _reject(self, job: Job, reason: str, **details: Any) -> None:
+        """Refuse ``job`` with a human-readable ``reason``.
+
+        ``details`` carries structured, JSON-able context for the
+        decision record (e.g. suitable/required node counts); it is
+        only consulted when an observer is attached.
+        """
         assert self.rms is not None
         job.mark_rejected(reason)
         self.rms.notify_rejected(job, reason)
+        if self.observer is not None:
+            self._record_decision(job, accepted=False, reason=reason, **details)
+
+    def _record_decision(
+        self, job: Job, accepted: bool, reason: str = "", **details: Any
+    ) -> None:
+        """Forward one admission decision to the attached observer."""
+        if self.observer is None:
+            return
+        assert self.sim is not None
+        self.observer.on_admission_decision(
+            policy_name=self.name,
+            job=job,
+            accepted=accepted,
+            reason=reason,
+            now=self.sim.now,
+            details=details,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} running={self.running_jobs}>"

@@ -86,7 +86,22 @@ class QueuedSpaceSharedPolicy(SchedulingPolicy):
                 # so reject it at selection rather than letting a doomed
                 # wide job block the head of the queue.
                 self.queue.remove(job)
-                self._reject(job, "deadline expired or infeasible at dispatch")
+                remaining = job.remaining_deadline(now)
+                if remaining <= 0:
+                    reason = (
+                        f"deadline expired {-remaining:.6g}s before dispatch"
+                    )
+                else:
+                    reason = (
+                        f"infeasible at dispatch: estimate {job.estimated_runtime:.6g}s "
+                        f"exceeds remaining deadline {remaining:.6g}s"
+                    )
+                self._reject(
+                    job, reason,
+                    remaining_deadline=remaining,
+                    estimated_runtime=job.estimated_runtime,
+                    queued=len(self.queue),
+                )
                 continue
             free = [n for n in self.cluster if n.available_for_work]
             if len(free) < job.numproc:

@@ -71,9 +71,15 @@ class LibraPolicy(SchedulingPolicy):
                 suitable.append((total, node))
 
         if len(suitable) < job.numproc:
+            online = sum(1 for n in self.cluster if n.online)
             self._reject(
                 job,
-                f"only {len(suitable)} of {job.numproc} required nodes have capacity",
+                f"only {len(suitable)} of {job.numproc} required nodes have "
+                f"capacity (Σ share > 1 on {online - len(suitable)}/{online} "
+                f"online nodes)",
+                suitable=len(suitable),
+                required=job.numproc,
+                online=online,
             )
             return
 

@@ -94,11 +94,13 @@ class LibraRiskPolicy(SchedulingPolicy):
     def on_job_submitted(self, job: Job, now: float) -> None:
         assert self.cluster is not None and self.rms is not None
         zero_risk: list[TimeSharedNode] = []
+        online = 0
         sigma_mode = self.suitability == "sigma"
         for node in self.cluster:
             assert isinstance(node, TimeSharedNode)
             if not node.online:
                 continue
+            online += 1
             node.sync(now)
             if sigma_mode and not node.tasks:
                 # Exact shortcut: the new job alone yields a single
@@ -112,9 +114,16 @@ class LibraRiskPolicy(SchedulingPolicy):
                 zero_risk.append(node)
 
         if len(zero_risk) < job.numproc:
+            unsuitable = online - len(zero_risk)
+            criterion = "σ_j > 0" if sigma_mode else "predicted delay"
             self._reject(
                 job,
-                f"only {len(zero_risk)} of {job.numproc} required nodes are zero-risk",
+                f"only {len(zero_risk)} of {job.numproc} required nodes are "
+                f"zero-risk ({criterion} on {unsuitable}/{online} online nodes)",
+                suitable=len(zero_risk),
+                required=job.numproc,
+                online=online,
+                suitability=self.suitability,
             )
             return
 

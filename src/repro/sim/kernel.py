@@ -44,6 +44,15 @@ class Simulator:
     max_events:
         Safety valve: :meth:`run` raises :class:`SimulationError` after
         this many events, catching accidental infinite event loops.
+    on_event:
+        Optional observer called as ``on_event(event)`` after each event
+        fires (after any trace recording, before the next event pops).
+        Observers must be passive — they see the event but must not
+        schedule, cancel or mutate simulation state — so instrumented
+        and uninstrumented runs execute identical event sequences.
+        Long-running callers use this to report progress; the obs layer
+        uses it to count events and sample heap depth.  Also assignable
+        after construction.
 
     Examples
     --------
@@ -60,6 +69,7 @@ class Simulator:
         start_time: float = 0.0,
         trace: Optional[EventTrace] = None,
         max_events: int = 50_000_000,
+        on_event: Optional[Callable[[Event], None]] = None,
     ) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
@@ -69,6 +79,7 @@ class Simulator:
         self._stopped = False
         self.trace = trace
         self.max_events = int(max_events)
+        self.on_event = on_event
 
     # -- clock ------------------------------------------------------------
     @property
@@ -159,6 +170,8 @@ class Simulator:
         self._events_fired += 1
         if self.trace is not None:
             self.trace.record(event)
+        if self.on_event is not None:
+            self.on_event(event)
         if event.callback is not None:
             event.callback(event)
         return True

@@ -76,6 +76,16 @@ class EventTrace:
         """Number of records ever stored (including any evicted ones)."""
         return self._total_recorded
 
+    @property
+    def dropped(self) -> int:
+        """Records silently evicted because the ring buffer was full.
+
+        A non-zero value means the retained window is *truncated*:
+        assertions over "the whole run" would be working on partial
+        data.  Surfaced in ``repr``/``str`` so the loss is visible.
+        """
+        return self._total_recorded - len(self._records)
+
     def names(self) -> list[str]:
         """Names of retained records, in firing order."""
         return [r.name for r in self._records]
@@ -89,7 +99,9 @@ class EventTrace:
         return [r for r in self._records if start <= r.time <= end]
 
     def clear(self) -> None:
+        """Discard retained records and reset the eviction accounting."""
         self._records.clear()
+        self._total_recorded = 0
 
     def dump(self, limit: Optional[int] = None) -> str:
         """Human-readable rendering of the trace (for debugging/tests)."""
@@ -97,3 +109,17 @@ class EventTrace:
         if limit is not None:
             records = records[-limit:]
         return "\n".join(str(r) for r in records)
+
+    def __repr__(self) -> str:
+        dropped = self.dropped
+        tail = f" dropped={dropped}" if dropped else ""
+        return f"<EventTrace retained={len(self._records)}{tail}>"
+
+    def __str__(self) -> str:
+        dropped = self.dropped
+        if not dropped:
+            return f"EventTrace: {len(self._records)} records"
+        return (
+            f"EventTrace: {len(self._records)} records retained "
+            f"({dropped} older records dropped at capacity)"
+        )

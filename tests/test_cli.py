@@ -140,11 +140,107 @@ class TestRobustnessCommand:
 
 
 class TestParser:
-    def test_missing_command_exits(self):
-        with pytest.raises(SystemExit):
-            main([])
+    def test_missing_command_prints_usage(self, capsys):
+        code, out = run_cli(capsys)
+        assert code == 2
+        assert "usage: repro" in out
 
     def test_help_exits_zero(self):
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+
+class TestObservabilityFlags:
+    def test_run_metrics_out_and_profile(self, capsys, tmp_path):
+        path = tmp_path / "m.jsonl"
+        code, out = run_cli(
+            capsys, "run", "--policy", "librarisk", "--jobs", "60", "--nodes", "16",
+            "--metrics-out", str(path), "--profile",
+        )
+        assert code == 0
+        assert f"wrote" in out and str(path) in out
+        assert "-- profile" in out
+        assert "events/s" in out
+
+        from repro.obs.exporters import read_jsonl
+
+        records = read_jsonl(str(path))
+        kinds = {r["type"] for r in records}
+        assert {"meta", "decision", "transition", "span",
+                "metrics", "registry", "profile"} <= kinds
+        rejected = [r for r in records if r["type"] == "decision"
+                    and r["outcome"] == "rejected"]
+        assert rejected and all(r.get("reason") for r in rejected)
+
+    def test_run_prom_out(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, _ = run_cli(
+            capsys, "run", "--policy", "libra", "--jobs", "40", "--nodes", "8",
+            "--prom-out", str(path),
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE admission_decisions_total counter" in text
+        assert 'policy="libra"' in text
+
+    def test_figure_metrics_out_captures_every_run(self, capsys, tmp_path):
+        path = tmp_path / "fig.jsonl"
+        code, out = run_cli(
+            capsys, "figure1", "--jobs", "40", "--nodes", "8",
+            "--policies", "libra", "--metrics-out", str(path),
+        )
+        assert code == 0
+        from repro.obs.exporters import read_jsonl
+
+        metas = [r for r in read_jsonl(str(path)) if r["type"] == "meta"]
+        # Two estimate modes × 10 arrival delay factors × 1 policy.
+        assert len(metas) == 20
+        assert "wrote metrics for 20 runs" in out
+
+    def test_inspect_report(self, capsys, tmp_path):
+        path = tmp_path / "m.jsonl"
+        run_cli(
+            capsys, "run", "--policy", "edf", "--jobs", "50", "--nodes", "8",
+            "--metrics-out", str(path),
+        )
+        code, out = run_cli(capsys, "inspect", str(path))
+        assert code == 0
+        assert "admission:" in out
+        assert "final metrics:" in out
+
+    def test_inspect_prom_mode(self, capsys, tmp_path):
+        path = tmp_path / "m.jsonl"
+        run_cli(
+            capsys, "run", "--policy", "libra", "--jobs", "40", "--nodes", "8",
+            "--metrics-out", str(path),
+        )
+        code, out = run_cli(capsys, "inspect", str(path), "--mode", "prom")
+        assert code == 0
+        assert "sim_events_total" in out
+
+    def test_inspect_decisions_mode_filters_policy(self, capsys, tmp_path):
+        path = tmp_path / "m.jsonl"
+        run_cli(
+            capsys, "run", "--policy", "librarisk", "--jobs", "50", "--nodes", "8",
+            "--metrics-out", str(path),
+        )
+        code, out = run_cli(
+            capsys, "inspect", str(path), "--mode", "decisions",
+            "--policy", "librarisk",
+        )
+        assert code == 0
+        assert "librarisk" in out
+        code, out = run_cli(
+            capsys, "inspect", str(path), "--mode", "decisions", "--policy", "edf"
+        )
+        assert code == 0
+        assert out.strip() == ""

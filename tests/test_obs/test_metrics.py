@@ -1,0 +1,130 @@
+"""Unit tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_cannot_decrease(self):
+        c = MetricsRegistry().counter("hits")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits") is reg.counter("hits")
+        assert len(reg) == 1
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs", transition="accepted")
+        b = reg.counter("jobs", transition="rejected")
+        assert a is not b
+        a.inc()
+        assert reg.counter("jobs", transition="accepted").value == 1
+        assert reg.counter("jobs", transition="rejected").value == 0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("d", policy="libra", outcome="ok")
+        b = reg.counter("d", outcome="ok", policy="libra")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_max_keeps_running_maximum(self):
+        g = MetricsRegistry().gauge("peak")
+        g.max(3)
+        g.max(1)
+        g.max(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_routes_to_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        # Cumulative prometheus-style counts, +Inf last.
+        assert h.bucket_counts() == [
+            (1.0, 1), (10.0, 2), (100.0, 3), (float("inf"), 4),
+        ]
+
+    def test_mean(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_bounds_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.histogram("bad", buckets=(5.0, 1.0))
+        with pytest.raises(MetricError):
+            reg.histogram("empty", buckets=())
+
+    def test_reregistration_with_different_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+
+class TestRegistry:
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+        with pytest.raises(MetricError):
+            reg.histogram("x")
+
+    def test_get_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        reg.counter("present")
+        assert isinstance(reg.get("present"), Counter)
+        assert len(reg) == 1
+
+    def test_collect_is_sorted_and_registration_order_independent(self):
+        reg1 = MetricsRegistry()
+        reg1.counter("b").inc()
+        reg1.gauge("a").set(2)
+        reg2 = MetricsRegistry()
+        reg2.gauge("a").set(2)
+        reg2.counter("b").inc()
+        assert reg1.collect() == reg2.collect()
+        assert [m["name"] for m in reg1.collect()] == ["a", "b"]
+
+    def test_collect_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help", k="v").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        c, h = reg.collect()
+        assert c == {"name": "c", "kind": "counter", "labels": {"k": "v"}, "value": 2}
+        assert h["buckets"] == [[1.0, 1], ["+Inf", 1]]
+        assert h["count"] == 1 and h["sum"] == 0.5

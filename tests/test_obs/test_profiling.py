@@ -1,0 +1,93 @@
+"""Tests for the profiling layer and the shared logging configuration."""
+
+import io
+import logging
+
+from repro.obs.log import configure_logging, get_logger, parse_level
+from repro.obs.profiling import Profiler
+
+
+class TestProfiler:
+    def test_phase_accumulates_wall_time(self):
+        prof = Profiler()
+        with prof.phase("run"):
+            pass
+        with prof.phase("run"):
+            pass
+        assert prof.phase_wall["run"] >= 0.0
+        assert set(prof.phase_wall) == {"run"}
+
+    def test_heap_depth_stats(self):
+        prof = Profiler()
+        for depth in (3, 1, 5):
+            prof.sample_heap_depth(depth)
+        d = prof.heap_depth.as_dict()
+        assert d == {"count": 3, "min": 1.0, "mean": 3.0, "max": 5.0}
+
+    def test_events_per_sec_from_run_bounds(self):
+        prof = Profiler()
+        prof.phase_wall["run"] = 2.0
+        prof.note_run_bounds(10, 110)
+        assert prof.run_events == 100
+        assert prof.events_per_sec == 50.0
+
+    def test_wrap_admission_times_instance_only(self):
+        class FakePolicy:
+            name = "fake"
+
+            def __init__(self):
+                self.calls = 0
+
+            def on_job_submitted(self, job, now):
+                self.calls += 1
+
+        policy = FakePolicy()
+        other = FakePolicy()
+        prof = Profiler()
+        prof.wrap_admission(policy)
+        policy.on_job_submitted(None, 0.0)
+        policy.on_job_submitted(None, 1.0)
+        assert policy.calls == 2
+        assert prof.admission_calls["fake"] == 2
+        assert prof.admission_wall["fake"] >= 0.0
+        # The class and other instances are untouched.
+        other.on_job_submitted(None, 0.0)
+        assert prof.admission_calls["fake"] == 2
+
+    def test_render_mentions_all_sections(self):
+        prof = Profiler()
+        with prof.phase("run"):
+            prof.sample_heap_depth(4)
+        prof.note_run_bounds(0, 7)
+        text = prof.render()
+        assert "events/s" in text
+        assert "heap depth" in text
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("obs.session").name == "repro.obs.session"
+        assert get_logger("repro.sim").name == "repro.sim"
+        assert get_logger().name == "repro"
+
+    def test_parse_level(self):
+        assert parse_level("debug") == logging.DEBUG
+        assert parse_level(logging.INFO) == logging.INFO
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        root = configure_logging("info", stream=stream)
+        configure_logging("info", stream=stream)
+        assert len(root.handlers) == 1
+        get_logger("obs.test").info("hello world")
+        out = stream.getvalue()
+        assert out.count("hello world") == 1
+        assert "repro.obs.test INFO" in out
+
+    def test_level_threshold_applies(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("obs.test").info("quiet")
+        assert stream.getvalue() == ""
+        # Leave the logger quiet for other tests.
+        configure_logging("warning")

@@ -241,3 +241,36 @@ class TestDeterminism:
             return order
 
         assert build() == build()
+
+
+class TestOnEventObserver:
+    def test_observer_sees_every_fired_event(self, sim):
+        seen = []
+        sim.on_event = lambda ev: seen.append(ev.name)
+        sim.schedule_at(1.0, lambda e: None, name="a")
+        sim.schedule_at(2.0, lambda e: None, name="b")
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_observer_skips_cancelled_events(self, sim):
+        seen = []
+        sim.on_event = lambda ev: seen.append(ev.name)
+        ev = sim.schedule_at(1.0, lambda e: None, name="gone")
+        sim.schedule_at(2.0, lambda e: None, name="kept")
+        ev.cancel()
+        sim.run()
+        assert seen == ["kept"]
+
+    def test_observer_fires_before_callback(self, sim):
+        order = []
+        sim.on_event = lambda ev: order.append("observe")
+        sim.schedule_at(1.0, lambda e: order.append("callback"))
+        sim.run()
+        assert order == ["observe", "callback"]
+
+    def test_constructor_accepts_observer(self):
+        seen = []
+        sim = Simulator(on_event=lambda ev: seen.append(ev.time))
+        sim.schedule_at(3.0, lambda e: None)
+        sim.run()
+        assert seen == [3.0]

@@ -71,3 +71,23 @@ class TestQueries:
     def test_dump_limit(self):
         _, trace = run_with_trace(10)
         assert len(trace.dump(limit=2).splitlines()) == 2
+
+
+class TestDroppedVisibility:
+    def test_no_drops_within_capacity(self):
+        _, trace = run_with_trace(5, capacity=10)
+        assert trace.dropped == 0
+        assert str(trace) == "EventTrace: 5 records"
+        assert "dropped" not in repr(trace)
+
+    def test_dropped_counts_evictions(self):
+        _, trace = run_with_trace(10, capacity=3)
+        assert trace.dropped == 7
+        assert "7 older records dropped" in str(trace)
+        assert "dropped=7" in repr(trace)
+
+    def test_clear_resets_drop_accounting(self):
+        _, trace = run_with_trace(10, capacity=3)
+        trace.clear()
+        assert trace.dropped == 0
+        assert trace.total_recorded == 0
