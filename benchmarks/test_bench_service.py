@@ -1,0 +1,97 @@
+"""Benchmarks for the online admission service (engine path, no HTTP).
+
+Measures what a server pays per request with the transport stripped
+away: raw single-job admission throughput through
+:meth:`AdmissionEngine.submit`, protocol parse/validate overhead, and
+checkpoint snapshot cost on a loaded engine.
+"""
+
+import json
+
+from benchmarks.conftest import bench_scale, emit
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario_jobs
+from repro.service import checkpoint, protocol
+from repro.service.engine import engine_for_scenario
+
+
+def _scenario(policy: str = "librarisk") -> ScenarioConfig:
+    jobs, nodes, seed = bench_scale()
+    return ScenarioConfig(policy=policy, num_jobs=jobs, num_nodes=nodes, seed=seed)
+
+
+class TestEngineSubmitThroughput:
+    def test_submit_stream_librarisk(self, benchmark, capsys, results_dir):
+        config = _scenario("librarisk")
+
+        def setup():
+            # Jobs are stateful: build a fresh stream per round, untimed.
+            return (build_scenario_jobs(config),), {}
+
+        def run(jobs):
+            engine = engine_for_scenario(config)
+            for job in jobs:
+                engine.submit(job)
+            return len(engine.decisions)
+
+        count = benchmark.pedantic(run, setup=setup, rounds=5)
+        assert count == config.num_jobs
+        if benchmark.stats is not None:  # absent under --benchmark-disable
+            per_submit = benchmark.stats.stats.mean / count
+            emit(
+                capsys, results_dir, "bench_service_submit",
+                f"engine submit throughput ({config.policy}, {count} jobs, "
+                f"{config.num_nodes} nodes): "
+                f"{1.0 / per_submit:,.0f} submits/s "
+                f"({per_submit * 1e6:.1f} µs/submit, decision included)",
+            )
+
+    def test_drain_after_stream(self, benchmark):
+        config = _scenario("librarisk")
+
+        def run():
+            engine = engine_for_scenario(config)
+            for job in build_scenario_jobs(config):
+                engine.submit(job)
+            engine.drain()
+            return engine.sim.pending
+
+        assert benchmark(run) == 0
+
+
+class TestProtocolOverhead:
+    def test_parse_submit_request(self, benchmark):
+        body = json.dumps({
+            "v": protocol.PROTOCOL_VERSION, "type": "submit",
+            "job": {"id": 1, "submit_time": 10.0, "runtime": 120.0,
+                    "estimated_runtime": 180.0, "numproc": 4,
+                    "deadline": 600.0, "urgency": "high"},
+        }).encode()
+
+        request = benchmark(protocol.parse_request, body)
+        assert isinstance(request, protocol.SubmitRequest)
+
+    def test_job_from_payload(self, benchmark):
+        payload = {"submit_time": 10.0, "runtime": 120.0,
+                   "estimated_runtime": 180.0, "numproc": 4, "deadline": 600.0}
+        job = benchmark(protocol.job_from_payload, payload)
+        assert job.numproc == 4
+
+
+class TestCheckpointCost:
+    def test_snapshot_loaded_engine(self, benchmark, capsys, results_dir):
+        config = _scenario("librarisk")
+        engine = engine_for_scenario(config)
+        for job in build_scenario_jobs(config):
+            engine.submit(job)
+
+        snap = benchmark(checkpoint.snapshot, engine)
+        size = len(checkpoint.dumps(snap))
+        assert snap["format"] == checkpoint.CHECKPOINT_FORMAT
+        if benchmark.stats is not None:  # absent under --benchmark-disable
+            emit(
+                capsys, results_dir, "bench_service_checkpoint",
+                f"checkpoint snapshot of {len(engine.rms.jobs)}-job engine: "
+                f"{benchmark.stats.stats.mean * 1e3:.2f} ms, "
+                f"{size / 1024.0:.0f} KiB canonical JSON",
+            )

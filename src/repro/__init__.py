@@ -15,7 +15,10 @@ The package implements, from scratch:
 * the paper's metrics (:mod:`repro.metrics`) and the experiment
   harness that regenerates every figure (:mod:`repro.experiments`);
 * an observability layer — metrics registry, admission-decision
-  tracing, profiling hooks and exporters (:mod:`repro.obs`).
+  tracing, profiling hooks and exporters (:mod:`repro.obs`);
+* an online admission-control service — incremental engine, JSON
+  protocol, HTTP server, checkpoint/restore and trace replay
+  (:mod:`repro.service`).
 
 Quickstart
 ----------
@@ -36,11 +39,15 @@ from repro.scheduling import (
     available_policies,
     make_policy,
 )
+from repro.service import AdmissionEngine, Decision, EngineConfig
 from repro.sim import RngStreams, Simulator
 
 __all__ = [
+    "AdmissionEngine",
     "Cluster",
+    "Decision",
     "EDFPolicy",
+    "EngineConfig",
     "Job",
     "JobState",
     "LibraPolicy",

@@ -217,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--policy", type=str, default=None,
                    help="filter decision output to one policy")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit decisions/transitions as canonical JSON lines "
+             "instead of aligned text",
+    )
 
     p = sub.add_parser("trace-stats", help="workload statistics (paper §4)")
     _add_common(p)
@@ -247,8 +252,185 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("robustness", help="deadline fulfilment under node failures")
     _add_common(p)
 
+    p = sub.add_parser(
+        "serve", help="run the online admission-control HTTP service",
+    )
+    p.add_argument("--policy", default="librarisk", choices=available_policies())
+    p.add_argument("--nodes", type=int, default=128, help="cluster size (default 128)")
+    p.add_argument("--rating", type=float, default=168.0,
+                   help="per-node MIPS rating (default 168, SDSC SP2)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8331,
+                   help="listen port (0 = pick an ephemeral port)")
+    p.add_argument("--max-request-bytes", type=int, default=64 * 1024,
+                   help="reject request bodies larger than this (413)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="shed requests beyond this many in flight (503)")
+    p.add_argument("--live", action="store_true",
+                   help="wall-clock mode: simulated time tracks real time "
+                        "(default: virtual, workload-driven time)")
+    p.add_argument("--speedup", type=float, default=1.0,
+                   help="simulated seconds per wall second in --live mode")
+    p.add_argument("--restore", type=str, default=None, metavar="PATH",
+                   help="resume from an engine checkpoint written by "
+                        "`repro serve --checkpoint-on-exit` or the "
+                        "checkpoint RPC")
+    p.add_argument("--checkpoint-on-exit", type=str, default=None, metavar="PATH",
+                   help="snapshot engine state to PATH on graceful shutdown")
+    p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                   help="write the engine's decision/metrics records to PATH "
+                        "on shutdown")
+
+    p = sub.add_parser(
+        "replay",
+        help="stream a scenario's job trace through the online engine "
+             "(in-process, or against a running server with --url)",
+    )
+    _add_common(p)
+    _add_obs(p)
+    p.add_argument("--policy", default="librarisk", choices=available_policies(),
+                   help="policy for the in-process engine (ignored with --url)")
+    p.add_argument("--estimate-mode", default="trace",
+                   choices=("accurate", "trace", "inaccuracy"))
+    p.add_argument("--url", type=str, default=None, metavar="URL",
+                   help="replay over HTTP against a running `repro serve` "
+                        "instead of in-process")
+    p.add_argument("--speedup", type=float, default=None,
+                   help="trace seconds per wall second in --url mode "
+                        "(default: as fast as possible)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent senders in --url mode (1 = ordered, "
+                        "safe for virtual-clock servers)")
+    p.add_argument("--drain", action="store_true",
+                   help="in --url mode, send a drain request after the "
+                        "stream and print the final metrics")
+
     sub.add_parser("policies", help="list available admission controls")
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: boot the admission service and block until signalled."""
+    import signal
+    import threading
+
+    from repro.service import checkpoint as checkpoint_mod
+    from repro.service.clock import WallClock
+    from repro.service.engine import AdmissionEngine, EngineConfig
+    from repro.service.server import AdmissionService, ServiceServer
+
+    session = ObsSession() if args.metrics_out is not None else None
+    if args.restore is not None:
+        try:
+            engine = checkpoint_mod.load(args.restore, obs=session)
+        except (OSError, checkpoint_mod.CheckpointError) as exc:
+            print(f"repro serve: cannot restore {args.restore}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"restored engine from {args.restore}: policy={engine.policy.name} "
+              f"t={engine.now:.6g}s, {len(engine.rms.jobs)} jobs known")
+    else:
+        engine = AdmissionEngine(
+            EngineConfig(policy=args.policy, num_nodes=args.nodes,
+                         rating=args.rating),
+            obs=session,
+        )
+    if args.live:
+        # The wall clock starts from the engine's (possibly restored)
+        # simulated time, so live mode resumes where the checkpoint left off.
+        engine.clock = WallClock(speedup=args.speedup, start_time=engine.now)
+
+    service = AdmissionService(
+        engine,
+        max_request_bytes=args.max_request_bytes,
+        max_inflight=args.max_inflight,
+    )
+    server = ServiceServer(
+        service, host=args.host, port=args.port,
+        checkpoint_on_exit=args.checkpoint_on_exit,
+    )
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+
+    server.start()
+    mode = f"live (speedup {args.speedup:g})" if args.live else "virtual clock"
+    print(f"serving {engine.policy.name} on {server.url} "
+          f"({len(engine.cluster)} nodes, {mode}); Ctrl-C to stop", flush=True)
+    stop.wait()
+    print("\nshutting down...", flush=True)
+    server.stop()
+    if session is not None:
+        from repro.obs.exporters import write_jsonl
+
+        session.finalize(metrics=engine.metrics(), sim=engine.sim)
+        lines = write_jsonl(args.metrics_out, session.records)
+        print(f"wrote {lines} records to {args.metrics_out}")
+    if args.checkpoint_on_exit is not None:
+        print(f"checkpoint written to {args.checkpoint_on_exit}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: stream a trace through an engine or a server."""
+    from repro.experiments.runner import build_scenario_jobs
+
+    config = _base_config(args).replace(
+        policy=args.policy, estimate_mode=args.estimate_mode,
+    )
+    jobs = build_scenario_jobs(config)
+
+    if args.url is not None:
+        from repro.service.loadgen import LoadGenerator, ServiceClient
+
+        client = ServiceClient(args.url)
+        if not client.healthy():
+            print(f"repro replay: no healthy service at {args.url}", file=sys.stderr)
+            return 1
+        speedup = args.speedup if args.speedup is not None else 1e12
+        report = LoadGenerator(
+            client, jobs, speedup=speedup, workers=args.workers,
+        ).run()
+        print(report)
+        for outcome, count in sorted(report.outcomes.items()):
+            print(f"  {outcome:<12s} {count}")
+        status, stats = client.stats()
+        if status != 200:
+            print(f"repro replay: stats request failed with HTTP {status}",
+                  file=sys.stderr)
+            return 1
+        print("server stats: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(stats["stats"].items())
+        ))
+        if args.drain:
+            status, drained = client.drain()
+            if status != 200:
+                print(f"repro replay: drain failed with HTTP {status}",
+                      file=sys.stderr)
+                return 1
+            rows = sorted(drained["metrics"].items())
+            print(render_table(["metric", "value"], rows))
+        return 0
+
+    from repro.service.replay import replay_scenario
+
+    session = None
+    if args.metrics_out is not None or args.profile:
+        session = ObsSession(scenario=config, profile=args.profile)
+    engine, report = replay_scenario(config, obs=session, jobs=jobs)
+    print(report)
+    rows = sorted(report.metrics.as_dict().items())
+    print(render_table(["metric", "value"], rows))
+    if session is not None and args.metrics_out is not None:
+        from repro.obs.exporters import write_jsonl
+
+        lines = write_jsonl(args.metrics_out, session.records)
+        print(f"wrote {lines} records to {args.metrics_out}")
+    if session is not None and session.profiler is not None:
+        print()
+        print(session.profiler.render())
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -282,7 +464,10 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         from repro.obs.inspect import inspect_log
 
         try:
-            print(inspect_log(args.log, mode=args.mode, policy=args.policy))
+            print(inspect_log(args.log, mode=args.mode, policy=args.policy,
+                              json_output=args.json))
+        except BrokenPipeError:
+            raise  # downstream reader closed the pipe; handled in main()
         except OSError as exc:
             print(f"repro inspect: cannot read {args.log}: {exc.strerror or exc}",
                   file=sys.stderr)
@@ -291,6 +476,12 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
             print(f"repro inspect: {exc}", file=sys.stderr)
             return 1
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "replay":
+        return _cmd_replay(args)
 
     if args.command in _FIGURE_FNS:
         base = _base_config(args)

@@ -236,6 +236,30 @@ class SpaceSharedNode(Node):
             self._completion_event = None
         return task
 
+    def restore_task(self, job: Job, remaining_work: float, added_at: float) -> NodeTask:
+        """Re-create a checkpointed resident task and its completion event.
+
+        Space-shared execution runs at full rating, so the completion
+        instant is exactly ``added_at + remaining_work / rating``
+        (the work ledger is only zeroed at completion).
+        """
+        if self.tasks:
+            raise RuntimeError(f"node {self.node_id} is space-shared and already busy")
+        task = NodeTask(
+            job, self.node_id, work=remaining_work, est_work=remaining_work,
+            added_at=added_at,
+        )
+        task.rate = 1.0
+        self.tasks[job.job_id] = task
+        self._completion_event = self.sim.schedule_at(
+            added_at + remaining_work / self.rating,
+            self._on_complete,
+            priority=EventPriority.COMPLETION,
+            name=f"node{self.node_id}:job{job.job_id}:done",
+            payload=task,
+        )
+        return task
+
 
 class TimeSharedNode(Node):
     """Proportional-share node implementing Libra's execution discipline.
@@ -383,6 +407,28 @@ class TimeSharedNode(Node):
         task = self.tasks.pop(job_id)
         self.recompute(now)
         return task
+
+    def restore_tasks(
+        self,
+        entries: Sequence[tuple[Job, float, float, float]],
+        now: float,
+    ) -> None:
+        """Re-create checkpointed resident tasks and rebalance shares.
+
+        ``entries`` are ``(job, remaining_work, remaining_est_work,
+        added_at)`` tuples with ledgers already advanced to ``now``
+        (the snapshot synced them).  One :meth:`recompute` re-derives
+        every rate — rates are pure functions of the restored ledgers —
+        and schedules the node's completion event.
+        """
+        if self.tasks:
+            raise RuntimeError(f"node {self.node_id} already has resident tasks")
+        self._last_sync = now
+        for job, work, est_work, added_at in entries:
+            self.tasks[job.job_id] = NodeTask(
+                job, self.node_id, work=work, est_work=est_work, added_at=added_at
+            )
+        self.recompute(now)
 
     # -- admission-control views ---------------------------------------------
     def iter_share_terms(self, now: float) -> Iterable[tuple[NodeTask, float]]:

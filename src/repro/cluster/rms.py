@@ -49,19 +49,41 @@ class ResourceManagementSystem:
             self.observer.on_job_transition(job, transition, self.sim.now)
 
     # -- workload intake -----------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Schedule the arrival event for one job at its submit time.
+
+        This is the single intake path: :meth:`submit_all` loops over it
+        for closed batch workloads, and the online serving engine
+        (:class:`repro.service.engine.AdmissionEngine`) calls it for
+        each live arrival.
+
+        Raises
+        ------
+        ValueError
+            If the job was already submitted, or its ``submit_time``
+            lies before the simulated clock — an out-of-order arrival
+            the event heap could not honour.
+        """
+        if job.state is not JobState.CREATED:
+            raise ValueError(f"job {job.job_id} already {job.state.value}; cannot submit")
+        if job.submit_time < self.sim.now:
+            raise ValueError(
+                f"job {job.job_id} arrives out of order: submit_time "
+                f"{job.submit_time:.6g}s is before the clock at {self.sim.now:.6g}s"
+            )
+        self.sim.schedule_at(
+            job.submit_time,
+            self._on_arrival,
+            priority=EventPriority.ARRIVAL,
+            name=f"arrive:job{job.job_id}",
+            payload=job,
+        )
+
     def submit_all(self, jobs: Iterable[Job]) -> int:
         """Schedule an arrival event for every job at its submit time."""
         count = 0
         for job in jobs:
-            if job.state is not JobState.CREATED:
-                raise ValueError(f"job {job.job_id} already {job.state.value}; cannot submit")
-            self.sim.schedule_at(
-                job.submit_time,
-                self._on_arrival,
-                priority=EventPriority.ARRIVAL,
-                name=f"arrive:job{job.job_id}",
-                payload=job,
-            )
+            self.submit(job)
             count += 1
         return count
 

@@ -68,11 +68,15 @@ def render_inspection(
     records: Sequence[dict],
     mode: str = "report",
     policy: Optional[str] = None,
+    json_output: bool = False,
 ) -> str:
     """Render a loaded record stream in one of :data:`INSPECT_MODES`.
 
     ``policy`` filters ``decisions``/``transitions`` output to the
-    decisions taken by one policy.
+    decisions taken by one policy.  ``json_output`` switches those two
+    modes from aligned human-readable rows to canonical JSON lines
+    (one record per line, sorted keys) for machine consumption —
+    ``repro inspect log --mode decisions --json | jq``.
     """
     if mode == "report":
         return run_report(records)
@@ -86,9 +90,13 @@ def render_inspection(
         rows = [r for r in records if r.get("type") == "decision"]
         if policy is not None:
             rows = [r for r in rows if r.get("policy") == policy]
+        if json_output:
+            return "\n".join(jsonl_line(r) for r in rows)
         return "\n".join(_decision_line(r) for r in rows)
     if mode == "transitions":
         rows = [r for r in records if r.get("type") == "transition"]
+        if json_output:
+            return "\n".join(jsonl_line(r) for r in rows)
         return "\n".join(
             f"t={r['t']:<12.6g} job={r['job']:<6d} -> {r['to']}" for r in rows
         )
@@ -113,9 +121,12 @@ def inspect_log(
     path: str,
     mode: str = "report",
     policy: Optional[str] = None,
+    json_output: bool = False,
 ) -> str:
     """Load ``path`` and render it (the ``repro inspect`` entry point)."""
     records = read_jsonl(path)
     if not records:
-        return f"{path}: empty log"
-    return render_inspection(records, mode=mode, policy=policy)
+        return "" if json_output else f"{path}: empty log"
+    return render_inspection(
+        records, mode=mode, policy=policy, json_output=json_output
+    )

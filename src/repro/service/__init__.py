@@ -1,0 +1,73 @@
+"""Online admission-control service.
+
+The batch pipeline (``repro.experiments``) answers "what would policy X
+have done over this whole trace"; this package answers the production
+question — "this job is arriving *now*: admit it?" — with the same
+kernel, cluster and policies behind an incremental API:
+
+* :mod:`~repro.service.engine` — the :class:`AdmissionEngine`:
+  ``submit`` one job at a time, ``advance``/``drain`` the clock;
+* :mod:`~repro.service.clock` — virtual (workload-driven) and
+  wall-clock (live, sped-up) time sources;
+* :mod:`~repro.service.protocol` — the versioned JSON request/response
+  schema with strict validation and typed error codes;
+* :mod:`~repro.service.server` — stdlib HTTP front-end with
+  request-size/queue-depth backpressure (``repro serve``);
+* :mod:`~repro.service.checkpoint` — deterministic snapshot/restore of
+  live engine state;
+* :mod:`~repro.service.replay` / :mod:`~repro.service.loadgen` —
+  deterministic in-process trace replay and an open-loop HTTP load
+  generator (``repro replay``).
+
+See ``docs/SERVICE.md``.
+"""
+
+from repro.service.checkpoint import (
+    CheckpointError,
+    load,
+    restore,
+    save,
+    snapshot,
+)
+from repro.service.clock import VirtualClock, WallClock
+from repro.service.engine import (
+    AdmissionEngine,
+    Decision,
+    DuplicateJob,
+    EngineConfig,
+    EngineError,
+    OutOfOrderSubmit,
+    engine_for_scenario,
+)
+from repro.service.loadgen import LoadGenerator, LoadReport, ServiceClient
+from repro.service.protocol import PROTOCOL_VERSION, ErrorCode, ProtocolError
+from repro.service.replay import ReplayReport, replay_jobs, replay_scenario
+from repro.service.server import AdmissionService, ServiceServer
+
+__all__ = [
+    "AdmissionEngine",
+    "AdmissionService",
+    "CheckpointError",
+    "Decision",
+    "DuplicateJob",
+    "EngineConfig",
+    "EngineError",
+    "ErrorCode",
+    "LoadGenerator",
+    "LoadReport",
+    "OutOfOrderSubmit",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReplayReport",
+    "ServiceClient",
+    "ServiceServer",
+    "VirtualClock",
+    "WallClock",
+    "engine_for_scenario",
+    "load",
+    "replay_jobs",
+    "replay_scenario",
+    "restore",
+    "save",
+    "snapshot",
+]

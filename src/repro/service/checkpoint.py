@@ -1,0 +1,321 @@
+"""Deterministic snapshot/restore of a live :class:`AdmissionEngine`.
+
+A checkpoint is one JSON object capturing everything the engine needs
+to resume mid-trace: the kernel clock (and its sequence counters), all
+jobs ever submitted with their lifecycle state, per-node work ledgers,
+the policy's queue and completion tracking, the engine's decision log,
+and any named RNG streams.  Pending kernel events are **not** stored —
+they are closures — but at any quiescent point the only live events are
+node completion timers, which are pure functions of the stored ledgers
+and are re-derived on restore (space-shared completions from
+``added_at + remaining_work / rating``; time-shared ones by a single
+``recompute``).
+
+Two determinism guarantees:
+
+* :func:`dumps` is canonical (sorted keys, compact separators, stable
+  list orders), so snapshotting the same engine state twice yields
+  byte-identical text;
+* a restored engine fed the remainder of a trace reports **identical
+  final metrics** to the uninterrupted run — the checkpoint round-trip
+  test in ``tests/test_service/test_checkpoint.py`` asserts this for
+  EDF, Libra and LibraRisk.  (Sequence numbers of re-derived completion
+  timers may differ from the uninterrupted run, so simultaneous
+  completions can *process* in a different order; every such order
+  yields the same job outcomes, which is what the metrics check pins.)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Optional
+
+from repro.cluster.job import Job, JobState, UrgencyClass
+from repro.cluster.node import SpaceSharedNode, TimeSharedNode
+from repro.service.engine import AdmissionEngine, Decision, EngineConfig
+from repro.sim.rng import RngStreams
+
+#: Identifies a checkpoint document (sanity check before any parsing).
+CHECKPOINT_FORMAT = "repro-admission-engine"
+
+#: Bumped whenever the snapshot schema changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: Pending events a quiescent engine may legally hold: node completion
+#: timers only (both disciplines name them ``node<id>:...``).
+_RESTORABLE_EVENT = re.compile(r"^node\d+:(completion|job\d+:done)$")
+
+
+class CheckpointError(ValueError):
+    """Raised for unsnapshottable state or malformed checkpoint data."""
+
+
+# -- snapshot -----------------------------------------------------------------
+
+def snapshot(engine: AdmissionEngine) -> dict[str, Any]:
+    """Capture the engine's full restorable state as a JSON-able dict."""
+    now = engine.sim.now
+    for event in engine.sim.iter_pending():
+        if not _RESTORABLE_EVENT.match(event.name or ""):
+            raise CheckpointError(
+                f"cannot checkpoint: pending event {event.name or '<anonymous>'!r} "
+                f"at t={event.time:.6g} is not a reconstructible completion timer"
+            )
+
+    jobs = [_job_state(job) for job in engine.rms.jobs]
+    nodes = []
+    for node in engine.cluster:
+        if isinstance(node, TimeSharedNode) and node.online:
+            node.sync(now)  # bring ledgers to `now` so the snapshot is exact
+        nodes.append(
+            {
+                "id": node.node_id,
+                "online": node.online,
+                "failures": node.failures,
+                "busy_time": node.busy_time,
+                "tasks": [
+                    {
+                        "job": task.job.job_id,
+                        "remaining_work": task.remaining_work,
+                        "remaining_est_work": task.remaining_est_work,
+                        "added_at": task.added_at,
+                    }
+                    for _, task in sorted(node.tasks.items())
+                ],
+            }
+        )
+
+    policy_state: dict[str, Any] = {
+        "pending_tasks": {
+            str(job_id): count
+            for job_id, count in sorted(engine.policy._pending_tasks.items())
+        },
+    }
+    queue = getattr(engine.policy, "queue", None)
+    if queue is not None:
+        policy_state["queue"] = [job.job_id for job in queue]
+
+    snap: dict[str, Any] = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "config": engine.config.as_dict(),
+        "sim": engine.sim.clock_state(),
+        "jobs": jobs,
+        "rms": {
+            "accepted": [j.job_id for j in engine.rms.accepted],
+            "rejected": [j.job_id for j in engine.rms.rejected],
+            "completed": [j.job_id for j in engine.rms.completed],
+            "failed": [j.job_id for j in engine.rms.failed],
+        },
+        "policy": policy_state,
+        "nodes": nodes,
+        "decisions": [d.as_dict() for d in engine.decisions],
+    }
+    if engine.streams is not None:
+        snap["rng"] = {
+            "seed": engine.streams.seed,
+            "streams": {
+                name: engine.streams.get(name).bit_generator.state
+                for name in engine.streams.stream_names()
+            },
+        }
+    return snap
+
+
+def _job_state(job: Job) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "id": job.job_id,
+        "submit_time": job.submit_time,
+        "runtime": job.runtime,
+        "estimated_runtime": job.estimated_runtime,
+        "numproc": job.numproc,
+        "deadline": job.deadline,
+        "urgency": job.urgency.value,
+        "state": job.state.value,
+    }
+    if job.user is not None:
+        out["user"] = job.user
+    if job.start_time is not None:
+        out["start_time"] = job.start_time
+    if job.finish_time is not None:
+        out["finish_time"] = job.finish_time
+    if job.assigned_nodes:
+        out["assigned_nodes"] = list(job.assigned_nodes)
+    if job.reject_reason:
+        out["reject_reason"] = job.reject_reason
+    return out
+
+
+# -- restore ------------------------------------------------------------------
+
+def restore(
+    snap: dict[str, Any],
+    clock: Optional[Any] = None,
+    obs: Optional[Any] = None,
+) -> AdmissionEngine:
+    """Rebuild a live engine from a :func:`snapshot` dict."""
+    if snap.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not an engine checkpoint (format={snap.get('format')!r})"
+        )
+    if snap.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {snap.get('version')!r} "
+            f"(this build reads v{CHECKPOINT_VERSION})"
+        )
+
+    streams = None
+    if "rng" in snap:
+        rng = snap["rng"]
+        streams = RngStreams(seed=int(rng["seed"]))
+        for name in sorted(rng.get("streams", {})):
+            streams.get(name).bit_generator.state = rng["streams"][name]
+
+    engine = AdmissionEngine(
+        EngineConfig.from_dict(snap["config"]), clock=clock, obs=obs, streams=streams,
+    )
+    sim_state = snap["sim"]
+    now = float(sim_state["now"])
+    engine.sim.restore_clock(
+        now=now, seq=sim_state["seq"], events_fired=sim_state["events_fired"]
+    )
+    engine.clock.advance_to(now)
+
+    by_id: dict[int, Job] = {}
+    for data in snap["jobs"]:
+        job = _rebuild_job(data)
+        by_id[job.job_id] = job
+        engine.rms.jobs.append(job)
+    engine._known_ids.update(by_id)
+    for list_name in ("accepted", "rejected", "completed", "failed"):
+        target = getattr(engine.rms, list_name)
+        for job_id in snap["rms"][list_name]:
+            target.append(_lookup(by_id, job_id))
+
+    policy_state = snap["policy"]
+    engine.policy._pending_tasks = {
+        int(job_id): int(count)
+        for job_id, count in policy_state["pending_tasks"].items()
+    }
+    if "queue" in policy_state:
+        queue = getattr(engine.policy, "queue", None)
+        if queue is None:
+            raise CheckpointError(
+                f"checkpoint carries a queue but policy "
+                f"{engine.policy.name!r} has none"
+            )
+        queue.extend(_lookup(by_id, job_id) for job_id in policy_state["queue"])
+
+    # Nodes in id order so re-derived completion timers get stable seqs.
+    for data in sorted(snap["nodes"], key=lambda d: d["id"]):
+        node = engine.cluster.node(int(data["id"]))
+        node.busy_time = float(data["busy_time"])
+        node.failures = int(data["failures"])
+        node.online = bool(data["online"])
+        entries = [
+            (
+                _lookup(by_id, t["job"]),
+                float(t["remaining_work"]),
+                float(t["remaining_est_work"]),
+                float(t["added_at"]),
+            )
+            for t in data["tasks"]
+        ]
+        if not entries:
+            if isinstance(node, TimeSharedNode):
+                node._last_sync = now
+            continue
+        if isinstance(node, TimeSharedNode):
+            node.restore_tasks(entries, now)
+        elif isinstance(node, SpaceSharedNode):
+            (job, work, _est, added_at), = entries  # space-shared: one task
+            node.restore_task(job, work, added_at)
+        else:  # pragma: no cover - no other disciplines exist
+            raise CheckpointError(f"cannot restore node type {type(node).__name__}")
+
+    engine.decisions = [
+        Decision(
+            job_id=d["job"],
+            outcome=d["outcome"],
+            t=d["t"],
+            policy=d["policy"],
+            reason=d.get("reason", ""),
+        )
+        for d in snap["decisions"]
+    ]
+    return engine
+
+
+def _rebuild_job(data: dict[str, Any]) -> Job:
+    job = Job(
+        runtime=data["runtime"],
+        estimated_runtime=data["estimated_runtime"],
+        numproc=data["numproc"],
+        deadline=data["deadline"],
+        submit_time=data["submit_time"],
+        urgency=UrgencyClass(data["urgency"]),
+        user=data.get("user"),
+        job_id=data["id"],
+    )
+    try:
+        job.state = JobState(data["state"])
+    except ValueError as exc:
+        raise CheckpointError(f"job {data['id']}: unknown state {data['state']!r}") from exc
+    job.start_time = data.get("start_time")
+    job.finish_time = data.get("finish_time")
+    job.assigned_nodes = list(data.get("assigned_nodes", ()))
+    job.reject_reason = data.get("reject_reason")
+    return job
+
+
+def _lookup(by_id: dict[int, Job], job_id: int) -> Job:
+    try:
+        return by_id[int(job_id)]
+    except KeyError:
+        raise CheckpointError(f"checkpoint references unknown job {job_id}") from None
+
+
+# -- serialization ------------------------------------------------------------
+
+def dumps(snap: dict[str, Any]) -> str:
+    """Canonical text form: equal states produce byte-identical output."""
+    return json.dumps(
+        snap, sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+        allow_nan=False,
+    )
+
+
+def save(engine: AdmissionEngine, path: str) -> dict[str, Any]:
+    """Snapshot ``engine`` to ``path``; returns the snapshot dict."""
+    snap = snapshot(engine)
+    with open(path, "w", encoding="utf-8", newline="\n") as fp:
+        fp.write(dumps(snap))
+        fp.write("\n")
+    return snap
+
+
+def load(
+    path: str,
+    clock: Optional[Any] = None,
+    obs: Optional[Any] = None,
+) -> AdmissionEngine:
+    """Restore an engine from a file written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as fp:
+        try:
+            snap = json.load(fp)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"{path}: invalid checkpoint JSON: {exc}") from exc
+    return restore(snap, clock=clock, obs=obs)
+
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "dumps",
+    "load",
+    "restore",
+    "save",
+    "snapshot",
+]

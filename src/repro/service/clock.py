@@ -1,0 +1,79 @@
+"""Pluggable clocks for the online admission engine.
+
+The engine itself only ever reads simulated time from its kernel; the
+clock decides *how far* the kernel is allowed to advance between
+requests:
+
+* :class:`VirtualClock` — time is driven entirely by the workload
+  (each submitted job drags the clock to its submit time).  This is the
+  mode for tests, deterministic trace replay and parity with the batch
+  runner: the engine produces exactly the event sequence a closed
+  ``submit_all`` run would.
+* :class:`WallClock` — simulated seconds track real (monotonic)
+  seconds, optionally sped up.  A live server polls the clock before
+  each request and advances the kernel to "now", so completions happen
+  in real time between arrivals.
+
+Both expose the same two-method surface, so the engine never branches
+on the concrete type beyond the ``live`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class VirtualClock:
+    """Workload-driven time: the engine advances only on demand."""
+
+    #: A live clock forces the engine to chase real time; a virtual one
+    #: never does.
+    live = False
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+
+    def now(self) -> float:
+        """Latest simulated instant the engine has been driven to."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Record that the engine reached simulated time ``t``."""
+        if t > self._now:
+            self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualClock now={self._now:.6g}>"
+
+
+class WallClock:
+    """Real-time mapping: ``sim seconds = (monotonic − epoch) × speedup``.
+
+    Parameters
+    ----------
+    speedup:
+        Simulated seconds per wall-clock second (1.0 = real time).
+        Replaying a month-long trace at ``speedup=86400`` compresses
+        each day into a second.
+    start_time:
+        Simulated instant corresponding to the moment of construction.
+    """
+
+    live = True
+
+    def __init__(self, speedup: float = 1.0, start_time: float = 0.0) -> None:
+        if speedup <= 0:
+            raise ValueError(f"speedup must be > 0, got {speedup}")
+        self.speedup = float(speedup)
+        self.start_time = float(start_time)
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        """Current simulated time derived from the monotonic wall clock."""
+        return self.start_time + (time.monotonic() - self._epoch) * self.speedup
+
+    def advance_to(self, t: float) -> None:
+        """No-op: wall time advances on its own."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WallClock speedup={self.speedup:g} now={self.now():.6g}>"

@@ -1,0 +1,367 @@
+"""The online admission-control engine.
+
+:class:`AdmissionEngine` wraps one policy + cluster + kernel behind an
+*incremental* interface — :meth:`~AdmissionEngine.submit` one job at a
+time, :meth:`~AdmissionEngine.advance` the clock, and
+:meth:`~AdmissionEngine.drain` the remaining work — instead of the
+closed batch loop of ``ResourceManagementSystem.submit_all``.  Jobs
+arrive in submit-time order (the open-arrival model of the paper's §3
+RMS front-end) and every ``submit`` returns a :class:`Decision`
+immediately.
+
+Determinism contract
+--------------------
+Each ``submit`` schedules the same arrival event ``submit_all`` would
+and then runs the kernel up to the job's submit time.  Because events
+are ordered by ``(time, priority, seq)`` and completions outrank
+arrivals at the same instant, the interleaved schedule executes the
+**identical event sequence** a batch run of the same workload does —
+which is what makes engine replays byte-compatible with batch metric
+exports (see ``tests/test_service/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job, JobState
+from repro.cluster.rms import ResourceManagementSystem
+from repro.cluster.share import ShareParams
+from repro.metrics.summary import ScenarioMetrics, compute_metrics
+from repro.obs.log import get_logger
+from repro.scheduling.registry import make_policy, policy_discipline
+from repro.service.clock import VirtualClock, WallClock
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+
+log = get_logger("service.engine")
+
+
+class EngineError(RuntimeError):
+    """Raised for engine misuse (bad job state, time moving backwards)."""
+
+
+class OutOfOrderSubmit(EngineError):
+    """A job arrived with a submit time before the engine's clock.
+
+    Open arrivals must be monotone: the engine has already simulated up
+    to its clock, so an earlier arrival cannot be honoured (admitting it
+    retroactively would corrupt the event heap's causality).
+    """
+
+
+class DuplicateJob(EngineError):
+    """A job arrived whose id is already known to the engine.
+
+    Job ids are the protocol's handle for queries and checkpoints, so a
+    second job under the same id is refused before it can reach the
+    policy (where a colliding arrival would corrupt node task tables).
+    """
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Static configuration of one engine: policy × cluster geometry.
+
+    A deliberately smaller sibling of
+    :class:`~repro.experiments.config.ScenarioConfig`: the engine hosts
+    no workload model — jobs come from outside — so only the knobs that
+    shape the serving state live here.
+    """
+
+    policy: str = "librarisk"
+    policy_kwargs: dict[str, Any] = field(default_factory=dict)
+    num_nodes: int = 128
+    rating: float = 168.0
+    overrun_floor_share: float = 0.05
+    redistribute_spare: bool = False
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.rating <= 0:
+            raise ValueError("rating must be > 0")
+
+    def share_params(self) -> ShareParams:
+        return ShareParams(
+            overrun_floor_share=self.overrun_floor_share,
+            redistribute_spare=self.redistribute_spare,
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario: Any) -> "EngineConfig":
+        """Project a ``ScenarioConfig`` onto the engine's knobs."""
+        return cls(
+            policy=scenario.policy,
+            policy_kwargs=dict(scenario.policy_kwargs),
+            num_nodes=scenario.num_nodes,
+            rating=scenario.rating,
+            overrun_floor_share=scenario.overrun_floor_share,
+            redistribute_spare=scenario.redistribute_spare,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (checkpoint header)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EngineConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The engine's immediate answer to one submitted job.
+
+    ``outcome`` is the job's admission-time disposition:
+
+    * ``"accepted"`` — running (Libra family starts accepted jobs at
+      their allocated shares immediately);
+    * ``"queued"`` — admitted to a wait queue (EDF defers its real
+      admission test to dispatch time, so a queued job may still be
+      rejected later; :meth:`AdmissionEngine.query` shows the final
+      state);
+    * ``"rejected"`` — refused at admission, with the policy's reason.
+    """
+
+    job_id: int
+    outcome: str
+    t: float
+    policy: str
+    reason: str = ""
+
+    @property
+    def accepted(self) -> bool:
+        """True unless the job was rejected outright at admission."""
+        return self.outcome != "rejected"
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "job": self.job_id,
+            "outcome": self.outcome,
+            "t": self.t,
+            "policy": self.policy,
+        }
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+
+class AdmissionEngine:
+    """A long-running, incrementally-driven admission-control service.
+
+    Parameters
+    ----------
+    config:
+        Cluster geometry and policy selection.
+    clock:
+        A :class:`~repro.service.clock.VirtualClock` (default) or
+        :class:`~repro.service.clock.WallClock`.  Live engines call
+        :meth:`poll` (the server does this per request) so completions
+        keep pace with real time.
+    obs:
+        Optional :class:`~repro.obs.session.ObsSession`; when given it
+        is attached to the kernel/RMS/policy exactly as the batch
+        runner attaches one, so decision/transition records and the
+        metrics registry behave identically.
+    streams:
+        Optional named RNG streams owned by this engine (live synthetic
+        workloads); checkpointed and restored with the rest of the
+        state so a resumed engine continues the same random sequences.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        clock: Optional[Any] = None,
+        obs: Optional[Any] = None,
+        streams: Optional[RngStreams] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.clock = clock if clock is not None else VirtualClock(self.config.start_time)
+        self.sim = Simulator(start_time=self.config.start_time)
+        self.cluster = Cluster.homogeneous(
+            self.sim,
+            self.config.num_nodes,
+            rating=self.config.rating,
+            discipline=policy_discipline(self.config.policy),
+            share_params=self.config.share_params(),
+        )
+        self.policy = make_policy(self.config.policy, **self.config.policy_kwargs)
+        self.rms = ResourceManagementSystem(self.sim, self.cluster, self.policy)
+        self.obs = obs
+        self.streams = streams
+        self.decisions: list[Decision] = []
+        self._known_ids: set[int] = set()
+        if obs is not None:
+            obs.attach(self.sim, self.rms, self.policy)
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The engine's simulated clock (seconds)."""
+        return self.sim.now
+
+    def poll(self) -> int:
+        """Chase a live clock: advance the kernel to ``clock.now()``.
+
+        No-op under a virtual clock.  Returns events fired.
+        """
+        if not getattr(self.clock, "live", False):
+            return 0
+        target = self.clock.now()
+        if target <= self.sim.now:
+            return 0
+        return self.advance(target)
+
+    # -- the online API ----------------------------------------------------
+    def submit(self, job: Job, clamp_past: bool = False) -> Decision:
+        """Admit one arriving job; returns the policy's decision.
+
+        The kernel first executes every event up to the job's submit
+        time (completions free capacity the admission test must see),
+        then the arrival fires and the policy decides.
+
+        ``clamp_past`` moves a stale submit time forward to the current
+        clock instead of raising — live servers use it because network
+        delay routinely lands requests a few (simulated) seconds late.
+
+        Raises
+        ------
+        OutOfOrderSubmit
+            If ``job.submit_time`` is before the engine clock and
+            ``clamp_past`` is false.
+        DuplicateJob
+            If a job with the same id was already submitted.
+        EngineError
+            If the job was already submitted to some RMS.
+        """
+        if job.state is not JobState.CREATED:
+            raise EngineError(
+                f"job {job.job_id} already {job.state.value}; cannot submit"
+            )
+        if job.job_id in self._known_ids:
+            raise DuplicateJob(
+                f"a job with id {job.job_id} was already submitted; "
+                f"ids are the service's job handle and must be unique"
+            )
+        if job.submit_time < self.sim.now:
+            if clamp_past:
+                job.submit_time = self.sim.now
+            else:
+                raise OutOfOrderSubmit(
+                    f"job {job.job_id} arrives out of order: submit_time "
+                    f"{job.submit_time:.6g}s is before the engine clock at "
+                    f"{self.sim.now:.6g}s"
+                )
+        self.rms.submit(job)
+        self._known_ids.add(job.job_id)
+        self.sim.run(until=job.submit_time)
+        self.clock.advance_to(self.sim.now)
+        decision = self._decision_of(job)
+        self.decisions.append(decision)
+        return decision
+
+    def advance(self, to_time: float) -> int:
+        """Run the kernel up to ``to_time``; returns events fired.
+
+        The clock is left at exactly ``to_time`` even when the last
+        event fired earlier, matching ``Simulator.run(until=...)``.
+        """
+        if to_time < self.sim.now:
+            raise EngineError(
+                f"cannot advance to t={to_time:.6g}: clock is at {self.sim.now:.6g}"
+            )
+        before = self.sim.events_fired
+        self.sim.run(until=to_time)
+        self.clock.advance_to(self.sim.now)
+        return self.sim.events_fired - before
+
+    def drain(self) -> float:
+        """Run every remaining event (open jobs finish); returns the horizon."""
+        self.sim.run()
+        self.clock.advance_to(self.sim.now)
+        return self.sim.now
+
+    # -- interrogation ------------------------------------------------------
+    def query(self, job_id: int) -> Optional[Job]:
+        """The submitted job with ``job_id``, or ``None``."""
+        for job in self.rms.jobs:
+            if job.job_id == job_id:
+                return job
+        return None
+
+    def metrics(self) -> ScenarioMetrics:
+        """Paper metrics over everything submitted so far."""
+        return compute_metrics(self.rms.jobs, self.cluster, self.sim.now)
+
+    def stats(self) -> dict[str, Any]:
+        """Live counters for the service ``stats`` endpoint (JSON-able)."""
+        rms = self.rms
+        out: dict[str, Any] = {
+            "t": self.sim.now,
+            "policy": self.policy.name,
+            "nodes": len(self.cluster),
+            "submitted": len(rms.jobs),
+            "accepted": len(rms.accepted),
+            "rejected": len(rms.rejected),
+            "completed": len(rms.completed),
+            "failed": len(rms.failed),
+            "running": self.policy.running_jobs,
+            "queued": len(getattr(self.policy, "queue", ())),
+            "events_fired": self.sim.events_fired,
+            "pending_events": self.sim.pending,
+        }
+        ratio = rms.acceptance_ratio
+        if ratio is not None:
+            out["acceptance_ratio"] = ratio
+        return out
+
+    # -- internals ----------------------------------------------------------
+    def _decision_of(self, job: Job) -> Decision:
+        if job.state is JobState.REJECTED:
+            outcome, reason = "rejected", job.reject_reason or ""
+        elif job.state is JobState.QUEUED:
+            outcome, reason = "queued", ""
+        else:
+            outcome, reason = "accepted", ""
+        return Decision(
+            job_id=job.job_id,
+            outcome=outcome,
+            t=job.submit_time,
+            policy=self.policy.name,
+            reason=reason,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<AdmissionEngine policy={self.policy.name} t={self.sim.now:.6g} "
+            f"submitted={len(self.rms.jobs)} running={self.policy.running_jobs}>"
+        )
+
+
+def engine_for_scenario(
+    scenario: Any,
+    obs: Optional[Any] = None,
+    clock: Optional[Any] = None,
+) -> AdmissionEngine:
+    """An engine whose cluster/policy mirror a batch ``ScenarioConfig``."""
+    return AdmissionEngine(
+        EngineConfig.from_scenario(scenario), clock=clock, obs=obs
+    )
+
+
+__all__ = [
+    "AdmissionEngine",
+    "Decision",
+    "EngineConfig",
+    "EngineError",
+    "OutOfOrderSubmit",
+    "VirtualClock",
+    "WallClock",
+    "engine_for_scenario",
+]

@@ -1,0 +1,311 @@
+"""HTTP client and open-loop load generator for the admission service.
+
+:class:`ServiceClient` is a minimal stdlib (urllib) client speaking
+:mod:`repro.service.protocol` against a running ``repro serve``
+instance.  :class:`LoadGenerator` streams a job list at a configurable
+speed-up — request *i* is scheduled ``(submit_i − submit_0) / speedup``
+wall-clock seconds after the start — and reports sustained requests/sec
+plus latency percentiles.
+
+Pacing is open-loop: send times come from the trace alone, never from
+response completion, so a slow server shows up as rising latency (and,
+past its queue-depth limit, as shed ``overloaded`` responses) rather
+than as a silently throttled client.  One detail bends pure open-loop
+dispatch: with ``workers <= 1`` (the default) requests are *issued* in
+submit-time order from a single sender, because a virtual-clock server
+refuses arrivals behind its clock (``out_of_order``).  With more
+workers dispatch is fully concurrent; use that against live
+(``--live``) servers, which clamp stale submit times instead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.cluster.job import Job
+from repro.obs.log import get_logger
+from repro.service import protocol
+
+log = get_logger("service.loadgen")
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of sorted data."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    pos = (len(sorted_values) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def job_request_payload(job: Job) -> dict[str, Any]:
+    """The ``submit`` request body for one job (actual runtime included)."""
+    payload: dict[str, Any] = {
+        "id": job.job_id,
+        "submit_time": job.submit_time,
+        "runtime": job.runtime,
+        "estimated_runtime": job.estimated_runtime,
+        "numproc": job.numproc,
+        "deadline": job.deadline,
+        "urgency": job.urgency.value,
+    }
+    if job.user is not None:
+        payload["user"] = job.user
+    return payload
+
+
+class ServiceClient:
+    """Blocking JSON-RPC client for one admission service."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def rpc(self, request: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """POST one protocol request; returns ``(http_status, response)``."""
+        body = protocol.encode(request)
+        req = urllib.request.Request(
+            f"{self.url}/v1/rpc",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = protocol.error_response(
+                    protocol.ErrorCode.INTERNAL, raw or str(exc)
+                )
+            return exc.code, payload
+
+    def submit(self, job: Job) -> tuple[int, dict[str, Any]]:
+        return self.rpc({
+            "v": protocol.PROTOCOL_VERSION, "type": "submit",
+            "job": job_request_payload(job),
+        })
+
+    def query(self, job_id: int) -> tuple[int, dict[str, Any]]:
+        return self.rpc(
+            {"v": protocol.PROTOCOL_VERSION, "type": "query", "job": job_id}
+        )
+
+    def stats(self) -> tuple[int, dict[str, Any]]:
+        return self.rpc({"v": protocol.PROTOCOL_VERSION, "type": "stats"})
+
+    def drain(self) -> tuple[int, dict[str, Any]]:
+        return self.rpc({"v": protocol.PROTOCOL_VERSION, "type": "drain"})
+
+    def checkpoint(self, path: Optional[str] = None) -> tuple[int, dict[str, Any]]:
+        request: dict[str, Any] = {"v": protocol.PROTOCOL_VERSION, "type": "checkpoint"}
+        if path is not None:
+            request["path"] = path
+        return self.rpc(request)
+
+    def healthy(self) -> bool:
+        try:
+            with urllib.request.urlopen(
+                f"{self.url}/healthz", timeout=self.timeout
+            ) as resp:
+                return resp.status == 200
+        except (urllib.error.URLError, OSError):
+            return False
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """One request's fate as seen by the load generator."""
+
+    job_id: int
+    status: int
+    outcome: str           # decision outcome, or the error code
+    latency: float         # seconds
+    sent_at: float         # seconds since generator start
+    lag: float             # how late the send fired vs its schedule
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate throughput/latency statistics of one generator run."""
+
+    requests: int
+    ok: int
+    errors: int
+    duration: float
+    outcomes: dict[str, int]
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    latency_max: float
+    results: tuple[RequestResult, ...] = field(repr=False, default=())
+
+    @property
+    def rps(self) -> float:
+        """Sustained requests per second over the whole run."""
+        return self.requests / self.duration if self.duration > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "duration": self.duration,
+            "rps": self.rps,
+            "outcomes": dict(self.outcomes),
+            "latency_p50": self.latency_p50,
+            "latency_p90": self.latency_p90,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.requests} requests in {self.duration:.3f}s "
+            f"({self.rps:.1f} req/s), {self.errors} errors; latency "
+            f"p50={self.latency_p50 * 1e3:.2f}ms p90={self.latency_p90 * 1e3:.2f}ms "
+            f"p99={self.latency_p99 * 1e3:.2f}ms max={self.latency_max * 1e3:.2f}ms"
+        )
+
+
+class LoadGenerator:
+    """Stream a job list at an SWF trace's own cadence, sped up.
+
+    Parameters
+    ----------
+    client:
+        Target service.
+    jobs:
+        The stream (sorted by submit time; a guard sorts defensively).
+    speedup:
+        Trace seconds per wall-clock second.  ``inf`` (or anything
+        making every gap < 1 µs) degenerates to back-to-back sends.
+    workers:
+        ``<= 1``: one ordered sender (safe against virtual-clock
+        servers).  ``> 1``: concurrent open-loop dispatch.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        jobs: Sequence[Job],
+        speedup: float = 1.0,
+        workers: int = 1,
+    ) -> None:
+        if speedup <= 0:
+            raise ValueError(f"speedup must be > 0, got {speedup}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.client = client
+        self.jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        self.speedup = float(speedup)
+        self.workers = workers
+        self._results: list[RequestResult] = []
+        self._lock = threading.Lock()
+
+    # -- one request -------------------------------------------------------
+    def _fire(self, job: Job, offset: float, epoch: float) -> None:
+        target = epoch + offset
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        sent_at = time.monotonic()
+        t0 = time.perf_counter()
+        try:
+            status, response = self.client.submit(job)
+        except (urllib.error.URLError, OSError) as exc:
+            status, response = 0, protocol.error_response(
+                protocol.ErrorCode.INTERNAL, str(exc)
+            )
+        latency = time.perf_counter() - t0
+        if response.get("ok"):
+            outcome = response.get("decision", {}).get("outcome", "ok")
+        else:
+            outcome = response.get("error", {}).get("code", "error")
+        result = RequestResult(
+            job_id=job.job_id,
+            status=status,
+            outcome=outcome,
+            latency=latency,
+            sent_at=sent_at - epoch,
+            lag=max(0.0, sent_at - target),
+        )
+        with self._lock:
+            self._results.append(result)
+
+    # -- the run -----------------------------------------------------------
+    def run(self) -> LoadReport:
+        """Send the whole stream; blocks until every response is in."""
+        self._results = []
+        if not self.jobs:
+            return LoadReport(
+                requests=0, ok=0, errors=0, duration=0.0, outcomes={},
+                latency_p50=0.0, latency_p90=0.0, latency_p99=0.0,
+                latency_max=0.0,
+            )
+        base = self.jobs[0].submit_time
+        offsets = [(job.submit_time - base) / self.speedup for job in self.jobs]
+        epoch = time.monotonic()
+        if self.workers <= 1:
+            for job, offset in zip(self.jobs, offsets):
+                self._fire(job, offset, epoch)
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._fire, args=(job, offset, epoch), daemon=True
+                )
+                for job, offset in zip(self.jobs, offsets)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        duration = time.monotonic() - epoch
+        return self._report(duration)
+
+    def _report(self, duration: float) -> LoadReport:
+        results = sorted(self._results, key=lambda r: r.sent_at)
+        latencies = sorted(r.latency for r in results)
+        outcomes: dict[str, int] = {}
+        ok = 0
+        for r in results:
+            outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+            if 200 <= r.status < 300:
+                ok += 1
+        report = LoadReport(
+            requests=len(results),
+            ok=ok,
+            errors=len(results) - ok,
+            duration=duration,
+            outcomes=outcomes,
+            latency_p50=percentile(latencies, 50.0),
+            latency_p90=percentile(latencies, 90.0),
+            latency_p99=percentile(latencies, 99.0),
+            latency_max=latencies[-1],
+            results=tuple(results),
+        )
+        log.info("%s", report)
+        return report
+
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "RequestResult",
+    "ServiceClient",
+    "job_request_payload",
+    "percentile",
+]

@@ -1,0 +1,129 @@
+"""Deterministic trace replay through the online engine.
+
+:func:`replay_scenario` is the online twin of
+:func:`repro.experiments.runner.run_scenario`: it builds the *same* job
+stream from the *same* scenario seed/trace, but feeds jobs to an
+:class:`~repro.service.engine.AdmissionEngine` one at a time instead of
+batch-submitting them.  By the engine's determinism contract the kernel
+executes the identical event sequence, so the final metrics — and the
+observability exports, minus the batch runner's span records — are
+byte-compatible with the batch run (pinned by
+``tests/test_service/test_replay.py``).
+
+This is the virtual-clock, in-process path.  For driving a *server*
+over HTTP at a wall-clock speed-up, see :mod:`repro.service.loadgen`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.cluster.job import Job
+from repro.metrics.summary import ScenarioMetrics
+from repro.obs.log import get_logger
+from repro.service.engine import AdmissionEngine, Decision, engine_for_scenario
+
+log = get_logger("service.replay")
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying one job stream through an engine."""
+
+    #: Jobs submitted.
+    submitted: int
+    #: Decision counts at admission time, keyed by outcome.
+    outcomes: dict[str, int]
+    #: Final simulated horizon (seconds).
+    horizon: float
+    #: Kernel events fired.
+    events: int
+    #: Wall-clock seconds the replay took.
+    elapsed: float
+    #: Paper metrics over the full stream.
+    metrics: ScenarioMetrics
+    #: Every admission decision, in submit order.
+    decisions: tuple[Decision, ...] = field(repr=False, default=())
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "outcomes": dict(self.outcomes),
+            "horizon": self.horizon,
+            "events": self.events,
+            "elapsed": self.elapsed,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items()))
+        return (
+            f"replayed {self.submitted} jobs ({parts}) to t={self.horizon:.6g}s "
+            f"in {self.elapsed:.3f}s wall-clock"
+        )
+
+
+def replay_jobs(
+    engine: AdmissionEngine,
+    jobs: Sequence[Job],
+    drain: bool = True,
+) -> ReplayReport:
+    """Feed ``jobs`` (in submit-time order) through ``engine``.
+
+    Each job is submitted individually — exactly what a stream of RPC
+    clients would do — and, when ``drain`` is true, the kernel then runs
+    to quiescence so every admitted job finishes.  Jobs must already be
+    sorted by submit time; an out-of-order stream raises
+    :class:`~repro.service.engine.OutOfOrderSubmit` mid-replay.
+    """
+    t0 = time.perf_counter()
+    outcomes: dict[str, int] = {}
+    first = len(engine.decisions)
+    for job in jobs:
+        decision = engine.submit(job)
+        outcomes[decision.outcome] = outcomes.get(decision.outcome, 0) + 1
+    if drain:
+        engine.drain()
+    elapsed = time.perf_counter() - t0
+    report = ReplayReport(
+        submitted=len(jobs),
+        outcomes=outcomes,
+        horizon=engine.sim.now,
+        events=engine.sim.events_fired,
+        elapsed=elapsed,
+        metrics=engine.metrics(),
+        decisions=tuple(engine.decisions[first:]),
+    )
+    log.info("%s", report)
+    return report
+
+
+def replay_scenario(
+    config: Any,
+    obs: Optional[Any] = None,
+    jobs: Optional[Sequence[Job]] = None,
+) -> tuple[AdmissionEngine, ReplayReport]:
+    """Replay a batch scenario's exact job stream through a fresh engine.
+
+    ``config`` is a :class:`~repro.experiments.config.ScenarioConfig`;
+    the job stream is built by the very same
+    :func:`~repro.experiments.runner.build_scenario_jobs` pipeline the
+    batch runner uses (same seed → same jobs), unless a pre-built
+    ``jobs`` list is supplied.  When ``obs`` is given it is attached to
+    the engine and finalized with the replay's metrics, yielding the
+    same decision/transition/metrics/registry records as an observed
+    batch run (span records excepted — replay has no batch phases).
+    """
+    from repro.experiments.runner import build_scenario_jobs
+
+    job_list = list(jobs) if jobs is not None else build_scenario_jobs(config)
+    engine = engine_for_scenario(config, obs=obs)
+    report = replay_jobs(engine, job_list)
+    if obs is not None:
+        obs.finalize(metrics=report.metrics, sim=engine.sim)
+    return engine, report
+
+
+__all__ = ["ReplayReport", "replay_jobs", "replay_scenario"]

@@ -1,0 +1,373 @@
+"""A stdlib HTTP front-end for the admission engine (``repro serve``).
+
+One :class:`AdmissionService` owns one :class:`AdmissionEngine` behind a
+lock (the engine is single-threaded state; HTTP threads serialize on
+it) and speaks :mod:`repro.service.protocol` on ``POST /v1/rpc``.
+Convenience read-only endpoints mirror common operational queries::
+
+    GET /healthz      -> {"ok": true}
+    GET /v1/stats     -> stats response (same payload as the RPC)
+    GET /metrics      -> Prometheus text of the service registry
+
+Backpressure
+------------
+Two knobs bound the damage a misbehaving client can do:
+
+* ``max_request_bytes`` — requests with a larger (or missing)
+  ``Content-Length`` are refused with 413/411 before the body is read;
+* ``max_inflight`` — at most this many requests may hold engine time
+  concurrently; excess requests get an immediate 503 ``overloaded``
+  (open-loop clients measure this as loss, not latency).
+
+Every request is timed into ``service_request_seconds`` histograms
+(labelled by request type) in a :class:`~repro.obs.metrics.MetricsRegistry`,
+so admission latency percentiles come straight from ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Any, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.service import checkpoint as checkpoint_mod
+from repro.service import protocol
+from repro.service.engine import (
+    AdmissionEngine,
+    DuplicateJob,
+    EngineError,
+    OutOfOrderSubmit,
+)
+from repro.service.protocol import ErrorCode, ProtocolError
+
+log = get_logger("service.server")
+
+#: Admission-latency bucket bounds (seconds) — sub-millisecond to 1 s.
+LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0,
+)
+
+
+class AdmissionService:
+    """The engine + its service-level guardrails and metrics.
+
+    Parameters
+    ----------
+    engine:
+        The (possibly restored) engine to serve.
+    max_request_bytes:
+        Upper bound on accepted request bodies.
+    max_inflight:
+        Queue-depth limit: concurrent requests beyond this are shed
+        with ``overloaded``.
+    registry:
+        Metrics registry for request counters/latency histograms
+        (defaults to a fresh one; exposed at ``GET /metrics``).
+    """
+
+    def __init__(
+        self,
+        engine: AdmissionEngine,
+        max_request_bytes: int = 64 * 1024,
+        max_inflight: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_request_bytes < 1:
+            raise ValueError("max_request_bytes must be >= 1")
+        if max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0")
+        self.engine = engine
+        self.max_request_bytes = int(max_request_bytes)
+        self.max_inflight = int(max_inflight)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.draining = False
+        self._engine_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # -- backpressure accounting -------------------------------------------
+    def _acquire_slot(self) -> bool:
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def _release_slot(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    # -- request execution --------------------------------------------------
+    def handle(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        """Execute one protocol request; returns ``(http_status, response)``."""
+        if self.draining:
+            err = protocol.error_response(
+                ErrorCode.SHUTTING_DOWN, "server is shutting down"
+            )
+            return protocol.HTTP_STATUS[ErrorCode.SHUTTING_DOWN], err
+        if not self._acquire_slot():
+            self.registry.counter(
+                "service_requests_shed_total", "Requests refused by backpressure"
+            ).inc()
+            err = protocol.error_response(
+                ErrorCode.OVERLOADED,
+                f"too many requests in flight (limit {self.max_inflight})",
+            )
+            return protocol.HTTP_STATUS[ErrorCode.OVERLOADED], err
+        try:
+            return self._dispatch(body)
+        finally:
+            self._release_slot()
+
+    def _dispatch(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        t0 = perf_counter()
+        rtype = "invalid"
+        try:
+            request = protocol.parse_request(body)
+            rtype = type(request).__name__.replace("Request", "").lower()
+            with self._engine_lock:
+                self.engine.poll()
+                response = self._execute(request)
+            status = 200
+        except ProtocolError as exc:
+            response = protocol.error_response(exc.code, exc.message)
+            status = exc.http_status
+        except OutOfOrderSubmit as exc:
+            response = protocol.error_response(ErrorCode.OUT_OF_ORDER, str(exc))
+            status = protocol.HTTP_STATUS[ErrorCode.OUT_OF_ORDER]
+        except DuplicateJob as exc:
+            response = protocol.error_response(ErrorCode.CONFLICT, str(exc))
+            status = protocol.HTTP_STATUS[ErrorCode.CONFLICT]
+        except (EngineError, checkpoint_mod.CheckpointError, OSError) as exc:
+            response = protocol.error_response(ErrorCode.INTERNAL, str(exc))
+            status = protocol.HTTP_STATUS[ErrorCode.INTERNAL]
+        except Exception as exc:
+            # The handler thread must outlive any bug in the engine or a
+            # policy: surface it as a typed 500, never a dead connection.
+            log.exception("unexpected failure handling %s request", rtype)
+            response = protocol.error_response(
+                ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+            status = protocol.HTTP_STATUS[ErrorCode.INTERNAL]
+        elapsed = perf_counter() - t0
+        outcome = "ok" if response.get("ok") else response["error"]["code"]
+        self.registry.counter(
+            "service_requests_total", "Protocol requests by type and outcome",
+            type=rtype, outcome=outcome,
+        ).inc()
+        self.registry.histogram(
+            "service_request_seconds", "Wall-clock request handling latency",
+            buckets=LATENCY_BUCKETS, type=rtype,
+        ).observe(elapsed)
+        return status, response
+
+    def _execute(self, request: Any) -> dict[str, Any]:
+        """Run one validated request against the engine (lock held)."""
+        engine = self.engine
+        if isinstance(request, protocol.SubmitRequest):
+            job = protocol.job_from_payload(
+                request.job, default_submit_time=engine.now
+            )
+            decision = engine.submit(
+                job, clamp_past=getattr(engine.clock, "live", False)
+            )
+            return protocol.ok_response("decision", decision=decision.as_dict())
+        if isinstance(request, protocol.QueryRequest):
+            job = engine.query(request.job_id)
+            if job is None:
+                raise ProtocolError(
+                    ErrorCode.NOT_FOUND, f"no submitted job with id {request.job_id}"
+                )
+            return protocol.ok_response("job", job=protocol.job_payload(job))
+        if isinstance(request, protocol.StatsRequest):
+            return protocol.ok_response("stats", stats=engine.stats())
+        if isinstance(request, protocol.AdvanceRequest):
+            if getattr(engine.clock, "live", False):
+                raise ProtocolError(
+                    ErrorCode.INVALID_FIELD,
+                    "advance is only valid under a virtual clock",
+                )
+            events = engine.advance(request.to)
+            return protocol.ok_response("advanced", t=engine.now, events=events)
+        if isinstance(request, protocol.DrainRequest):
+            horizon = engine.drain()
+            return protocol.ok_response(
+                "drained", t=horizon, metrics=engine.metrics().as_dict()
+            )
+        if isinstance(request, protocol.CheckpointRequest):
+            if request.path is not None:
+                checkpoint_mod.save(engine, request.path)
+                return protocol.ok_response("checkpoint", path=request.path)
+            return protocol.ok_response(
+                "checkpoint", snapshot=checkpoint_mod.snapshot(engine)
+            )
+        raise ProtocolError(  # pragma: no cover - parse_request is exhaustive
+            ErrorCode.UNKNOWN_TYPE, f"unhandled request {type(request).__name__}"
+        )
+
+    # -- read-only side endpoints -------------------------------------------
+    def stats_response(self) -> dict[str, Any]:
+        with self._engine_lock:
+            self.engine.poll()
+            return protocol.ok_response("stats", stats=self.engine.stats())
+
+    def prometheus_text(self) -> str:
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(self.registry)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP to the service; all logic lives in :class:`AdmissionService`."""
+
+    server_version = "repro-admission/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AdmissionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:  # quiet by default
+        log.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = protocol.encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- verbs -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/v1/stats":
+            self._send_json(200, self.service.stats_response())
+        elif self.path == "/metrics":
+            self._send_text(200, self.service.prometheus_text(),
+                            "text/plain; version=0.0.4; charset=utf-8")
+        else:
+            self._send_json(
+                404, protocol.error_response(ErrorCode.NOT_FOUND,
+                                             f"no such endpoint {self.path!r}"),
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path != "/v1/rpc":
+            self._send_json(
+                404, protocol.error_response(ErrorCode.NOT_FOUND,
+                                             f"no such endpoint {self.path!r}"),
+            )
+            return
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            self._send_json(
+                411, protocol.error_response(ErrorCode.TOO_LARGE,
+                                             "Content-Length header is required"),
+            )
+            return
+        try:
+            length = int(length_header)
+        except ValueError:
+            self._send_json(
+                400, protocol.error_response(ErrorCode.BAD_JSON,
+                                             "malformed Content-Length"),
+            )
+            return
+        if length > self.service.max_request_bytes:
+            self._send_json(
+                413, protocol.error_response(
+                    ErrorCode.TOO_LARGE,
+                    f"request of {length} bytes exceeds the "
+                    f"{self.service.max_request_bytes}-byte limit",
+                ),
+            )
+            return
+        body = self.rfile.read(length)
+        status, payload = self.service.handle(body)
+        self._send_json(status, payload)
+
+
+class ServiceServer:
+    """Lifecycle wrapper: bind, serve (optionally in-thread), shut down.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  :meth:`start` runs the accept loop in a daemon
+    thread (tests, embedded use); :meth:`serve_forever` blocks (the
+    CLI).  :meth:`stop` is graceful: new requests are refused with
+    ``shutting_down`` while the accept loop winds down, and an optional
+    exit checkpoint is written.
+    """
+
+    def __init__(
+        self,
+        service: AdmissionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_on_exit: Optional[str] = None,
+    ) -> None:
+        self.service = service
+        self.checkpoint_on_exit = checkpoint_on_exit
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        log.info("admission service listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        log.info("admission service listening on %s", self.url)
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.service.draining = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.checkpoint_on_exit is not None:
+            checkpoint_mod.save(self.service.engine, self.checkpoint_on_exit)
+            log.info("wrote exit checkpoint to %s", self.checkpoint_on_exit)
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+__all__ = ["AdmissionService", "LATENCY_BUCKETS", "ServiceServer"]

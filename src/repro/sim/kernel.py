@@ -210,6 +210,31 @@ class Simulator:
         """Request :meth:`run` to return after the current event."""
         self._stopped = True
 
+    # -- checkpoint support ------------------------------------------------
+    def clock_state(self) -> dict:
+        """The kernel's restorable scalar state (see :meth:`restore_clock`)."""
+        return {"now": self._now, "seq": self._seq, "events_fired": self._events_fired}
+
+    def restore_clock(self, now: float, seq: int, events_fired: int) -> None:
+        """Reset the clock and counters from a checkpoint.
+
+        Only legal on a simulator whose event queue is still empty: the
+        restorer re-creates pending events *after* this call so their
+        sequence numbers continue from the snapshot's ``seq``.
+        """
+        if self._heap:
+            raise SimulationError(
+                f"cannot restore clock state with {len(self._heap)} events pending"
+            )
+        now = float(now)
+        if now != now or now in (float("inf"), float("-inf")):
+            raise SimulationError(f"restored clock must be finite, got {now!r}")
+        if seq < 0 or events_fired < 0:
+            raise SimulationError("restored seq/events_fired must be >= 0")
+        self._now = now
+        self._seq = int(seq)
+        self._events_fired = int(events_fired)
+
     # -- internals --------------------------------------------------------
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:

@@ -244,3 +244,68 @@ class TestObservabilityFlags:
         )
         assert code == 0
         assert out.strip() == ""
+
+
+class TestServiceCommands:
+    def test_replay_in_process_prints_metrics(self, capsys, tmp_path):
+        path = tmp_path / "replay.jsonl"
+        code, out = run_cli(
+            capsys, "replay", "--policy", "librarisk", "--jobs", "40",
+            "--nodes", "8", "--metrics-out", str(path),
+        )
+        assert code == 0
+        assert "replayed 40 jobs" in out
+        assert "pct_deadlines_fulfilled" in out
+        assert path.exists()
+
+    def test_replay_matches_batch_run_metrics(self, capsys):
+        code, replay_out = run_cli(
+            capsys, "replay", "--policy", "libra", "--jobs", "50", "--nodes", "8",
+        )
+        assert code == 0
+        code, run_out = run_cli(
+            capsys, "run", "--policy", "libra", "--jobs", "50", "--nodes", "8",
+        )
+        assert code == 0
+        # Both render the same metrics table rows.
+        pick = [l for l in replay_out.splitlines() if "pct_deadlines_fulfilled" in l]
+        assert pick and pick[0] in run_out
+
+    def test_replay_against_dead_server_fails(self, capsys):
+        code = main(["replay", "--url", "http://127.0.0.1:9", "--jobs", "10"])
+        assert code == 1
+
+    def test_inspect_decisions_json_lines(self, capsys, tmp_path):
+        path = tmp_path / "m.jsonl"
+        run_cli(
+            capsys, "run", "--policy", "librarisk", "--jobs", "40", "--nodes", "8",
+            "--metrics-out", str(path),
+        )
+        code, out = run_cli(
+            capsys, "inspect", str(path), "--mode", "decisions", "--json",
+        )
+        assert code == 0
+        import json
+
+        lines = [json.loads(line) for line in out.strip().splitlines()]
+        assert lines and all(r["type"] == "decision" for r in lines)
+
+    def test_serve_and_replay_over_http(self, capsys, tmp_path):
+        # Boot the real server off the CLI plumbing (ephemeral port, in a
+        # thread via ServiceServer) and drive it with `repro replay --url`.
+        from repro.service import AdmissionEngine, AdmissionService, EngineConfig
+        from repro.service.server import ServiceServer
+
+        engine = AdmissionEngine(EngineConfig(policy="librarisk", num_nodes=8))
+        server = ServiceServer(AdmissionService(engine), port=0).start()
+        try:
+            code, out = run_cli(
+                capsys, "replay", "--url", server.url, "--jobs", "15",
+                "--nodes", "8", "--drain",
+            )
+            assert code == 0
+            assert "15 requests" in out
+            assert "server stats:" in out
+            assert "pct_deadlines_fulfilled" in out
+        finally:
+            server.stop()

@@ -26,6 +26,31 @@ class TestSubmission:
         rms = ResourceManagementSystem(sim, cluster, make_policy("libra"))
         assert rms.submit_all([make_job(), make_job()]) == 2
 
+    def test_single_submit_schedules_one_arrival(self):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, 2, discipline="time_shared")
+        rms = ResourceManagementSystem(sim, cluster, make_policy("libra"))
+        rms.submit(make_job(runtime=1.0, deadline=100.0, submit=3.0, job_id=1))
+        assert sim.pending == 1
+        sim.run()
+        assert [j.job_id for j in rms.jobs] == [1]
+
+    def test_submit_all_is_a_loop_over_submit(self):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, 2, discipline="time_shared")
+        rms = ResourceManagementSystem(sim, cluster, make_policy("libra"))
+        assert rms.submit_all(make_job(job_id=i) for i in (1, 2, 3)) == 3
+        assert sim.pending == 3
+
+    def test_out_of_order_submit_rejected_with_clear_error(self):
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, 2, discipline="time_shared")
+        rms = ResourceManagementSystem(sim, cluster, make_policy("libra"))
+        rms.submit(make_job(runtime=1.0, deadline=100.0, submit=10.0, job_id=1))
+        sim.run()  # clock now at t=10
+        with pytest.raises(ValueError, match="out of order"):
+            rms.submit(make_job(runtime=1.0, deadline=100.0, submit=4.0, job_id=2))
+
     def test_resubmission_rejected(self):
         sim = Simulator()
         cluster = Cluster.homogeneous(sim, 2, discipline="time_shared")

@@ -1,0 +1,138 @@
+"""Checkpoint/restore round-trip tests.
+
+The load-bearing guarantee: interrupting a trace mid-stream, restoring
+from the snapshot, and feeding the remainder must end in **exactly**
+the final metrics of the uninterrupted run — for every paper policy.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario_jobs
+from repro.service import checkpoint
+from repro.service.checkpoint import CheckpointError
+from repro.service.engine import (
+    AdmissionEngine,
+    DuplicateJob,
+    EngineConfig,
+    engine_for_scenario,
+)
+from repro.sim.rng import RngStreams
+from tests.conftest import make_job
+
+POLICIES = ("edf", "libra", "librarisk")
+
+
+def scenario(policy: str) -> ScenarioConfig:
+    return ScenarioConfig(policy=policy, num_jobs=120, num_nodes=16, seed=97)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_final_metrics_identical_after_mid_trace_restore(self, policy):
+        config = scenario(policy)
+        cut = 60
+
+        # Uninterrupted reference run through the engine.
+        reference = engine_for_scenario(config)
+        for job in build_scenario_jobs(config):
+            reference.submit(job)
+        reference.drain()
+
+        # Interrupted run: snapshot at the cut, restore, feed the rest.
+        first = engine_for_scenario(config)
+        jobs = build_scenario_jobs(config)
+        for job in jobs[:cut]:
+            first.submit(job)
+        snap = json.loads(checkpoint.dumps(checkpoint.snapshot(first)))
+        resumed = checkpoint.restore(snap)
+        assert resumed.now == first.now
+        for job in jobs[cut:]:
+            resumed.submit(job)
+        resumed.drain()
+
+        assert resumed.metrics().as_dict() == reference.metrics().as_dict()
+        assert len(resumed.decisions) == len(reference.decisions)
+        assert [d.as_dict() for d in resumed.decisions] == [
+            d.as_dict() for d in reference.decisions
+        ]
+
+    def test_snapshot_is_byte_deterministic(self):
+        config = scenario("librarisk")
+        engine = engine_for_scenario(config)
+        for job in build_scenario_jobs(config)[:40]:
+            engine.submit(job)
+        first = checkpoint.dumps(checkpoint.snapshot(engine))
+        second = checkpoint.dumps(checkpoint.snapshot(engine))
+        assert first == second
+
+    def test_save_and_load_file(self, tmp_path):
+        engine = AdmissionEngine(EngineConfig(num_nodes=4, rating=1.0))
+        engine.submit(make_job(runtime=50.0, deadline=200.0, job_id=1))
+        path = tmp_path / "engine.json"
+        checkpoint.save(engine, str(path))
+        resumed = checkpoint.load(str(path))
+        resumed.drain()
+        assert resumed.query(1).state.value == "completed"
+
+    def test_restore_preserves_queue(self):
+        engine = AdmissionEngine(EngineConfig(policy="edf", num_nodes=1, rating=1.0))
+        engine.submit(make_job(runtime=100.0, deadline=1000.0, job_id=1))
+        engine.submit(make_job(runtime=10.0, deadline=1000.0, submit=1.0, job_id=2))
+        assert len(engine.policy.queue) == 1
+        resumed = checkpoint.restore(checkpoint.snapshot(engine))
+        assert [j.job_id for j in resumed.policy.queue] == [2]
+        resumed.drain()
+        assert resumed.query(2).state.value == "completed"
+
+    def test_restore_remembers_submitted_ids(self):
+        engine = AdmissionEngine(EngineConfig(num_nodes=2, rating=1.0))
+        engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        resumed = checkpoint.restore(checkpoint.snapshot(engine))
+        with pytest.raises(DuplicateJob):
+            resumed.submit(make_job(runtime=5.0, deadline=200.0, job_id=1))
+
+    def test_rng_streams_resume_identically(self):
+        streams = RngStreams(seed=5)
+        streams.get("arrivals").random(4)  # advance the stream mid-run
+        engine = AdmissionEngine(
+            EngineConfig(num_nodes=2, rating=1.0), streams=streams
+        )
+        resumed = checkpoint.restore(checkpoint.snapshot(engine))
+        expect = streams.get("arrivals").random(3)
+        got = resumed.streams.get("arrivals").random(3)
+        assert list(expect) == list(got)
+
+
+class TestValidation:
+    def test_rejects_foreign_format(self):
+        with pytest.raises(CheckpointError, match="not an engine checkpoint"):
+            checkpoint.restore({"format": "something-else", "version": 1})
+
+    def test_rejects_future_version(self):
+        with pytest.raises(CheckpointError, match="version"):
+            checkpoint.restore(
+                {"format": checkpoint.CHECKPOINT_FORMAT, "version": 99}
+            )
+
+    def test_rejects_unknown_job_reference(self):
+        engine = AdmissionEngine(EngineConfig(num_nodes=2, rating=1.0))
+        engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        snap = checkpoint.snapshot(engine)
+        snap["rms"]["accepted"] = [404]
+        with pytest.raises(CheckpointError, match="unknown job 404"):
+            checkpoint.restore(snap)
+
+    def test_rejects_unreconstructible_pending_event(self):
+        engine = AdmissionEngine(EngineConfig(num_nodes=2, rating=1.0))
+        engine.sim.schedule_at(10.0, lambda e: None, name="custom:tick")
+        with pytest.raises(CheckpointError, match="custom:tick"):
+            checkpoint.snapshot(engine)
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="invalid checkpoint JSON"):
+            checkpoint.load(str(path))

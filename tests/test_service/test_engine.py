@@ -1,0 +1,210 @@
+"""Tests for the online admission engine."""
+
+import pytest
+
+from repro.cluster.job import JobState
+from repro.experiments.config import ScenarioConfig
+from repro.service.clock import VirtualClock, WallClock
+from repro.service.engine import (
+    AdmissionEngine,
+    DuplicateJob,
+    EngineConfig,
+    EngineError,
+    OutOfOrderSubmit,
+    engine_for_scenario,
+)
+from tests.conftest import make_job
+
+
+def small_engine(policy: str = "librarisk", **kwargs) -> AdmissionEngine:
+    defaults = dict(policy=policy, num_nodes=4, rating=1.0)
+    defaults.update(kwargs)
+    return AdmissionEngine(EngineConfig(**defaults))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            EngineConfig(num_nodes=0)
+        with pytest.raises(ValueError, match="rating"):
+            EngineConfig(rating=0.0)
+
+    def test_round_trips_through_dict(self):
+        config = EngineConfig(policy="edf", num_nodes=7, rating=2.5)
+        assert EngineConfig.from_dict(config.as_dict()) == config
+
+    def test_from_scenario_projects_cluster_knobs(self):
+        scenario = ScenarioConfig(policy="libra", num_nodes=32, rating=10.0)
+        config = EngineConfig.from_scenario(scenario)
+        assert config.policy == "libra"
+        assert config.num_nodes == 32
+        assert config.rating == 10.0
+
+
+class TestSubmit:
+    def test_accept_starts_job(self):
+        engine = small_engine()
+        decision = engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        assert decision.outcome == "accepted"
+        assert decision.accepted
+        assert decision.policy == "librarisk"
+        assert engine.query(1).state is JobState.RUNNING
+
+    def test_reject_carries_reason(self):
+        engine = small_engine()
+        decision = engine.submit(make_job(numproc=9, deadline=50.0, job_id=1))
+        assert decision.outcome == "rejected"
+        assert not decision.accepted
+        assert decision.reason
+        assert engine.query(1).state is JobState.REJECTED
+
+    def test_edf_defers_to_queue(self):
+        engine = small_engine("edf", num_nodes=1)
+        engine.submit(make_job(runtime=100.0, deadline=1000.0, job_id=1))
+        decision = engine.submit(make_job(runtime=10.0, deadline=1000.0, job_id=2))
+        assert decision.outcome == "queued"
+        assert engine.query(2).state is JobState.QUEUED
+
+    def test_completions_fire_before_later_arrival(self):
+        engine = small_engine(num_nodes=1)
+        engine.submit(make_job(runtime=10.0, deadline=50.0, submit=0.0, job_id=1))
+        # By t=60 the first job has completed, freeing the single node.
+        decision = engine.submit(
+            make_job(runtime=10.0, deadline=100.0, submit=60.0, job_id=2)
+        )
+        assert engine.query(1).state is JobState.COMPLETED
+        assert decision.outcome == "accepted"
+
+    def test_out_of_order_submit_raises(self):
+        engine = small_engine()
+        engine.submit(make_job(submit=100.0, deadline=300.0, job_id=1))
+        with pytest.raises(OutOfOrderSubmit, match="out of order"):
+            engine.submit(make_job(submit=50.0, deadline=300.0, job_id=2))
+
+    def test_duplicate_job_id_is_refused(self):
+        # A distinct Job object under an already-known id must be
+        # refused before it reaches the policy — a colliding arrival
+        # would corrupt the node task tables.
+        engine = small_engine()
+        engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        with pytest.raises(DuplicateJob, match="id 1"):
+            engine.submit(make_job(runtime=5.0, deadline=200.0, job_id=1))
+        assert engine.stats()["submitted"] == 1
+
+    def test_clamp_past_moves_submit_time_forward(self):
+        engine = small_engine()
+        engine.submit(make_job(submit=100.0, deadline=300.0, job_id=1))
+        stale = make_job(submit=50.0, deadline=300.0, job_id=2)
+        decision = engine.submit(stale, clamp_past=True)
+        assert stale.submit_time == 100.0
+        assert decision.t == 100.0
+
+    def test_resubmission_raises(self):
+        engine = small_engine()
+        job = make_job(deadline=300.0, job_id=1)
+        engine.submit(job)
+        with pytest.raises(EngineError, match="cannot submit"):
+            engine.submit(job)
+
+    def test_decisions_are_logged_in_order(self):
+        engine = small_engine()
+        engine.submit(make_job(submit=0.0, deadline=200.0, job_id=1))
+        engine.submit(make_job(submit=5.0, deadline=200.0, job_id=2))
+        assert [d.job_id for d in engine.decisions] == [1, 2]
+
+
+class TestClockDriving:
+    def test_advance_fires_events_and_sets_clock(self):
+        engine = small_engine(num_nodes=1)
+        engine.submit(make_job(runtime=10.0, deadline=50.0, job_id=1))
+        # Libra-family shares finish the job exactly at its deadline (t=50).
+        fired = engine.advance(60.0)
+        assert fired >= 1  # at least the completion
+        assert engine.now == 60.0
+        assert engine.query(1).state is JobState.COMPLETED
+
+    def test_advance_backwards_raises(self):
+        engine = small_engine()
+        engine.advance(10.0)
+        with pytest.raises(EngineError, match="cannot advance"):
+            engine.advance(5.0)
+
+    def test_drain_completes_everything(self):
+        engine = small_engine(num_nodes=2)
+        engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        engine.submit(make_job(runtime=20.0, deadline=100.0, submit=1.0, job_id=2))
+        horizon = engine.drain()
+        assert horizon >= 21.0
+        assert engine.sim.pending == 0
+        assert len(engine.rms.completed) == 2
+
+    def test_poll_is_noop_under_virtual_clock(self):
+        engine = small_engine()
+        assert engine.poll() == 0
+
+    def test_poll_chases_wall_clock(self):
+        clock = WallClock(speedup=1e6)
+        engine = AdmissionEngine(
+            EngineConfig(policy="librarisk", num_nodes=2, rating=1.0), clock=clock
+        )
+        engine.submit(make_job(runtime=5.0, deadline=100.0, job_id=1),
+                      clamp_past=True)
+        import time
+
+        time.sleep(0.001)  # ≥ 1000 simulated seconds at this speedup
+        engine.poll()
+        assert engine.query(1).state is JobState.COMPLETED
+
+
+class TestInterrogation:
+    def test_query_unknown_job_returns_none(self):
+        assert small_engine().query(404) is None
+
+    def test_stats_counts(self):
+        engine = small_engine(num_nodes=2)
+        engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        engine.submit(make_job(numproc=5, deadline=100.0, submit=1.0, job_id=2))
+        stats = engine.stats()
+        assert stats["submitted"] == 2
+        assert stats["accepted"] == 1
+        assert stats["rejected"] == 1
+        assert stats["running"] == 1
+        assert stats["policy"] == "librarisk"
+        assert stats["acceptance_ratio"] == 0.5
+
+    def test_metrics_over_submitted_jobs(self):
+        engine = small_engine(num_nodes=2)
+        engine.submit(make_job(runtime=10.0, deadline=100.0, job_id=1))
+        engine.drain()
+        metrics = engine.metrics()
+        assert metrics.total_submitted == 1
+        assert metrics.pct_deadlines_fulfilled == 100.0
+
+
+class TestClocks:
+    def test_virtual_clock_tracks_max(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+        assert clock.live is False
+
+    def test_wall_clock_advances_on_its_own(self):
+        import time
+
+        clock = WallClock(speedup=100.0, start_time=50.0)
+        t0 = clock.now()
+        assert t0 >= 50.0
+        time.sleep(0.002)
+        assert clock.now() > t0
+        assert clock.live is True
+
+    def test_wall_clock_rejects_bad_speedup(self):
+        with pytest.raises(ValueError, match="speedup"):
+            WallClock(speedup=0.0)
+
+    def test_engine_for_scenario_matches_config(self):
+        scenario = ScenarioConfig(policy="edf", num_nodes=8)
+        engine = engine_for_scenario(scenario)
+        assert engine.policy.name == "edf"
+        assert len(engine.cluster) == 8

@@ -1,0 +1,104 @@
+"""Tests for the open-loop load generator and its statistics."""
+
+import pytest
+
+from repro.service.engine import AdmissionEngine, EngineConfig
+from repro.service.loadgen import (
+    LoadGenerator,
+    ServiceClient,
+    job_request_payload,
+    percentile,
+)
+from repro.service.server import AdmissionService, ServiceServer
+from tests.conftest import make_job
+
+
+class TestPercentile:
+    def test_endpoints_and_interpolation(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 4.0
+        assert percentile(data, 50.0) == 2.5
+
+    def test_single_value(self):
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match="100"):
+            percentile([1.0], 101.0)
+
+
+class TestJobRequestPayload:
+    def test_carries_actual_runtime(self):
+        job = make_job(runtime=10.0, estimate=20.0, deadline=99.0, job_id=5)
+        payload = job_request_payload(job)
+        assert payload["runtime"] == 10.0
+        assert payload["estimated_runtime"] == 20.0
+        assert payload["id"] == 5
+        assert "user" not in payload
+
+
+class TestLoadGenerator:
+    @pytest.fixture
+    def server(self):
+        engine = AdmissionEngine(
+            EngineConfig(policy="librarisk", num_nodes=4, rating=1.0)
+        )
+        srv = ServiceServer(AdmissionService(engine), port=0).start()
+        yield srv
+        srv.stop()
+
+    def jobs(self, n: int):
+        return [
+            make_job(runtime=5.0, deadline=1000.0, submit=float(i), job_id=i + 1)
+            for i in range(n)
+        ]
+
+    def test_validation(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ValueError, match="speedup"):
+            LoadGenerator(client, [], speedup=0.0)
+        with pytest.raises(ValueError, match="workers"):
+            LoadGenerator(client, [], workers=-1)
+
+    def test_empty_stream(self, server):
+        report = LoadGenerator(ServiceClient(server.url), []).run()
+        assert report.requests == 0
+        assert report.rps == 0.0
+
+    def test_ordered_replay_reports_latency_and_outcomes(self, server):
+        client = ServiceClient(server.url, timeout=5.0)
+        report = LoadGenerator(client, self.jobs(10), speedup=1e9).run()
+        assert report.requests == 10
+        assert report.errors == 0
+        assert report.ok == 10
+        assert sum(report.outcomes.values()) == 10
+        assert report.rps > 0
+        assert 0 < report.latency_p50 <= report.latency_p99 <= report.latency_max
+        assert len(report.results) == 10
+        # Ordered sender: requests went out in submit-time order.
+        assert [r.job_id for r in report.results] == list(range(1, 11))
+
+    def test_pacing_honours_speedup(self, server):
+        client = ServiceClient(server.url, timeout=5.0)
+        # 4 jobs spaced 1 trace-second apart at speedup 20 → ≥ 150 ms total.
+        report = LoadGenerator(client, self.jobs(4), speedup=20.0).run()
+        assert report.duration >= 0.15
+        assert report.errors == 0
+
+    def test_report_as_dict(self, server):
+        client = ServiceClient(server.url, timeout=5.0)
+        report = LoadGenerator(client, self.jobs(3), speedup=1e9).run()
+        data = report.as_dict()
+        assert data["requests"] == 3
+        assert data["rps"] == report.rps
+        assert set(data["outcomes"]) <= {"accepted", "queued", "rejected"}
+
+    def test_connection_failure_counts_as_error(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=0.5)
+        report = LoadGenerator(client, self.jobs(2), speedup=1e9).run()
+        assert report.requests == 2
+        assert report.errors == 2
+        assert report.outcomes.get("internal") == 2

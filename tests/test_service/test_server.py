@@ -1,0 +1,252 @@
+"""Tests for the HTTP service front-end and its backpressure limits."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.engine import AdmissionEngine, EngineConfig
+from repro.service.loadgen import ServiceClient
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import AdmissionService, ServiceServer
+from tests.conftest import make_job
+
+
+def make_service(**kwargs) -> AdmissionService:
+    engine = AdmissionEngine(EngineConfig(policy="librarisk", num_nodes=4, rating=1.0))
+    return AdmissionService(engine, **kwargs)
+
+
+@pytest.fixture
+def server():
+    srv = ServiceServer(make_service(), port=0).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=5.0)
+
+
+def submit_payload(job_id: int, submit_time: float = 0.0) -> dict:
+    return {
+        "id": job_id, "submit_time": submit_time, "runtime": 10.0,
+        "estimated_runtime": 10.0, "numproc": 1, "deadline": 100.0,
+    }
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        assert client.healthy()
+
+    def test_submit_query_stats_drain(self, client):
+        status, response = client.rpc(
+            {"v": PROTOCOL_VERSION, "type": "submit", "job": submit_payload(1)}
+        )
+        assert status == 200
+        assert response["decision"]["outcome"] == "accepted"
+
+        status, response = client.query(1)
+        assert status == 200
+        assert response["job"]["id"] == 1
+
+        status, response = client.stats()
+        assert status == 200
+        assert response["stats"]["submitted"] == 1
+
+        status, response = client.drain()
+        assert status == 200
+        assert response["metrics"]["total_submitted"] == 1
+
+    def test_query_unknown_job_is_404(self, client):
+        status, response = client.query(999)
+        assert status == 404
+        assert response["error"]["code"] == "not_found"
+
+    def test_out_of_order_submit_is_409(self, client):
+        client.rpc({"v": PROTOCOL_VERSION, "type": "submit",
+                    "job": submit_payload(1, submit_time=100.0)})
+        status, response = client.rpc(
+            {"v": PROTOCOL_VERSION, "type": "submit",
+             "job": submit_payload(2, submit_time=5.0)}
+        )
+        assert status == 409
+        assert response["error"]["code"] == "out_of_order"
+
+    def test_duplicate_job_id_is_409_conflict(self, client):
+        request = {"v": PROTOCOL_VERSION, "type": "submit", "job": submit_payload(7)}
+        status, _ = client.rpc(request)
+        assert status == 200
+        request["job"] = submit_payload(7, submit_time=1.0)
+        status, response = client.rpc(request)
+        assert status == 409
+        assert response["error"]["code"] == "conflict"
+
+    def test_bad_version_is_400(self, client):
+        status, response = client.rpc({"v": 99, "type": "stats"})
+        assert status == 400
+        assert response["error"]["code"] == "bad_version"
+
+    def test_unknown_path_is_404(self, server):
+        request = urllib.request.Request(f"{server.url}/nope")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 404
+
+    def test_stats_get_endpoint(self, server):
+        with urllib.request.urlopen(f"{server.url}/v1/stats", timeout=5.0) as resp:
+            payload = json.loads(resp.read())
+        assert payload["ok"] is True
+        assert payload["stats"]["submitted"] == 0
+
+    def test_metrics_endpoint_exposes_latency_histogram(self, client, server):
+        client.stats()
+        with urllib.request.urlopen(f"{server.url}/metrics", timeout=5.0) as resp:
+            text = resp.read().decode()
+        assert "service_request_seconds" in text
+        assert 'type="stats"' in text
+
+    def test_checkpoint_rpc_inline_and_to_path(self, client, tmp_path):
+        client.rpc({"v": PROTOCOL_VERSION, "type": "submit",
+                    "job": submit_payload(1)})
+        status, response = client.checkpoint()
+        assert status == 200
+        assert response["snapshot"]["format"] == "repro-admission-engine"
+
+        path = tmp_path / "server.ckpt.json"
+        status, response = client.checkpoint(str(path))
+        assert status == 200
+        from repro.service import checkpoint as checkpoint_mod
+
+        resumed = checkpoint_mod.load(str(path))
+        assert resumed.query(1) is not None
+
+
+class TestBackpressure:
+    def test_oversized_request_is_413(self):
+        server = ServiceServer(make_service(max_request_bytes=64), port=0).start()
+        try:
+            client = ServiceClient(server.url, timeout=5.0)
+            big = {"v": PROTOCOL_VERSION, "type": "submit",
+                   "job": {**submit_payload(1), "user": "x" * 200}}
+            status, response = client.rpc(big)
+            assert status == 413
+            assert response["error"]["code"] == "too_large"
+        finally:
+            server.stop()
+
+    def test_missing_content_length_is_411(self, server):
+        # urllib always sets Content-Length for bytes bodies, so talk raw.
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=5.0)
+        try:
+            conn.putrequest("POST", "/v1/rpc", skip_accept_encoding=True)
+            conn.putheader("Content-Type", "application/json")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 411
+        finally:
+            conn.close()
+
+    def test_queue_depth_zero_sheds_everything(self):
+        # max_inflight=0 makes shedding deterministic: every request is
+        # over the limit, exercising the 503/overloaded path without races.
+        server = ServiceServer(make_service(max_inflight=0), port=0).start()
+        try:
+            client = ServiceClient(server.url, timeout=5.0)
+            status, response = client.stats()
+            assert status == 503
+            assert response["error"]["code"] == "overloaded"
+            shed = server.service.registry.get("service_requests_shed_total")
+            assert shed is not None and shed.value == 1
+        finally:
+            server.stop()
+
+    def test_draining_service_refuses_requests(self):
+        service = make_service()
+        service.draining = True
+        status, response = service.handle(b'{"v": 1, "type": "stats"}')
+        assert status == 503
+        assert response["error"]["code"] == "shutting_down"
+
+
+class TestServiceDirect:
+    """Request handling without sockets (fast paths and edge cases)."""
+
+    def test_handle_records_metrics(self):
+        service = make_service()
+        status, _ = service.handle(
+            json.dumps({"v": PROTOCOL_VERSION, "type": "stats"}).encode()
+        )
+        assert status == 200
+        counter = service.registry.get(
+            "service_requests_total", type="stats", outcome="ok"
+        )
+        assert counter is not None and counter.value == 1
+        histogram = service.registry.get("service_request_seconds", type="stats")
+        assert histogram is not None and histogram.count == 1
+
+    def test_handle_maps_protocol_error(self):
+        service = make_service()
+        status, response = service.handle(b"garbage")
+        assert status == 400
+        assert response["error"]["code"] == "bad_json"
+        counter = service.registry.get(
+            "service_requests_total", type="invalid", outcome="bad_json"
+        )
+        assert counter is not None and counter.value == 1
+
+    def test_advance_rejected_on_live_clock(self):
+        from repro.service.clock import WallClock
+
+        engine = AdmissionEngine(
+            EngineConfig(num_nodes=2, rating=1.0), clock=WallClock(speedup=1e9)
+        )
+        service = AdmissionService(engine)
+        status, response = service.handle(
+            json.dumps({"v": 1, "type": "advance", "to": 10.0}).encode()
+        )
+        assert status == 400
+        assert "virtual clock" in response["error"]["message"]
+
+    def test_unexpected_exception_maps_to_500_internal(self):
+        service = make_service()
+
+        def boom():
+            raise RuntimeError("policy invariant violated")
+
+        service.engine.poll = boom
+        status, response = service.handle(
+            json.dumps({"v": PROTOCOL_VERSION, "type": "stats"}).encode()
+        )
+        assert status == 500
+        assert response["error"]["code"] == "internal"
+        assert "policy invariant violated" in response["error"]["message"]
+        # The service survives: the next request is handled normally.
+        service.engine.poll = lambda: 0
+        status, _ = service.handle(
+            json.dumps({"v": PROTOCOL_VERSION, "type": "stats"}).encode()
+        )
+        assert status == 200
+
+    def test_validation_limits(self):
+        with pytest.raises(ValueError, match="max_request_bytes"):
+            make_service(max_request_bytes=0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            make_service(max_inflight=-1)
+
+    def test_checkpoint_on_exit(self, tmp_path):
+        path = tmp_path / "exit.ckpt.json"
+        service = make_service()
+        server = ServiceServer(service, port=0, checkpoint_on_exit=str(path)).start()
+        client = ServiceClient(server.url, timeout=5.0)
+        client.rpc({"v": PROTOCOL_VERSION, "type": "submit",
+                    "job": submit_payload(7)})
+        server.stop()
+        from repro.service import checkpoint as checkpoint_mod
+
+        resumed = checkpoint_mod.load(str(path))
+        assert resumed.query(7) is not None
