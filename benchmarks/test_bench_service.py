@@ -2,17 +2,21 @@
 
 Measures what a server pays per request with the transport stripped
 away: raw single-job admission throughput through
-:meth:`AdmissionEngine.submit`, protocol parse/validate overhead, and
-checkpoint snapshot cost on a loaded engine.
+:meth:`AdmissionEngine.submit`, protocol parse/validate overhead,
+checkpoint snapshot cost on a loaded engine, write-ahead log append
+throughput, and recovery (replay) speed over a populated WAL.
 """
 
+import itertools
 import json
 
 from benchmarks.conftest import bench_scale, emit
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import build_scenario_jobs
-from repro.service import checkpoint, protocol
+from repro.service import checkpoint, protocol, wal as wal_mod
 from repro.service.engine import engine_for_scenario
+from repro.service.loadgen import job_request_payload
+from repro.service.server import AdmissionService
 
 
 def _scenario(policy: str = "librarisk") -> ScenarioConfig:
@@ -94,4 +98,74 @@ class TestCheckpointCost:
                 f"checkpoint snapshot of {len(engine.rms.jobs)}-job engine: "
                 f"{benchmark.stats.stats.mean * 1e3:.2f} ms, "
                 f"{size / 1024.0:.0f} KiB canonical JSON",
+            )
+
+
+class TestWalCost:
+    """What durability costs: append throughput and recovery speed."""
+
+    def _submit_payloads(self, config: ScenarioConfig) -> list:
+        return [
+            {"v": protocol.PROTOCOL_VERSION, "type": "submit",
+             "job": job_request_payload(job)}
+            for job in build_scenario_jobs(config)
+        ]
+
+    def test_wal_append_throughput(self, benchmark, capsys, results_dir, tmp_path):
+        # fsync="batch" is the realistic throughput mode; "always" just
+        # measures the disk's fsync latency, which CI runners randomise.
+        config = _scenario("librarisk")
+        payloads = self._submit_payloads(config)
+        header = engine_for_scenario(config).config.as_dict()
+        fresh = itertools.count()
+
+        def setup():
+            path = tmp_path / f"append-{next(fresh)}.wal"
+            return (wal_mod.WriteAheadLog.open(
+                str(path), config=header, fsync="batch"),), {}
+
+        def run(log):
+            for t, payload in enumerate(payloads):
+                log.append(float(t), payload)
+            log.close()
+            return log.appended
+
+        count = benchmark.pedantic(run, setup=setup, rounds=5)
+        assert count == len(payloads)
+        if benchmark.stats is not None:  # absent under --benchmark-disable
+            per_append = benchmark.stats.stats.mean / count
+            emit(
+                capsys, results_dir, "bench_service_wal_append",
+                f"WAL append throughput (fsync=batch, {count} records): "
+                f"{1.0 / per_append:,.0f} appends/s "
+                f"({per_append * 1e6:.1f} µs/append, checksum + flush included)",
+            )
+
+    def test_wal_recovery_speed(self, benchmark, capsys, results_dir, tmp_path):
+        # Populate a WAL through the real service path once (untimed),
+        # then time rebuilding an engine from it — the cost of a restart.
+        config = _scenario("librarisk")
+        engine = engine_for_scenario(config)
+        path = str(tmp_path / "recovery.wal")
+        log = wal_mod.WriteAheadLog.open(
+            path, config=engine.config.as_dict(), fsync="none")
+        service = AdmissionService(engine, wal=log)
+        for payload in self._submit_payloads(config):
+            status, _ = service.handle(json.dumps(payload).encode())
+            assert status == 200
+        log.close()
+
+        def run():
+            _, report = wal_mod.recover(path)
+            return report
+
+        report = benchmark(run)
+        assert report.replayed == config.num_jobs
+        if benchmark.stats is not None:  # absent under --benchmark-disable
+            per_record = benchmark.stats.stats.mean / report.replayed
+            emit(
+                capsys, results_dir, "bench_service_wal_recovery",
+                f"WAL recovery ({report.replayed} records, no checkpoint): "
+                f"{benchmark.stats.stats.mean * 1e3:.1f} ms total, "
+                f"{1.0 / per_record:,.0f} records/s replayed",
             )

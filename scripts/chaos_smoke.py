@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Chaos smoke test: ``kill -9`` a WAL-backed server mid-replay, recover,
+and require byte-identical final metrics to an uninterrupted run.
+
+This is the out-of-process complement to ``tests/test_service/test_chaos.py``:
+the server really dies (``--faults crash=...,mode=exit`` hard-exits with
+``os._exit(137)``, the same abrupt death ``kill -9`` produces), recovery
+really reads whatever the dead process left on disk, and the comparison
+is against a plain in-process replay of the same job stream.
+
+One scripted crash is exercised at every WAL crash point::
+
+    wal.before_append   request lost before it was logged
+    wal.after_append    logged but never applied
+    wal.after_apply     applied but never acked
+
+Exit status 0 iff every crash point recovers to the baseline metrics.
+
+Usage::
+
+    python scripts/chaos_smoke.py [--port 8461] [--jobs 40]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.experiments.config import ScenarioConfig  # noqa: E402
+from repro.service import protocol  # noqa: E402
+from repro.service.loadgen import job_request_payload  # noqa: E402
+
+POLICY = "librarisk"
+NODES = 8
+SEED = 23
+CRASH_POINTS = ("wal.before_append", "wal.after_append", "wal.after_apply")
+CRASH_AT = 15  # the Nth hit of the crash point dies
+
+
+def server_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def rpc(port: int, request: dict, timeout: float = 10.0):
+    body = json.dumps(request).encode()
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/rpc", data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def submit_request(job) -> dict:
+    return {"v": protocol.PROTOCOL_VERSION, "type": "submit",
+            "job": job_request_payload(job)}
+
+
+def wait_healthy(port: int, proc, deadline: float = 30.0) -> None:
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"server exited during startup (rc={proc.returncode}):\n"
+                f"{proc.stdout.read() if proc.stdout else ''}"
+            )
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=1.0
+            ):
+                return
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit("server did not become healthy in time")
+
+
+def start_server(port: int, wal: str, restore=None, faults=None):
+    cmd = [
+        sys.executable, "-m", "repro", "serve", "--policy", POLICY,
+        "--nodes", str(NODES), "--port", str(port), "--wal", wal,
+    ]
+    if restore is not None:
+        cmd += ["--restore", restore]
+    if faults is not None:
+        cmd += ["--faults", faults]
+    proc = subprocess.Popen(
+        cmd, env=server_env(), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    wait_healthy(port, proc)
+    return proc
+
+
+def baseline_metrics(jobs) -> dict:
+    from repro.service.engine import AdmissionEngine, EngineConfig
+
+    engine = AdmissionEngine(EngineConfig(policy=POLICY, num_nodes=NODES))
+    for job in jobs:
+        engine.submit(job)
+    engine.drain()
+    return engine.metrics().as_dict()
+
+
+def run_crash_point(point: str, jobs, port: int, baseline: dict) -> bool:
+    workdir = tempfile.mkdtemp(prefix=f"chaos-{point.replace('.', '-')}-")
+    wal = os.path.join(workdir, "chaos.wal")
+    compacted = os.path.join(workdir, "compact.json")
+
+    proc = start_server(
+        port, wal, faults=f"crash={point}:{CRASH_AT},mode=exit",
+    )
+    crashed_index = None
+    for index, job in enumerate(jobs):
+        try:
+            status, _ = rpc(port, submit_request(job))
+        except OSError:
+            crashed_index = index
+            break
+        if status != 200:
+            print(f"  [{point}] unexpected HTTP {status} on job {job.job_id}")
+            proc.kill()
+            return False
+    proc.wait(timeout=30)
+    if crashed_index is None or proc.returncode != 137:
+        print(f"  [{point}] server did not die as scripted "
+              f"(rc={proc.returncode}, crashed_index={crashed_index})")
+        return False
+    print(f"  [{point}] server died with rc=137 mid-job "
+          f"{jobs[crashed_index].job_id} (as scripted)")
+
+    # Offline recovery compacts whatever the dead process left behind.
+    recover = subprocess.run(
+        [sys.executable, "-m", "repro", "recover", wal, "--out", compacted],
+        env=server_env(), capture_output=True, text=True, timeout=120,
+    )
+    if recover.returncode != 0:
+        print(f"  [{point}] repro recover failed:\n{recover.stdout}{recover.stderr}")
+        return False
+    print("  " + recover.stdout.splitlines()[0])
+
+    # Restart from the compacted checkpoint + the same WAL; the client
+    # retries its unacknowledged request, then finishes the stream.
+    proc = start_server(port, wal, restore=compacted)
+    try:
+        status, response = rpc(port, submit_request(jobs[crashed_index]))
+        if status != 200:
+            print(f"  [{point}] retry of the in-flight job failed: "
+                  f"HTTP {status} {response}")
+            return False
+        if response.get("duplicate"):
+            print(f"  [{point}] retry answered from the decision log "
+                  f"(duplicate=true)")
+        for job in jobs[crashed_index + 1:]:
+            status, response = rpc(port, submit_request(job))
+            if status != 200:
+                print(f"  [{point}] job {job.job_id} failed after recovery: "
+                      f"HTTP {status}")
+                return False
+        status, drained = rpc(
+            port, {"v": protocol.PROTOCOL_VERSION, "type": "drain"},
+            timeout=60.0,
+        )
+        if status != 200:
+            print(f"  [{point}] drain failed: HTTP {status}")
+            return False
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    if drained["metrics"] != baseline:
+        print(f"  [{point}] FINAL METRICS DIVERGED")
+        for key in sorted(set(baseline) | set(drained["metrics"])):
+            got, want = drained["metrics"].get(key), baseline.get(key)
+            if got != want:
+                print(f"    {key}: recovered={got!r} baseline={want!r}")
+        return False
+    print(f"  [{point}] final metrics byte-identical to uninterrupted run")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=8461)
+    parser.add_argument("--jobs", type=int, default=40)
+    args = parser.parse_args()
+
+    from repro.experiments.runner import build_scenario_jobs
+
+    config = ScenarioConfig(
+        policy=POLICY, num_jobs=args.jobs, num_nodes=NODES, seed=SEED,
+    )
+    jobs = build_scenario_jobs(config)
+    baseline = baseline_metrics(jobs)
+    print(f"baseline: {len(jobs)} jobs through in-process {POLICY}, "
+          f"{baseline['pct_deadlines_fulfilled']:.1f}% deadlines fulfilled")
+
+    ok = True
+    for offset, point in enumerate(CRASH_POINTS):
+        print(f"crash point {point}:")
+        ok = run_crash_point(point, jobs, args.port + offset, baseline) and ok
+    print("chaos smoke: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

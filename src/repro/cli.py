@@ -280,6 +280,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
                    help="write the engine's decision/metrics records to PATH "
                         "on shutdown")
+    p.add_argument("--wal", type=str, default=None, metavar="PATH",
+                   help="write-ahead log: durably append every mutating "
+                        "request to PATH before applying it; if PATH already "
+                        "exists its records are replayed first (crash "
+                        "recovery), on top of --restore when given")
+    p.add_argument("--wal-fsync", default="always",
+                   choices=("always", "batch", "none"),
+                   help="WAL durability: fsync every append (default), every "
+                        "few appends, or never (tests only)")
+    p.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                   help="inject faults, e.g. 'drop=0.1,error=0.05,seed=7' or "
+                        "'crash=wal.after_append:3,mode=exit' (chaos testing)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="backoff hint (seconds) attached to overloaded/"
+                        "shutting-down responses (default 1.0)")
+
+    p = sub.add_parser(
+        "recover",
+        help="replay a write-ahead log (on top of an optional checkpoint) "
+             "and report/compact the recovered engine state",
+    )
+    p.add_argument("wal", type=str, help="path to the write-ahead log")
+    p.add_argument("--checkpoint", type=str, default=None, metavar="PATH",
+                   help="start from this engine checkpoint and replay only "
+                        "the WAL records after it")
+    p.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="write the recovered state as a compacted checkpoint "
+                        "to PATH (atomic, checksummed)")
 
     p = sub.add_parser(
         "replay",
@@ -304,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", action="store_true",
                    help="in --url mode, send a drain request after the "
                         "stream and print the final metrics")
+    p.add_argument("--retries", type=int, default=1,
+                   help="in --url mode, attempts per request (>1 enables the "
+                        "retrying client with exponential backoff)")
 
     sub.add_parser("policies", help="list available admission controls")
     return parser
@@ -315,12 +346,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.service import checkpoint as checkpoint_mod
+    from repro.service import wal as wal_mod
     from repro.service.clock import WallClock
     from repro.service.engine import AdmissionEngine, EngineConfig
+    from repro.service.faults import FaultInjector, FaultSpec
     from repro.service.server import AdmissionService, ServiceServer
 
+    faults = None
+    if args.faults is not None:
+        try:
+            faults = FaultInjector(FaultSpec.parse(args.faults))
+        except ValueError as exc:
+            print(f"repro serve: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+
     session = ObsSession() if args.metrics_out is not None else None
-    if args.restore is not None:
+    recovery = None
+    wal_has_records = (
+        args.wal is not None
+        and os.path.exists(args.wal)
+        and os.path.getsize(args.wal) > 0
+    )
+    if wal_has_records:
+        # Crash recovery: replay the existing log (on top of --restore,
+        # when given) before accepting traffic against it again.
+        try:
+            engine, recovery = wal_mod.recover(
+                args.wal, checkpoint_path=args.restore, obs=session,
+            )
+        except (OSError, wal_mod.WalError, checkpoint_mod.CheckpointError) as exc:
+            print(f"repro serve: cannot recover from {args.wal}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"recovered from {args.wal}: {recovery}")
+    elif args.restore is not None:
         try:
             engine = checkpoint_mod.load(args.restore, obs=session)
         except (OSError, checkpoint_mod.CheckpointError) as exc:
@@ -340,11 +399,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # simulated time, so live mode resumes where the checkpoint left off.
         engine.clock = WallClock(speedup=args.speedup, start_time=engine.now)
 
+    wal = None
+    if args.wal is not None:
+        try:
+            wal = wal_mod.WriteAheadLog.open(
+                args.wal, config=engine.config.as_dict(), fsync=args.wal_fsync,
+            )
+        except (OSError, wal_mod.WalError) as exc:
+            print(f"repro serve: cannot open WAL {args.wal}: {exc}",
+                  file=sys.stderr)
+            return 1
+
     service = AdmissionService(
         engine,
         max_request_bytes=args.max_request_bytes,
         max_inflight=args.max_inflight,
+        wal=wal,
+        faults=faults,
+        retry_after=args.retry_after,
     )
+    if recovery is not None:
+        service.note_recovery(recovery)
     server = ServiceServer(
         service, host=args.host, port=args.port,
         checkpoint_on_exit=args.checkpoint_on_exit,
@@ -360,7 +435,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({len(engine.cluster)} nodes, {mode}); Ctrl-C to stop", flush=True)
     stop.wait()
     print("\nshutting down...", flush=True)
-    server.stop()
+    clean = server.stop()
+    if wal is not None:
+        print(f"WAL {args.wal}: {wal.appended} records appended "
+              f"({wal.bytes_written} bytes, {wal.syncs} fsyncs)")
     if session is not None:
         from repro.obs.exporters import write_jsonl
 
@@ -369,6 +447,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"wrote {lines} records to {args.metrics_out}")
     if args.checkpoint_on_exit is not None:
         print(f"checkpoint written to {args.checkpoint_on_exit}")
+    if not clean:
+        print("repro serve: worker thread failed to stop within its grace "
+              "period; state may not be fully flushed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """``repro recover``: offline WAL replay, report, optional compaction."""
+    from repro.service import checkpoint as checkpoint_mod
+    from repro.service import wal as wal_mod
+
+    try:
+        engine, report = wal_mod.recover(args.wal, checkpoint_path=args.checkpoint)
+    except (OSError, wal_mod.WalError, checkpoint_mod.CheckpointError) as exc:
+        print(f"repro recover: {exc}", file=sys.stderr)
+        return 1
+    print(report)
+    print(f"engine: policy={engine.policy.name} t={engine.now:.6g}s "
+          f"wal_lsn={engine.wal_lsn}")
+    for key, value in sorted(engine.stats().items()):
+        print(f"  {key:<24s} {value}")
+    if args.out is not None:
+        checkpoint_mod.save(engine, args.out)
+        print(f"wrote compacted checkpoint to {args.out} "
+              f"(restart with: repro serve --restore {args.out} --wal {args.wal})")
     return 0
 
 
@@ -382,9 +486,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     jobs = build_scenario_jobs(config)
 
     if args.url is not None:
+        from repro.service.client import RetryPolicy, RetryingClient
         from repro.service.loadgen import LoadGenerator, ServiceClient
 
-        client = ServiceClient(args.url)
+        if args.retries > 1:
+            client: ServiceClient = RetryingClient(
+                args.url,
+                policy=RetryPolicy(max_attempts=args.retries),
+                seed=args.seed,
+            )
+        else:
+            client = ServiceClient(args.url)
         if not client.healthy():
             print(f"repro replay: no healthy service at {args.url}", file=sys.stderr)
             return 1
@@ -395,6 +507,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(report)
         for outcome, count in sorted(report.outcomes.items()):
             print(f"  {outcome:<12s} {count}")
+        if isinstance(client, RetryingClient):
+            print("client: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(client.client_stats.items())
+            ))
         status, stats = client.stats()
         if status != 200:
             print(f"repro replay: stats request failed with HTTP {status}",
@@ -479,6 +595,9 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "recover":
+        return _cmd_recover(args)
 
     if args.command == "replay":
         return _cmd_replay(args)

@@ -14,7 +14,16 @@ kernel, cluster and policies behind an incremental API:
 * :mod:`~repro.service.server` — stdlib HTTP front-end with
   request-size/queue-depth backpressure (``repro serve``);
 * :mod:`~repro.service.checkpoint` — deterministic snapshot/restore of
-  live engine state;
+  live engine state (atomic, checksummed writes);
+* :mod:`~repro.service.wal` — write-ahead log + crash recovery: every
+  mutating request is durably logged before it is applied, and
+  ``repro recover`` / ``repro serve --wal`` replay the log on top of
+  the latest checkpoint (``kill -9``-safe);
+* :mod:`~repro.service.faults` — deterministic, seeded fault injection
+  (drops, 5xx, delays, crash points, torn WAL tails) for chaos tests;
+* :mod:`~repro.service.client` — retrying client with exponential
+  backoff + jitter, Retry-After awareness, idempotent submits and a
+  circuit breaker;
 * :mod:`~repro.service.replay` / :mod:`~repro.service.loadgen` —
   deterministic in-process trace replay and an open-loop HTTP load
   generator (``repro replay``).
@@ -29,6 +38,7 @@ from repro.service.checkpoint import (
     save,
     snapshot,
 )
+from repro.service.client import CircuitBreaker, RetryPolicy, RetryingClient
 from repro.service.clock import VirtualClock, WallClock
 from repro.service.engine import (
     AdmissionEngine,
@@ -39,32 +49,61 @@ from repro.service.engine import (
     OutOfOrderSubmit,
     engine_for_scenario,
 )
+from repro.service.faults import (
+    CrashPoint,
+    DropRequest,
+    FaultInjector,
+    FaultSpec,
+    InjectedError,
+)
 from repro.service.loadgen import LoadGenerator, LoadReport, ServiceClient
 from repro.service.protocol import PROTOCOL_VERSION, ErrorCode, ProtocolError
 from repro.service.replay import ReplayReport, replay_jobs, replay_scenario
 from repro.service.server import AdmissionService, ServiceServer
+from repro.service.wal import (
+    RecoveryReport,
+    WalCorruptionError,
+    WalError,
+    WriteAheadLog,
+    read_wal,
+    recover,
+)
 
 __all__ = [
     "AdmissionEngine",
     "AdmissionService",
     "CheckpointError",
+    "CircuitBreaker",
+    "CrashPoint",
     "Decision",
+    "DropRequest",
     "DuplicateJob",
     "EngineConfig",
     "EngineError",
     "ErrorCode",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedError",
     "LoadGenerator",
     "LoadReport",
     "OutOfOrderSubmit",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RecoveryReport",
     "ReplayReport",
+    "RetryPolicy",
+    "RetryingClient",
     "ServiceClient",
     "ServiceServer",
     "VirtualClock",
+    "WalCorruptionError",
+    "WalError",
     "WallClock",
+    "WriteAheadLog",
     "engine_for_scenario",
     "load",
+    "read_wal",
+    "recover",
     "replay_jobs",
     "replay_scenario",
     "restore",

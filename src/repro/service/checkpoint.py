@@ -27,8 +27,11 @@ Two determinism guarantees:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import re
+import tempfile
 from typing import Any, Optional
 
 from repro.cluster.job import Job, JobState, UrgencyClass
@@ -112,6 +115,8 @@ def snapshot(engine: AdmissionEngine) -> dict[str, Any]:
         "nodes": nodes,
         "decisions": [d.as_dict() for d in engine.decisions],
     }
+    if engine.wal_lsn:
+        snap["wal_lsn"] = engine.wal_lsn
     if engine.streams is not None:
         snap["rng"] = {
             "seed": engine.streams.seed,
@@ -244,6 +249,8 @@ def restore(
         )
         for d in snap["decisions"]
     ]
+    engine._decision_index = {d.job_id: d for d in engine.decisions}
+    engine.wal_lsn = int(snap.get("wal_lsn", 0))
     return engine
 
 
@@ -286,13 +293,50 @@ def dumps(snap: dict[str, Any]) -> str:
     )
 
 
+def _content_checksum(snap: dict[str, Any]) -> str:
+    """SHA-256 of the canonical text of ``snap`` (sans ``checksum`` key)."""
+    return hashlib.sha256(dumps(snap).encode("utf-8")).hexdigest()
+
+
 def save(engine: AdmissionEngine, path: str) -> dict[str, Any]:
-    """Snapshot ``engine`` to ``path``; returns the snapshot dict."""
+    """Snapshot ``engine`` to ``path`` atomically; returns the written dict.
+
+    The document is written to a temporary file in the same directory,
+    fsynced, and renamed over ``path`` with ``os.replace`` — a crash
+    mid-save leaves either the old checkpoint or the new one, never a
+    torn hybrid.  A ``checksum`` field (SHA-256 of the canonical
+    snapshot text) lets :func:`load` detect any later corruption.
+    """
     snap = snapshot(engine)
-    with open(path, "w", encoding="utf-8", newline="\n") as fp:
-        fp.write(dumps(snap))
-        fp.write("\n")
-    return snap
+    doc = dict(snap)
+    doc["checksum"] = {"algo": "sha256", "hex": _content_checksum(snap)}
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="\n") as fp:
+            fp.write(dumps(doc))
+            fp.write("\n")
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        # Make the rename itself durable where the platform allows it.
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    return doc
 
 
 def load(
@@ -300,12 +344,35 @@ def load(
     clock: Optional[Any] = None,
     obs: Optional[Any] = None,
 ) -> AdmissionEngine:
-    """Restore an engine from a file written by :func:`save`."""
+    """Restore an engine from a file written by :func:`save`.
+
+    Validates the embedded content checksum (when present — legacy
+    checkpoints without one are still accepted) and raises
+    :class:`CheckpointError` naming the file on any corruption.
+    """
     with open(path, "r", encoding="utf-8") as fp:
         try:
             snap = json.load(fp)
         except json.JSONDecodeError as exc:
-            raise CheckpointError(f"{path}: invalid checkpoint JSON: {exc}") from exc
+            raise CheckpointError(
+                f"{path}: invalid checkpoint JSON ({exc}); the file is "
+                f"corrupt or truncated — restore from an older checkpoint"
+            ) from exc
+    if not isinstance(snap, dict):
+        raise CheckpointError(f"{path}: checkpoint must be a JSON object")
+    checksum = snap.pop("checksum", None)
+    if checksum is not None:
+        if not isinstance(checksum, dict) or checksum.get("algo") != "sha256":
+            raise CheckpointError(
+                f"{path}: unsupported checkpoint checksum {checksum!r}"
+            )
+        actual = _content_checksum(snap)
+        if actual != checksum.get("hex"):
+            raise CheckpointError(
+                f"{path}: checkpoint content checksum mismatch (stored "
+                f"{checksum.get('hex')}, computed {actual}); the file is "
+                f"corrupt — restore from an older checkpoint"
+            )
     return restore(snap, clock=clock, obs=obs)
 
 

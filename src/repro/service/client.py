@@ -1,0 +1,243 @@
+"""A retrying admission-service client: backoff, jitter, circuit breaker.
+
+:class:`RetryingClient` wraps the plain
+:class:`~repro.service.loadgen.ServiceClient` with production client
+behaviour:
+
+* **Retries with exponential backoff + jitter** on transport failures
+  (connection refused/reset/timeout → status ``0``) and retryable 5xx
+  codes (``overloaded``, ``shutting_down``, ``internal``, ``injected``).
+  Deliberate 4xx refusals are never retried — resending an invalid or
+  conflicting request verbatim cannot succeed.
+* **Retry-After awareness** — a server backoff hint (JSON
+  ``error.retry_after``, mirrored in the HTTP header) overrides the
+  computed delay, so shedding servers control their own recovery.
+* **Idempotent submits** — the server answers a retried submit of a
+  known job id with the *originally recorded* decision
+  (``duplicate: true``), so resending after an ambiguous failure can
+  never double-admit.  Submits are therefore only retried when the job
+  payload carries an explicit ``id``; without one each send would be a
+  new job.
+* **Circuit breaker** — after ``failure_threshold`` consecutive
+  transport/5xx failures the circuit opens and calls fail fast with a
+  synthetic ``unavailable`` response until ``recovery_time`` has
+  passed; one half-open probe then decides whether to close it.
+
+Everything time- and randomness-dependent is injectable (``sleep``,
+``clock``, ``seed``), so retry schedules are deterministic under test.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.obs.log import get_logger
+from repro.service import protocol
+from repro.service.loadgen import ServiceClient
+from repro.service.protocol import ErrorCode
+
+log = get_logger("service.client")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule with multiplicative jitter.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay * multiplier**k``
+    capped at ``max_delay``, scaled by a uniform factor in
+    ``[1 - jitter, 1]`` so synchronized clients fan out instead of
+    retrying in lockstep.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker over consecutive failures."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if recovery_time <= 0:
+            raise ValueError(f"recovery_time must be > 0, got {recovery_time}")
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_time = float(recovery_time)
+        self._clock = clock
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+
+    def allow(self) -> bool:
+        """May a request be sent right now?
+
+        An open circuit lets exactly one probe through once
+        ``recovery_time`` has elapsed (half-open); its outcome closes
+        or re-opens the circuit.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            if self._clock() - self.opened_at >= self.recovery_time:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        # Half-open: a probe is already in flight; hold everything else.
+        return False
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == self.HALF_OPEN or self.failures >= self.failure_threshold:
+            self.state = self.OPEN
+            self.opened_at = self._clock()
+
+
+class RetryingClient(ServiceClient):
+    """Drop-in :class:`ServiceClient` with retries and a circuit breaker.
+
+    Parameters
+    ----------
+    url, timeout:
+        As for :class:`ServiceClient`.
+    policy:
+        The backoff schedule.
+    breaker:
+        Optional circuit breaker; ``None`` disables fast-fail.
+    seed:
+        Seeds the jitter RNG (deterministic retry schedules in tests).
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 10.0,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(url, timeout=timeout)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self.attempts = 0
+        self.retries = 0
+        self.fast_failures = 0
+
+    # -- retry core ----------------------------------------------------------
+    def rpc(
+        self, request: dict[str, Any], retryable: Optional[bool] = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Send with retries; returns the final ``(status, response)``.
+
+        ``retryable=None`` infers safety from the request: everything
+        is retryable except a ``submit`` without an explicit job id
+        (the server's idempotent dedupe needs the id as its handle).
+        """
+        if retryable is None:
+            retryable = self._is_retryable(request)
+        last: tuple[int, dict[str, Any]] = (0, protocol.error_response(
+            ErrorCode.UNAVAILABLE, "no attempt was made"
+        ))
+        attempts = self.policy.max_attempts if retryable else 1
+        for attempt in range(attempts):
+            if self.breaker is not None and not self.breaker.allow():
+                self.fast_failures += 1
+                last = (0, protocol.error_response(
+                    ErrorCode.UNAVAILABLE,
+                    "circuit breaker is open; failing fast",
+                ))
+                # An open circuit still honours the backoff schedule, so
+                # a long outage costs sleeps, not a request storm.
+                if attempt + 1 < attempts:
+                    self._sleep(self.policy.delay(attempt, self._rng))
+                continue
+            self.attempts += 1
+            status, response = super().rpc(request)
+            last = (status, response)
+            if not self._failed(status, response):
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return status, response
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            if attempt + 1 < attempts:
+                self.retries += 1
+                self._sleep(self._retry_delay(attempt, response))
+        return last
+
+    @staticmethod
+    def _is_retryable(request: dict[str, Any]) -> bool:
+        if request.get("type") != "submit":
+            return True
+        job = request.get("job")
+        return isinstance(job, dict) and job.get("id") is not None
+
+    @staticmethod
+    def _failed(status: int, response: dict[str, Any]) -> bool:
+        """Transport failures and retryable server codes count as failed."""
+        if status == 0:
+            return True
+        code = response.get("error", {}).get("code")
+        return code in protocol.RETRYABLE_CODES
+
+    def _retry_delay(self, attempt: int, response: dict[str, Any]) -> float:
+        hinted = response.get("error", {}).get("retry_after")
+        if isinstance(hinted, (int, float)) and hinted > 0:
+            return float(hinted)
+        return self.policy.delay(attempt, self._rng)
+
+    @property
+    def client_stats(self) -> dict[str, Any]:
+        """Deterministic counters for tests and reports."""
+        out: dict[str, Any] = {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "fast_failures": self.fast_failures,
+        }
+        if self.breaker is not None:
+            out["breaker_state"] = self.breaker.state
+            out["breaker_failures"] = self.breaker.failures
+        return out
+
+
+__all__ = ["CircuitBreaker", "RetryPolicy", "RetryingClient"]

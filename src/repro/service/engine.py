@@ -196,7 +196,12 @@ class AdmissionEngine:
         self.obs = obs
         self.streams = streams
         self.decisions: list[Decision] = []
+        self._decision_index: dict[int, Decision] = {}
         self._known_ids: set[int] = set()
+        #: LSN of the last write-ahead-log record applied to this engine
+        #: (0 = no WAL).  Maintained by the service layer; checkpointed so
+        #: recovery can skip the already-materialised log prefix.
+        self.wal_lsn: int = 0
         if obs is not None:
             obs.attach(self.sim, self.rms, self.policy)
 
@@ -264,6 +269,7 @@ class AdmissionEngine:
         self.clock.advance_to(self.sim.now)
         decision = self._decision_of(job)
         self.decisions.append(decision)
+        self._decision_index[decision.job_id] = decision
         return decision
 
     def advance(self, to_time: float) -> int:
@@ -294,6 +300,16 @@ class AdmissionEngine:
             if job.job_id == job_id:
                 return job
         return None
+
+    def decision_for(self, job_id: int) -> Optional[Decision]:
+        """The admission-time decision recorded for ``job_id``, if any.
+
+        This is what makes client retries idempotent: resubmitting a
+        job id the engine already decided returns the *original*
+        decision rather than re-running (and possibly re-deciding) the
+        admission test.
+        """
+        return self._decision_index.get(job_id)
 
     def metrics(self) -> ScenarioMetrics:
         """Paper metrics over everything submitted so far."""

@@ -1,0 +1,239 @@
+"""Deterministic fault injection for chaos-testing the admission service.
+
+A :class:`FaultInjector` is a seeded source of scripted failures the
+server consults at well-defined points:
+
+* :meth:`~FaultInjector.on_request` — called once per incoming request
+  (the middleware hook in :class:`~repro.service.server.AdmissionService`).
+  Depending on the spec it may raise :class:`DropRequest` (the HTTP
+  layer closes the connection without a response — a network-level
+  loss), raise :class:`InjectedError` (a typed 5xx), or sleep for the
+  configured delay.
+* :meth:`~FaultInjector.crash` — called at the WAL crash points
+  (``wal.before_append``, ``wal.after_append``, ``wal.after_apply``).
+  When the scripted point's hit count is reached the process either
+  raises :class:`CrashPoint` (in-process tests catch it and then
+  recover from the on-disk state, exactly as if the process had died)
+  or hard-exits with ``os._exit(137)`` (subprocess chaos tests — the
+  same abrupt death ``kill -9`` produces: no atexit handlers, no
+  flushes, no graceful close).
+
+Determinism: every request draws a *fixed* number of uniforms from one
+seeded :class:`random.Random` regardless of which faults fire, so the
+fault sequence for a given seed is independent of timing and of the
+injector's own decisions.
+
+:func:`tear_wal_tail` complements the injectors by physically
+truncating a log file mid-record, reproducing what a crash during an
+append leaves behind.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.log import get_logger
+
+log = get_logger("service.faults")
+
+#: Crash points the server exposes, in request-processing order.
+CRASH_POINTS = ("wal.before_append", "wal.after_append", "wal.after_apply")
+
+
+class DropRequest(Exception):
+    """The request should vanish: no response, connection closed."""
+
+
+class InjectedError(Exception):
+    """The request should fail with a scripted 5xx (code ``injected``)."""
+
+
+class CrashPoint(BaseException):
+    """The process 'dies' here.
+
+    Deliberately a :class:`BaseException`: the server's catch-all
+    ``except Exception`` must *not* convert a scripted crash into a
+    polite 500 — the whole point is that nothing downstream of the
+    crash point runs (no apply, no ack, no WAL close).
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Scripted failure mix; all rates are probabilities in [0, 1].
+
+    ``crash_point``/``crash_at`` script one deterministic crash: the
+    ``crash_at``-th arrival at ``crash_point`` dies.  ``crash_mode``
+    selects :class:`CrashPoint` (``"raise"``, in-process tests) or
+    ``os._exit(137)`` (``"exit"``, subprocess chaos).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay: float = 0.0
+    crash_point: Optional[str] = None
+    crash_at: int = 1
+    crash_mode: str = "raise"
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "error_rate", "delay_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0, got {self.delay}")
+        if self.crash_point is not None and self.crash_point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {self.crash_point!r}; "
+                f"expected one of {CRASH_POINTS}"
+            )
+        if self.crash_at < 1:
+            raise ValueError(f"crash_at must be >= 1, got {self.crash_at}")
+        if self.crash_mode not in ("raise", "exit"):
+            raise ValueError(f"crash_mode must be 'raise' or 'exit', got {self.crash_mode!r}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSpec":
+        """Parse the compact CLI form, e.g.
+        ``"drop=0.1,error=0.1,delay=0.05@0.02,seed=7,crash=wal.after_append:3,mode=exit"``.
+        """
+        kwargs: dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if "=" not in part:
+                raise ValueError(f"fault spec item {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "drop":
+                    kwargs["drop_rate"] = float(value)
+                elif key == "error":
+                    kwargs["error_rate"] = float(value)
+                elif key == "delay":
+                    rate, _, seconds = value.partition("@")
+                    kwargs["delay_rate"] = float(rate)
+                    kwargs["delay"] = float(seconds) if seconds else 0.01
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "crash":
+                    point, _, nth = value.partition(":")
+                    kwargs["crash_point"] = point
+                    if nth:
+                        kwargs["crash_at"] = int(nth)
+                elif key == "mode":
+                    kwargs["crash_mode"] = value
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad fault spec item {part!r}: {exc}") from None
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultStats:
+    """Deterministic counters of what the injector actually did."""
+
+    requests: int = 0
+    dropped: int = 0
+    errored: int = 0
+    delayed: int = 0
+    crash_hits: dict[str, int] = field(default_factory=dict)
+    crashed: Optional[str] = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "requests": self.requests,
+            "dropped": self.dropped,
+            "errored": self.errored,
+            "delayed": self.delayed,
+            "crash_hits": dict(self.crash_hits),
+        }
+        if self.crashed is not None:
+            out["crashed"] = self.crashed
+        return out
+
+
+class FaultInjector:
+    """Seeded, scriptable chaos source (see module docstring)."""
+
+    def __init__(self, spec: FaultSpec, sleep: Any = time.sleep) -> None:
+        self.spec = spec
+        self.stats = FaultStats()
+        self._rng = random.Random(spec.seed)
+        self._sleep = sleep
+
+    # -- per-request middleware ---------------------------------------------
+    def on_request(self) -> None:
+        """Maybe drop, fail, or delay the current request.
+
+        Draws exactly three uniforms per call so the decision sequence
+        depends only on the seed and the request index.
+        """
+        self.stats.requests += 1
+        u_drop = self._rng.random()
+        u_error = self._rng.random()
+        u_delay = self._rng.random()
+        if self.spec.delay_rate and u_delay < self.spec.delay_rate:
+            self.stats.delayed += 1
+            if self.spec.delay > 0:
+                self._sleep(self.spec.delay)
+        if self.spec.drop_rate and u_drop < self.spec.drop_rate:
+            self.stats.dropped += 1
+            raise DropRequest(f"request {self.stats.requests} dropped")
+        if self.spec.error_rate and u_error < self.spec.error_rate:
+            self.stats.errored += 1
+            raise InjectedError(f"request {self.stats.requests} failed by fault spec")
+
+    # -- crash points -------------------------------------------------------
+    def crash(self, point: str) -> None:
+        """Die if the scripted crash point's hit count is reached."""
+        hits = self.stats.crash_hits.get(point, 0) + 1
+        self.stats.crash_hits[point] = hits
+        if self.spec.crash_point != point or hits != self.spec.crash_at:
+            return
+        self.stats.crashed = point
+        log.warning("injected crash at %s (hit %d)", point, hits)
+        if self.spec.crash_mode == "exit":
+            # The closest userspace gets to kill -9: no cleanup of any kind.
+            os._exit(137)
+        raise CrashPoint(point)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector spec={self.spec} stats={self.stats.as_dict()}>"
+
+
+def tear_wal_tail(path: str, nbytes: int = 7) -> int:
+    """Truncate ``nbytes`` off a file, tearing its final record.
+
+    Returns the new size.  Mirrors what a crash mid-append leaves on
+    disk; WAL readers must recover the intact prefix.
+    """
+    size = os.path.getsize(path)
+    if nbytes < 1 or nbytes >= size:
+        raise ValueError(f"nbytes must be in [1, {size - 1}], got {nbytes}")
+    new_size = size - nbytes
+    with open(path, "r+b") as fp:
+        fp.truncate(new_size)
+    return new_size
+
+
+__all__ = [
+    "CRASH_POINTS",
+    "CrashPoint",
+    "DropRequest",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
+    "InjectedError",
+    "tear_wal_tail",
+]

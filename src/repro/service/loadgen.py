@@ -20,6 +20,7 @@ workers dispatch is fully concurrent; use that against live
 
 from __future__ import annotations
 
+import http.client
 import json
 import threading
 import time
@@ -72,7 +73,14 @@ class ServiceClient:
         self.timeout = timeout
 
     def rpc(self, request: dict[str, Any]) -> tuple[int, dict[str, Any]]:
-        """POST one protocol request; returns ``(http_status, response)``."""
+        """POST one protocol request; returns ``(http_status, response)``.
+
+        Transport failures — connection refused/reset, timeouts,
+        dropped connections — never raise; they come back as status
+        ``0`` with a typed ``unavailable`` error, so callers (the
+        open-loop load generator in particular) record them as
+        failures and keep going instead of aborting the whole run.
+        """
         body = protocol.encode(request)
         req = urllib.request.Request(
             f"{self.url}/v1/rpc",
@@ -92,6 +100,10 @@ class ServiceClient:
                     protocol.ErrorCode.INTERNAL, raw or str(exc)
                 )
             return exc.code, payload
+        except (urllib.error.URLError, OSError, http.client.HTTPException) as exc:
+            return 0, protocol.error_response(
+                protocol.ErrorCode.UNAVAILABLE, f"{type(exc).__name__}: {exc}"
+            )
 
     def submit(self, job: Job) -> tuple[int, dict[str, Any]]:
         return self.rpc({
@@ -224,12 +236,10 @@ class LoadGenerator:
             time.sleep(delay)
         sent_at = time.monotonic()
         t0 = time.perf_counter()
-        try:
-            status, response = self.client.submit(job)
-        except (urllib.error.URLError, OSError) as exc:
-            status, response = 0, protocol.error_response(
-                protocol.ErrorCode.INTERNAL, str(exc)
-            )
+        # ServiceClient.rpc maps transport errors to a typed status-0
+        # result, so a flaky server shows up in the report, not as an
+        # aborted run.
+        status, response = self.client.submit(job)
         latency = time.perf_counter() - t0
         if response.get("ok"):
             outcome = response.get("decision", {}).get("outcome", "ok")

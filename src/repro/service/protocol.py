@@ -49,6 +49,11 @@ class ErrorCode:
     OVERLOADED = "overloaded"              # queue-depth backpressure
     SHUTTING_DOWN = "shutting_down"        # server is draining
     INTERNAL = "internal"                  # unexpected server-side failure
+    INJECTED = "injected"                  # scripted fault-injection failure
+    UNAVAILABLE = "unavailable"            # client-side: transport failure
+    #                                        (connection refused/reset/timeout);
+    #                                        synthesised by clients, never sent
+    #                                        by a server
 
 
 #: HTTP status the server maps each code onto.
@@ -64,7 +69,15 @@ HTTP_STATUS = {
     ErrorCode.OVERLOADED: 503,
     ErrorCode.SHUTTING_DOWN: 503,
     ErrorCode.INTERNAL: 500,
+    ErrorCode.INJECTED: 500,
 }
+
+#: Error codes a client may safely retry (with backoff).  4xx codes are
+#: deliberate refusals and retrying them verbatim cannot succeed.
+RETRYABLE_CODES = frozenset({
+    ErrorCode.OVERLOADED, ErrorCode.SHUTTING_DOWN, ErrorCode.INTERNAL,
+    ErrorCode.INJECTED, ErrorCode.UNAVAILABLE,
+})
 
 
 class ProtocolError(Exception):
@@ -351,12 +364,22 @@ def ok_response(rtype: str, **payload: Any) -> dict[str, Any]:
     return {"v": PROTOCOL_VERSION, "ok": True, "type": rtype, **payload}
 
 
-def error_response(code: str, message: str) -> dict[str, Any]:
-    """A failure response envelope with a typed code."""
+def error_response(
+    code: str, message: str, retry_after: Optional[float] = None
+) -> dict[str, Any]:
+    """A failure response envelope with a typed code.
+
+    ``retry_after`` (seconds) rides inside the error object so JSON
+    clients see the same backoff hint the HTTP ``Retry-After`` header
+    carries.
+    """
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
     return {
         "v": PROTOCOL_VERSION,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
     }
 
 
@@ -377,6 +400,7 @@ __all__ = [
     "ProtocolError",
     "QueryRequest",
     "REQUEST_TYPES",
+    "RETRYABLE_CODES",
     "StatsRequest",
     "SubmitRequest",
     "encode",

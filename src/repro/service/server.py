@@ -27,6 +27,7 @@ so admission latency percentiles come straight from ``GET /metrics``.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
@@ -42,7 +43,9 @@ from repro.service.engine import (
     EngineError,
     OutOfOrderSubmit,
 )
+from repro.service.faults import DropRequest, FaultInjector, InjectedError
 from repro.service.protocol import ErrorCode, ProtocolError
+from repro.service.wal import RecoveryReport, WriteAheadLog
 
 log = get_logger("service.server")
 
@@ -68,6 +71,20 @@ class AdmissionService:
     registry:
         Metrics registry for request counters/latency histograms
         (defaults to a fresh one; exposed at ``GET /metrics``).
+    wal:
+        Optional :class:`~repro.service.wal.WriteAheadLog`.  When
+        present, every state-mutating request (submit/advance/drain) is
+        appended — and, under ``fsync="always"``, made durable —
+        *before* it touches the engine, so a crash never loses an
+        acked decision.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`; the
+        middleware hook chaos tests use to script drops, 5xx errors,
+        delays and crash points.
+    retry_after:
+        Seconds advertised (JSON ``error.retry_after`` + HTTP
+        ``Retry-After``) on shed/draining responses, so well-behaved
+        clients back off instead of hammering an overloaded server.
     """
 
     def __init__(
@@ -76,15 +93,23 @@ class AdmissionService:
         max_request_bytes: int = 64 * 1024,
         max_inflight: int = 64,
         registry: Optional[MetricsRegistry] = None,
+        wal: Optional[WriteAheadLog] = None,
+        faults: Optional[FaultInjector] = None,
+        retry_after: float = 1.0,
     ) -> None:
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be >= 1")
         if max_inflight < 0:
             raise ValueError("max_inflight must be >= 0")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be > 0")
         self.engine = engine
         self.max_request_bytes = int(max_request_bytes)
         self.max_inflight = int(max_inflight)
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.wal = wal
+        self.faults = faults
+        self.retry_after = float(retry_after)
         self.draining = False
         self._engine_lock = threading.Lock()
         self._inflight = 0
@@ -104,10 +129,28 @@ class AdmissionService:
 
     # -- request execution --------------------------------------------------
     def handle(self, body: bytes) -> tuple[int, dict[str, Any]]:
-        """Execute one protocol request; returns ``(http_status, response)``."""
+        """Execute one protocol request; returns ``(http_status, response)``.
+
+        May raise :class:`~repro.service.faults.DropRequest` (the HTTP
+        layer answers by closing the connection) or let a scripted
+        :class:`~repro.service.faults.CrashPoint` propagate — both are
+        fault-injection artefacts that must not be converted into
+        polite responses.
+        """
+        if self.faults is not None:
+            try:
+                self.faults.on_request()
+            except InjectedError as exc:
+                self.registry.counter(
+                    "service_faults_injected_total", "Scripted request failures",
+                    kind="error",
+                ).inc()
+                err = protocol.error_response(ErrorCode.INJECTED, str(exc))
+                return protocol.HTTP_STATUS[ErrorCode.INJECTED], err
         if self.draining:
             err = protocol.error_response(
-                ErrorCode.SHUTTING_DOWN, "server is shutting down"
+                ErrorCode.SHUTTING_DOWN, "server is shutting down",
+                retry_after=self.retry_after,
             )
             return protocol.HTTP_STATUS[ErrorCode.SHUTTING_DOWN], err
         if not self._acquire_slot():
@@ -117,6 +160,7 @@ class AdmissionService:
             err = protocol.error_response(
                 ErrorCode.OVERLOADED,
                 f"too many requests in flight (limit {self.max_inflight})",
+                retry_after=self.retry_after,
             )
             return protocol.HTTP_STATUS[ErrorCode.OVERLOADED], err
         try:
@@ -166,6 +210,67 @@ class AdmissionService:
         ).observe(elapsed)
         return status, response
 
+    # -- write-ahead logging ------------------------------------------------
+    def _crash(self, point: str) -> None:
+        """Scripted crash point (no-op without an injector)."""
+        if self.faults is not None:
+            self.faults.crash(point)
+
+    def _wal_append(self, req: dict[str, Any], clamp: bool) -> Optional[int]:
+        """Durably log one mutating request *before* it is applied."""
+        if self.wal is None:
+            return None
+        self._crash("wal.before_append")
+        lsn = self.wal.append(self.engine.sim.now, req, clamp=clamp)
+        self.registry.counter(
+            "service_wal_appends_total", "Requests appended to the WAL"
+        ).inc()
+        self.registry.gauge(
+            "service_wal_last_lsn", "Highest LSN appended to the WAL"
+        ).set(lsn)
+        self.registry.gauge(
+            "service_wal_bytes_written", "Bytes appended to the WAL"
+        ).set(self.wal.bytes_written)
+        self.registry.gauge(
+            "service_wal_fsyncs", "fsync calls issued by the WAL"
+        ).set(self.wal.syncs)
+        self._crash("wal.after_append")
+        return lsn
+
+    def _apply_logged(self, lsn: Optional[int], apply: Any) -> Any:
+        """Apply a WAL-logged mutation, recording the LSN even on failure.
+
+        A failed application (duplicate id, out-of-order submit) fails
+        identically on replay, so its LSN still counts as consumed.
+        """
+        try:
+            result = apply()
+        finally:
+            if lsn is not None:
+                self.engine.wal_lsn = lsn
+        self._crash("wal.after_apply")
+        return result
+
+    def note_recovery(self, report: RecoveryReport) -> None:
+        """Expose a recovery pass's outcome through ``GET /metrics``."""
+        self.registry.gauge(
+            "service_recovery_wal_records", "WAL records found at recovery"
+        ).set(report.wal_records)
+        self.registry.gauge(
+            "service_recovery_replayed", "WAL records replayed at recovery"
+        ).set(report.replayed)
+        self.registry.gauge(
+            "service_recovery_skipped",
+            "WAL records already covered by the checkpoint",
+        ).set(report.skipped)
+        self.registry.gauge(
+            "service_recovery_failed_applications",
+            "Replayed records that failed exactly as they originally did",
+        ).set(report.failed)
+        self.registry.gauge(
+            "service_recovery_torn_tail", "1 if recovery dropped a torn WAL tail"
+        ).set(1 if report.torn else 0)
+
     def _execute(self, request: Any) -> dict[str, Any]:
         """Run one validated request against the engine (lock held)."""
         engine = self.engine
@@ -173,8 +278,19 @@ class AdmissionService:
             job = protocol.job_from_payload(
                 request.job, default_submit_time=engine.now
             )
-            decision = engine.submit(
-                job, clamp_past=getattr(engine.clock, "live", False)
+            clamp = bool(getattr(engine.clock, "live", False))
+            if job.job_id in engine._known_ids:
+                return self._duplicate_submit(job)
+            # Stamp the (possibly auto-assigned) id into the logged payload
+            # so recovery rebuilds the job under the identical handle.
+            logged = dict(request.job)
+            logged.setdefault("id", job.job_id)
+            lsn = self._wal_append(
+                {"v": protocol.PROTOCOL_VERSION, "type": "submit", "job": logged},
+                clamp,
+            )
+            decision = self._apply_logged(
+                lsn, lambda: engine.submit(job, clamp_past=clamp)
             )
             return protocol.ok_response("decision", decision=decision.as_dict())
         if isinstance(request, protocol.QueryRequest):
@@ -192,10 +308,18 @@ class AdmissionService:
                     ErrorCode.INVALID_FIELD,
                     "advance is only valid under a virtual clock",
                 )
-            events = engine.advance(request.to)
+            lsn = self._wal_append(
+                {"v": protocol.PROTOCOL_VERSION, "type": "advance",
+                 "to": request.to},
+                False,
+            )
+            events = self._apply_logged(lsn, lambda: engine.advance(request.to))
             return protocol.ok_response("advanced", t=engine.now, events=events)
         if isinstance(request, protocol.DrainRequest):
-            horizon = engine.drain()
+            lsn = self._wal_append(
+                {"v": protocol.PROTOCOL_VERSION, "type": "drain"}, False
+            )
+            horizon = self._apply_logged(lsn, engine.drain)
             return protocol.ok_response(
                 "drained", t=horizon, metrics=engine.metrics().as_dict()
             )
@@ -209,6 +333,45 @@ class AdmissionService:
         raise ProtocolError(  # pragma: no cover - parse_request is exhaustive
             ErrorCode.UNKNOWN_TYPE, f"unhandled request {type(request).__name__}"
         )
+
+    def _duplicate_submit(self, job: Any) -> dict[str, Any]:
+        """Resolve a submit whose job id the engine already knows.
+
+        A *retry* of the same submission (identical job parameters) is
+        answered idempotently with the originally recorded decision —
+        never re-decided, never a blind 409 — which is what lets
+        clients retry submits across drops and crashes.  A *different*
+        job under a known id is still a hard conflict.
+        """
+        engine = self.engine
+        existing = engine.query(job.job_id)
+        prior = engine.decision_for(job.job_id)
+        if existing is not None and prior is not None and (
+            existing.runtime == job.runtime
+            and existing.estimated_runtime == job.estimated_runtime
+            and existing.numproc == job.numproc
+            and existing.deadline == job.deadline
+            and existing.urgency is job.urgency
+            and existing.user == job.user
+            # submit_time deliberately not compared: a retry arrives
+            # later, and live servers clamp stale times anyway.
+        ):
+            self.registry.counter(
+                "service_submit_duplicates_total",
+                "Idempotent submit retries answered from the decision log",
+            ).inc()
+            return protocol.ok_response(
+                "decision", decision=prior.as_dict(), duplicate=True
+            )
+        raise DuplicateJob(
+            f"a different job was already submitted under id {job.job_id}; "
+            f"ids are the service's job handle and must be unique"
+        )
+
+    def close_wal(self) -> None:
+        """Flush and close the WAL so no acked record can be lost."""
+        if self.wal is not None and not self.wal.closed:
+            self.wal.close()
 
     # -- read-only side endpoints -------------------------------------------
     def stats_response(self) -> dict[str, Any]:
@@ -241,6 +404,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        retry_after = payload.get("error", {}).get("retry_after")
+        if retry_after is not None:
+            # HTTP wants integral seconds; round up so clients never
+            # come back earlier than the JSON hint says.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -299,7 +467,13 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         body = self.rfile.read(length)
-        status, payload = self.service.handle(body)
+        try:
+            status, payload = self.service.handle(body)
+        except DropRequest:
+            # Injected network loss: vanish without a response, exactly
+            # what a dropped packet looks like from the client's side.
+            self.close_connection = True
+            return
         self._send_json(status, payload)
 
 
@@ -352,16 +526,37 @@ class ServiceServer:
         log.info("admission service listening on %s", self.url)
         self._httpd.serve_forever()
 
-    def stop(self) -> None:
+    def stop(self) -> bool:
+        """Drain, stop the accept loop, and close the WAL.
+
+        Returns ``True`` on a clean shutdown.  A worker thread that is
+        still alive after the 5 s join is *reported* (logged and
+        reflected in the return value) rather than silently abandoned,
+        so operators and tests can tell a wedged handler from a clean
+        exit.
+        """
         self.service.draining = True
         self._httpd.shutdown()
         self._httpd.server_close()
+        clean = True
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-            self._thread = None
+            if self._thread.is_alive():
+                clean = False
+                log.error(
+                    "server thread %s is still alive 5s after shutdown; "
+                    "a request handler is wedged — its work may be lost",
+                    self._thread.name,
+                )
+            else:
+                self._thread = None
+        # Flush/close the WAL only after the accept loop is down, so no
+        # acked record can race the close and be lost on graceful exit.
+        self.service.close_wal()
         if self.checkpoint_on_exit is not None:
             checkpoint_mod.save(self.service.engine, self.checkpoint_on_exit)
             log.info("wrote exit checkpoint to %s", self.checkpoint_on_exit)
+        return clean
 
     def __enter__(self) -> "ServiceServer":
         return self.start()

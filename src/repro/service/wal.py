@@ -1,0 +1,521 @@
+"""Write-ahead log and crash recovery for the admission service.
+
+The service's hard promise is that an admission decision, once acked,
+is never lost or re-decided differently — even across ``kill -9``.  The
+mechanism is the classic one: every state-mutating protocol request
+(``submit``/``advance``/``drain``) is durably appended here *before* it
+is applied to the engine, and recovery replays the log on top of the
+latest checkpoint.  Because the engine is deterministic (see
+:mod:`repro.service.engine`), replaying the same request sequence from
+the same base state reproduces byte-identical engine state and metrics.
+
+On-disk format
+--------------
+A UTF-8 text file of newline-terminated records, each individually
+checksummed::
+
+    <crc32 as 8 hex chars> <canonical JSON payload>\\n
+
+The first record is a header identifying the log and pinning the
+engine configuration it belongs to::
+
+    {"format": "repro-admission-wal", "version": 1, "config": {...}}
+
+Every subsequent record wraps one protocol request::
+
+    {"lsn": 7, "t": 1041.5, "clamp": false, "req": {"v": 1, "type": ...}}
+
+* ``lsn`` — monotonically increasing log sequence number (1-based);
+  checkpoints store the last applied LSN so recovery can skip the
+  already-materialised prefix.
+* ``t`` — the engine clock at append time.  Replay advances the kernel
+  here first, which reproduces the effect of live-clock ``poll()``
+  without having to log wall time.
+* ``clamp`` — whether the server would have clamped a stale submit
+  time (live clocks do); replay passes the same flag.
+
+Torn tails
+----------
+A crash can tear the *last* record mid-write.  Readers treat an
+invalid **final** record (short line, bad checksum, truncated JSON) as
+a torn tail: the valid prefix is recovered and the tail is reported
+(and truncated before the next append).  An invalid record anywhere
+*before* the final one cannot be explained by a crash and raises
+:class:`WalCorruptionError` — silently skipping interior records would
+violate the replay-order contract.
+
+Fsync policy
+------------
+``fsync="always"`` (the default) makes every append durable before it
+is acknowledged — this is the mode under which the kill-and-recover
+guarantee holds.  ``"batch"`` fsyncs every ``batch_size`` appends (and
+on close), trading the tail of the log for throughput; ``"none"``
+leaves durability to the OS page cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.log import get_logger
+from repro.service import protocol
+from repro.service.engine import AdmissionEngine, EngineConfig, EngineError
+from repro.service.protocol import ProtocolError
+
+log = get_logger("service.wal")
+
+#: Identifies a WAL file (first record's ``format`` field).
+WAL_FORMAT = "repro-admission-wal"
+
+#: Bumped whenever the record schema changes incompatibly.
+WAL_VERSION = 1
+
+#: Allowed fsync policies.
+FSYNC_POLICIES = ("always", "batch", "none")
+
+#: Request types that mutate engine state and therefore must be logged.
+MUTATING_TYPES = frozenset({"submit", "advance", "drain"})
+
+
+class WalError(ValueError):
+    """Raised for WAL misuse or unreadable log files."""
+
+
+class WalCorruptionError(WalError):
+    """An interior record is invalid — the log cannot be trusted."""
+
+
+def _frame(payload: dict[str, Any]) -> bytes:
+    """One wire record: crc32 of the canonical JSON, space, JSON, newline."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+        allow_nan=False,
+    ).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x " % crc + body + b"\n"
+
+
+def _parse_line(line: bytes) -> dict[str, Any]:
+    """Decode one framed record; raises ``ValueError`` on any defect."""
+    if not line.endswith(b"\n"):
+        raise ValueError("record is not newline-terminated")
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ValueError("record frame is too short")
+    expected = int(line[:8], 16)
+    body = line[9:-1]
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise ValueError(
+            f"checksum mismatch (stored {expected:08x}, computed {actual:08x})"
+        )
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("record payload is not a JSON object")
+    return payload
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayable request as read back from the log."""
+
+    lsn: int
+    t: float
+    req: dict[str, Any]
+    clamp: bool = False
+
+
+@dataclass
+class WalReadResult:
+    """Everything a reader learned from one pass over a log file."""
+
+    header: dict[str, Any]
+    records: list[WalRecord]
+    #: Byte offset of the end of the last *valid* record (truncation point).
+    valid_bytes: int
+    #: Human-readable description of a torn tail, or ``None`` if clean.
+    torn: Optional[str] = None
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1].lsn if self.records else 0
+
+
+def read_wal(path: str) -> WalReadResult:
+    """Read and validate a WAL file, tolerating a torn final record.
+
+    Raises
+    ------
+    WalError
+        If the file is missing, empty, or has a bad header.
+    WalCorruptionError
+        If a record *before* the final one is invalid.
+    """
+    try:
+        with open(path, "rb") as fp:
+            raw = fp.read()
+    except OSError as exc:
+        raise WalError(f"cannot read WAL {path}: {exc}") from exc
+    if not raw:
+        raise WalError(f"{path}: empty WAL file (missing header)")
+
+    lines = raw.split(b"\n")
+    # split() leaves a trailing "" when the file ends in \n; anything else
+    # in the last slot is an unterminated (torn) final line.
+    trailing = lines.pop()
+    framed = [line + b"\n" for line in lines]
+    if trailing:
+        framed.append(trailing)  # deliberately unterminated
+
+    header: Optional[dict[str, Any]] = None
+    records: list[WalRecord] = []
+    offset = 0
+    torn: Optional[str] = None
+    for index, line in enumerate(framed):
+        is_last = index == len(framed) - 1
+        try:
+            payload = _parse_line(line)
+            if index == 0:
+                header = _check_header(path, payload)
+            else:
+                records.append(_record_from(path, payload, records))
+        except WalError:
+            # Header defects and LSN sequence breaks survive checksumming,
+            # so they cannot be explained by a torn write — always fatal.
+            raise
+        except ValueError as exc:
+            if index == 0:
+                raise WalError(f"{path}: unreadable WAL header ({exc})") from exc
+            if not is_last:
+                raise WalCorruptionError(
+                    f"{path}: record {index} is invalid before the end of the "
+                    f"log ({exc}); refusing to replay an untrustworthy log"
+                ) from exc
+            torn = f"record {index} ({exc})"
+            break
+        offset += len(line)
+    assert header is not None
+    return WalReadResult(header=header, records=records, valid_bytes=offset, torn=torn)
+
+
+def _check_header(path: str, payload: dict[str, Any]) -> dict[str, Any]:
+    if payload.get("format") != WAL_FORMAT:
+        raise WalError(f"{path}: not a WAL file (format={payload.get('format')!r})")
+    if payload.get("version") != WAL_VERSION:
+        raise WalError(
+            f"{path}: unsupported WAL version {payload.get('version')!r} "
+            f"(this build reads v{WAL_VERSION})"
+        )
+    return payload
+
+
+def _record_from(
+    path: str, payload: dict[str, Any], earlier: list[WalRecord]
+) -> WalRecord:
+    try:
+        record = WalRecord(
+            lsn=int(payload["lsn"]),
+            t=float(payload["t"]),
+            req=dict(payload["req"]),
+            clamp=bool(payload.get("clamp", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed record payload: {exc}") from exc
+    expected = earlier[-1].lsn + 1 if earlier else 1
+    if record.lsn != expected:
+        raise WalError(
+            f"{path}: LSN sequence broken (expected {expected}, got {record.lsn})"
+        )
+    return record
+
+
+class WriteAheadLog:
+    """Appender half of the log: durable, checksummed, crash-tolerant.
+
+    Use :meth:`open` — it creates a fresh log (writing the header) or
+    re-opens an existing one, validating its header against ``config``
+    and truncating a torn tail so appends continue from a clean
+    prefix.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "always",
+        batch_size: int = 64,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if batch_size < 1:
+            raise WalError("batch_size must be >= 1")
+        self.path = path
+        self.fsync = fsync
+        self.batch_size = int(batch_size)
+        self.next_lsn = 1
+        self.appended = 0
+        self.bytes_written = 0
+        self.syncs = 0
+        self._unsynced = 0
+        self._fp: Optional[Any] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        config: Optional[dict[str, Any]] = None,
+        fsync: str = "always",
+        batch_size: int = 64,
+    ) -> "WriteAheadLog":
+        """Create or re-open ``path`` for appending.
+
+        A new file gets a header carrying ``config``; an existing file
+        must have a matching header (serving a different cluster from
+        the same log would make replay nonsense), and a torn tail is
+        truncated away before the first append.
+        """
+        wal = cls(path, fsync=fsync, batch_size=batch_size)
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if exists:
+            result = read_wal(path)
+            if config is not None and result.header.get("config") not in (None, config):
+                raise WalError(
+                    f"{path}: WAL belongs to a different engine config; "
+                    f"refusing to append (use a fresh log per configuration)"
+                )
+            if result.torn is not None:
+                log.warning(
+                    "%s: truncating torn tail at byte %d (%s)",
+                    path, result.valid_bytes, result.torn,
+                )
+                with open(path, "r+b") as fp:
+                    fp.truncate(result.valid_bytes)
+                    fp.flush()
+                    os.fsync(fp.fileno())
+            wal.next_lsn = result.last_lsn + 1
+            wal._fp = open(path, "ab")
+        else:
+            wal._fp = open(path, "ab")
+            header: dict[str, Any] = {"format": WAL_FORMAT, "version": WAL_VERSION}
+            if config is not None:
+                header["config"] = config
+            wal._write(_frame(header))
+            wal._sync()
+        return wal
+
+    @property
+    def closed(self) -> bool:
+        return self._fp is None
+
+    def close(self) -> None:
+        """Flush, fsync, and close; safe to call twice."""
+        if self._fp is None:
+            return
+        self._sync()
+        self._fp.close()
+        self._fp = None
+
+    # -- appending ----------------------------------------------------------
+    def append(self, t: float, req: dict[str, Any], clamp: bool = False) -> int:
+        """Durably log one request; returns its assigned LSN.
+
+        Under ``fsync="always"`` the record is on disk when this
+        returns — which is exactly what lets the caller ack the
+        decision afterwards.
+        """
+        if self._fp is None:
+            raise WalError(f"{self.path}: WAL is closed")
+        lsn = self.next_lsn
+        payload = {"lsn": lsn, "t": float(t), "req": req}
+        if clamp:
+            payload["clamp"] = True
+        self._write(_frame(payload))
+        self.next_lsn = lsn + 1
+        self.appended += 1
+        self._unsynced += 1
+        if self.fsync == "always" or (
+            self.fsync == "batch" and self._unsynced >= self.batch_size
+        ):
+            self._sync()
+        return lsn
+
+    def sync(self) -> None:
+        """Force everything appended so far onto disk."""
+        if self._fp is not None:
+            self._sync()
+
+    def _write(self, frame: bytes) -> None:
+        assert self._fp is not None
+        self._fp.write(frame)
+        self._fp.flush()
+        self.bytes_written += len(frame)
+
+    def _sync(self) -> None:
+        assert self._fp is not None
+        if self._unsynced or self.syncs == 0:
+            os.fsync(self._fp.fileno())
+            self.syncs += 1
+            self._unsynced = 0
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WriteAheadLog path={self.path!r} fsync={self.fsync} "
+            f"next_lsn={self.next_lsn} appended={self.appended}>"
+        )
+
+
+# -- recovery -----------------------------------------------------------------
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass did, for operators and tests."""
+
+    wal_records: int = 0
+    replayed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    last_lsn: int = 0
+    torn: Optional[str] = None
+    checkpoint: Optional[str] = None
+    horizon: float = 0.0
+    outcomes: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "wal_records": self.wal_records,
+            "replayed": self.replayed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "last_lsn": self.last_lsn,
+            "horizon": self.horizon,
+            "outcomes": dict(self.outcomes),
+        }
+        if self.torn is not None:
+            out["torn"] = self.torn
+        if self.checkpoint is not None:
+            out["checkpoint"] = self.checkpoint
+        return out
+
+    def __str__(self) -> str:
+        base = (
+            f"recovered {self.replayed}/{self.wal_records} WAL records "
+            f"(skipped {self.skipped} before checkpoint, {self.failed} failed "
+            f"applications) to t={self.horizon:.6g}s"
+        )
+        if self.torn is not None:
+            base += f"; torn tail dropped: {self.torn}"
+        return base
+
+
+def apply_record(engine: AdmissionEngine, record: WalRecord) -> Optional[str]:
+    """Re-apply one logged request to ``engine``.
+
+    Returns the submit outcome (``accepted``/``queued``/``rejected``)
+    for submit records, ``None`` otherwise.  Raises the same engine or
+    protocol errors the original application raised — callers replaying
+    a log should count those as (deterministically) failed
+    applications, not abort.
+    """
+    # Reproduce the pre-apply clock position (live servers poll() before
+    # every request; `t` is the engine clock the original apply saw).
+    if record.t > engine.now:
+        engine.advance(record.t)
+    request = protocol.parse_request(record.req)
+    if isinstance(request, protocol.SubmitRequest):
+        job = protocol.job_from_payload(request.job, default_submit_time=record.t)
+        decision = engine.submit(job, clamp_past=record.clamp)
+        return decision.outcome
+    if isinstance(request, protocol.AdvanceRequest):
+        engine.advance(request.to)
+        return None
+    if isinstance(request, protocol.DrainRequest):
+        engine.drain()
+        return None
+    raise WalError(
+        f"WAL record lsn={record.lsn} holds non-mutating request "
+        f"{record.req.get('type')!r}"
+    )
+
+
+def recover(
+    wal_path: str,
+    checkpoint_path: Optional[str] = None,
+    clock: Optional[Any] = None,
+    obs: Optional[Any] = None,
+) -> tuple[AdmissionEngine, RecoveryReport]:
+    """Rebuild an engine from ``checkpoint_path`` (optional) + the WAL.
+
+    Records at or below the checkpoint's recorded LSN are skipped; the
+    rest are replayed in order.  Applications that failed originally
+    (duplicate ids, out-of-order submits) fail identically on replay
+    and are counted, preserving the exact original state.
+    """
+    result = read_wal(wal_path)
+    report = RecoveryReport(
+        wal_records=len(result.records),
+        torn=result.torn,
+        checkpoint=checkpoint_path,
+        last_lsn=result.last_lsn,
+    )
+
+    if checkpoint_path is not None:
+        from repro.service import checkpoint as checkpoint_mod
+
+        engine = checkpoint_mod.load(checkpoint_path, clock=clock, obs=obs)
+    else:
+        config = result.header.get("config")
+        if config is None:
+            raise WalError(
+                f"{wal_path}: WAL header carries no engine config and no "
+                f"checkpoint was given; cannot rebuild an engine"
+            )
+        engine = AdmissionEngine(EngineConfig.from_dict(config), clock=clock, obs=obs)
+
+    start_lsn = engine.wal_lsn
+    for record in result.records:
+        if record.lsn <= start_lsn:
+            report.skipped += 1
+            continue
+        try:
+            outcome = apply_record(engine, record)
+        except (EngineError, ProtocolError) as exc:
+            report.failed += 1
+            log.debug("replay of lsn=%d failed as it originally did: %s",
+                      record.lsn, exc)
+        else:
+            if outcome is not None:
+                report.outcomes[outcome] = report.outcomes.get(outcome, 0) + 1
+            report.replayed += 1
+        finally:
+            engine.wal_lsn = record.lsn
+    report.horizon = engine.now
+    log.info("%s", report)
+    return engine, report
+
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "MUTATING_TYPES",
+    "RecoveryReport",
+    "WAL_FORMAT",
+    "WAL_VERSION",
+    "WalCorruptionError",
+    "WalError",
+    "WalReadResult",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_record",
+    "read_wal",
+    "recover",
+]

@@ -136,3 +136,83 @@ class TestValidation:
         path.write_text("{truncated", encoding="utf-8")
         with pytest.raises(CheckpointError, match="invalid checkpoint JSON"):
             checkpoint.load(str(path))
+
+
+class TestDurability:
+    """Atomic writes and content checksums on the checkpoint file."""
+
+    def saved(self, tmp_path):
+        engine = AdmissionEngine(EngineConfig(num_nodes=4, rating=1.0))
+        engine.submit(make_job(runtime=50.0, deadline=300.0, job_id=1))
+        engine.submit(make_job(runtime=10.0, deadline=300.0, submit=1.0,
+                               job_id=2))
+        path = tmp_path / "engine.json"
+        checkpoint.save(engine, str(path))
+        return engine, path
+
+    def test_save_embeds_a_valid_content_checksum(self, tmp_path):
+        _, path = self.saved(tmp_path)
+        doc = json.loads(path.read_text())
+        stored = doc.pop("checksum")
+        assert stored["algo"] == "sha256"
+        assert stored["hex"] == checkpoint._content_checksum(doc)
+        checkpoint.load(str(path))  # round-trips cleanly
+
+    def test_save_leaves_no_temp_files_behind(self, tmp_path):
+        _, path = self.saved(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_failed_save_preserves_the_old_checkpoint(self, tmp_path):
+        engine, path = self.saved(tmp_path)
+        before = path.read_bytes()
+        # Poison the engine so the *snapshot* (taken before any file
+        # I/O) fails; the on-disk checkpoint must be untouched.
+        engine.sim.schedule_at(10.0, lambda e: None, name="custom:poison")
+        with pytest.raises(CheckpointError):
+            checkpoint.save(engine, str(path))
+        assert path.read_bytes() == before
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_truncated_file_is_a_clear_corruption_error(self, tmp_path):
+        _, path = self.saved(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            checkpoint.load(str(path))
+
+    def test_flipped_byte_fails_the_checksum(self, tmp_path):
+        _, path = self.saved(tmp_path)
+        # Flip a content byte without breaking the JSON syntax.
+        corrupted = path.read_text().replace('"runtime":50.0', '"runtime":51.0', 1)
+        assert corrupted != path.read_text()
+        path.write_text(corrupted)
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            checkpoint.load(str(path))
+
+    def test_unsupported_checksum_algo_is_rejected(self, tmp_path):
+        _, path = self.saved(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["checksum"] = {"algo": "crc32", "hex": "whatever"}
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="unsupported checkpoint checksum"):
+            checkpoint.load(str(path))
+
+    def test_legacy_checkpoint_without_checksum_still_loads(self, tmp_path):
+        _, path = self.saved(tmp_path)
+        doc = json.loads(path.read_text())
+        del doc["checksum"]
+        path.write_text(json.dumps(doc))
+        resumed = checkpoint.load(str(path))
+        assert resumed.query(1) is not None
+
+    def test_wal_lsn_round_trips_through_snapshots(self, tmp_path):
+        engine, path = self.saved(tmp_path)
+        engine.wal_lsn = 41
+        checkpoint.save(engine, str(path))
+        resumed = checkpoint.load(str(path))
+        assert resumed.wal_lsn == 41
+        # Engines that never saw a WAL keep the field out of the snapshot.
+        fresh = AdmissionEngine(EngineConfig(num_nodes=2, rating=1.0))
+        assert "wal_lsn" not in checkpoint.snapshot(fresh)

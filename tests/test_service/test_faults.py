@@ -1,0 +1,179 @@
+"""Fault-injection harness tests: spec parsing, determinism, crash points."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.engine import AdmissionEngine, EngineConfig
+from repro.service.faults import (
+    CRASH_POINTS,
+    CrashPoint,
+    DropRequest,
+    FaultInjector,
+    FaultSpec,
+    InjectedError,
+    tear_wal_tail,
+)
+from repro.service.server import AdmissionService
+
+
+class TestSpec:
+    def test_parse_full_spec(self):
+        spec = FaultSpec.parse(
+            "drop=0.1, error=0.2, delay=0.3@0.05, seed=7, "
+            "crash=wal.after_append:3, mode=exit"
+        )
+        assert spec == FaultSpec(
+            seed=7, drop_rate=0.1, error_rate=0.2, delay_rate=0.3, delay=0.05,
+            crash_point="wal.after_append", crash_at=3, crash_mode="exit",
+        )
+
+    def test_parse_delay_without_seconds_uses_default(self):
+        spec = FaultSpec.parse("delay=0.5")
+        assert spec.delay_rate == 0.5 and spec.delay == 0.01
+
+    def test_parse_crash_without_count_means_first_hit(self):
+        spec = FaultSpec.parse("crash=wal.before_append")
+        assert spec.crash_point == "wal.before_append" and spec.crash_at == 1
+
+    @pytest.mark.parametrize("bad", [
+        "drop", "frobnicate=1", "drop=lots", "drop=1.5",
+        "crash=somewhere.else", "mode=maybe", "crash=wal.after_apply:0",
+    ])
+    def test_bad_specs_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+
+class TestDeterminism:
+    def run_pattern(self, spec: FaultSpec, n: int = 200) -> list:
+        injector = FaultInjector(spec, sleep=lambda _s: None)
+        pattern = []
+        for _ in range(n):
+            try:
+                injector.on_request()
+                pattern.append("ok")
+            except DropRequest:
+                pattern.append("drop")
+            except InjectedError:
+                pattern.append("error")
+        return pattern
+
+    def test_same_seed_same_fault_sequence(self):
+        spec = FaultSpec(seed=11, drop_rate=0.2, error_rate=0.2)
+        assert self.run_pattern(spec) == self.run_pattern(spec)
+
+    def test_different_seed_different_sequence(self):
+        a = self.run_pattern(FaultSpec(seed=1, drop_rate=0.3))
+        b = self.run_pattern(FaultSpec(seed=2, drop_rate=0.3))
+        assert a != b
+
+    def test_drop_pattern_independent_of_other_rates(self):
+        # Fixed draws per request: enabling delays/errors must not
+        # perturb which requests get dropped for a given seed.
+        plain = self.run_pattern(FaultSpec(seed=5, drop_rate=0.3))
+        noisy = self.run_pattern(
+            FaultSpec(seed=5, drop_rate=0.3, error_rate=0.9, delay_rate=0.5,
+                      delay=0.001)
+        )
+        drops = [i for i, kind in enumerate(plain) if kind == "drop"]
+        noisy_drops = [i for i, kind in enumerate(noisy) if kind == "drop"]
+        assert drops == noisy_drops
+
+    def test_delay_uses_injected_sleep(self):
+        slept = []
+        injector = FaultInjector(
+            FaultSpec(delay_rate=1.0, delay=0.25), sleep=slept.append
+        )
+        injector.on_request()
+        assert slept == [0.25]
+        assert injector.stats.delayed == 1
+
+
+class TestCrashPoints:
+    def test_crashes_on_nth_hit_only(self):
+        injector = FaultInjector(
+            FaultSpec(crash_point="wal.after_append", crash_at=3)
+        )
+        injector.crash("wal.after_append")
+        injector.crash("wal.after_append")
+        with pytest.raises(CrashPoint) as excinfo:
+            injector.crash("wal.after_append")
+        assert excinfo.value.point == "wal.after_append"
+        assert injector.stats.crashed == "wal.after_append"
+
+    def test_other_points_never_crash(self):
+        injector = FaultInjector(FaultSpec(crash_point="wal.after_apply"))
+        for point in CRASH_POINTS[:-1]:
+            injector.crash(point)
+        assert injector.stats.crashed is None
+        assert injector.stats.crash_hits == {
+            "wal.before_append": 1, "wal.after_append": 1,
+        }
+
+    def test_crash_point_is_not_an_ordinary_exception(self):
+        # The server's `except Exception` catch-all must not swallow it.
+        assert not issubclass(CrashPoint, Exception)
+        assert issubclass(CrashPoint, BaseException)
+
+    def test_exit_mode_kills_the_process_with_137(self):
+        code = (
+            "from repro.service.faults import FaultInjector, FaultSpec\n"
+            "spec = FaultSpec(crash_point='wal.before_append', crash_mode='exit')\n"
+            "FaultInjector(spec).crash('wal.before_append')\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 137
+        assert "survived" not in proc.stdout
+
+
+class TestServiceIntegration:
+    def service(self, spec: FaultSpec) -> AdmissionService:
+        engine = AdmissionEngine(EngineConfig(num_nodes=2, rating=1.0))
+        return AdmissionService(engine, faults=FaultInjector(spec))
+
+    def test_injected_error_is_typed_500(self):
+        svc = self.service(FaultSpec(error_rate=1.0))
+        status, response = svc.handle(b'{"v": 1, "type": "stats"}')
+        assert status == 500
+        assert response["error"]["code"] == "injected"
+        counter = svc.registry.get("service_faults_injected_total", kind="error")
+        assert counter is not None and counter.value == 1
+
+    def test_dropped_request_propagates_to_http_layer(self):
+        svc = self.service(FaultSpec(drop_rate=1.0))
+        with pytest.raises(DropRequest):
+            svc.handle(b'{"v": 1, "type": "stats"}')
+
+    def test_dropped_request_mutates_nothing(self):
+        svc = self.service(FaultSpec(drop_rate=1.0))
+        body = json.dumps({
+            "v": 1, "type": "submit",
+            "job": {"id": 1, "submit_time": 0.0, "runtime": 5.0,
+                    "estimated_runtime": 5.0, "numproc": 1, "deadline": 50.0},
+        }).encode()
+        with pytest.raises(DropRequest):
+            svc.handle(body)
+        assert svc.engine.stats()["submitted"] == 0
+
+
+class TestTearWalTail:
+    def test_truncates_exactly(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"x" * 100)
+        assert tear_wal_tail(str(path), 30) == 70
+        assert path.stat().st_size == 70
+
+    def test_bounds_are_validated(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"x" * 10)
+        with pytest.raises(ValueError):
+            tear_wal_tail(str(path), 0)
+        with pytest.raises(ValueError):
+            tear_wal_tail(str(path), 10)

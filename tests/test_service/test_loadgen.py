@@ -101,4 +101,7 @@ class TestLoadGenerator:
         report = LoadGenerator(client, self.jobs(2), speedup=1e9).run()
         assert report.requests == 2
         assert report.errors == 2
-        assert report.outcomes.get("internal") == 2
+        # Transport failures surface as the typed client-side code, so
+        # the run completes and counts them instead of aborting.
+        assert report.outcomes.get("unavailable") == 2
+        assert all(r.status == 0 for r in report.results)

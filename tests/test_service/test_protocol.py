@@ -162,10 +162,30 @@ class TestResponses:
         assert ProtocolError(ErrorCode.OVERLOADED, "busy").http_status == 503
 
     def test_every_code_has_a_status(self):
-        codes = [
+        codes = {
             v for k, v in vars(ErrorCode).items() if not k.startswith("_")
-        ]
-        assert set(codes) == set(protocol.HTTP_STATUS)
+        }
+        # `unavailable` is synthesized client-side for transport
+        # failures (status 0); a server never sends it over HTTP.
+        assert codes - {ErrorCode.UNAVAILABLE} == set(protocol.HTTP_STATUS)
+
+    def test_retryable_codes_are_known(self):
+        codes = {
+            v for k, v in vars(ErrorCode).items() if not k.startswith("_")
+        }
+        assert protocol.RETRYABLE_CODES <= codes
+        # Deliberate refusals must never be retried verbatim.
+        for code in (ErrorCode.CONFLICT, ErrorCode.OUT_OF_ORDER,
+                     ErrorCode.BAD_JSON, ErrorCode.NOT_FOUND):
+            assert code not in protocol.RETRYABLE_CODES
+
+    def test_error_response_carries_retry_after(self):
+        response = protocol.error_response(
+            ErrorCode.OVERLOADED, "busy", retry_after=2.5
+        )
+        assert response["error"]["retry_after"] == 2.5
+        plain = protocol.error_response(ErrorCode.OVERLOADED, "busy")
+        assert "retry_after" not in plain["error"]
 
     def test_encode_is_canonical(self):
         a = protocol.encode({"b": 1, "a": 2})

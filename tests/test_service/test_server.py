@@ -75,14 +75,27 @@ class TestEndpoints:
         assert status == 409
         assert response["error"]["code"] == "out_of_order"
 
-    def test_duplicate_job_id_is_409_conflict(self, client):
+    def test_conflicting_job_under_known_id_is_409(self, client):
         request = {"v": PROTOCOL_VERSION, "type": "submit", "job": submit_payload(7)}
         status, _ = client.rpc(request)
         assert status == 200
-        request["job"] = submit_payload(7, submit_time=1.0)
+        request["job"] = {**submit_payload(7, submit_time=1.0), "runtime": 99.0}
         status, response = client.rpc(request)
         assert status == 409
         assert response["error"]["code"] == "conflict"
+
+    def test_identical_resubmit_is_answered_idempotently(self, client, server):
+        request = {"v": PROTOCOL_VERSION, "type": "submit", "job": submit_payload(8)}
+        status, first = client.rpc(request)
+        assert status == 200 and "duplicate" not in first
+        # A retry arrives later; only submit_time may differ.
+        request["job"] = submit_payload(8, submit_time=2.0)
+        status, second = client.rpc(request)
+        assert status == 200
+        assert second["duplicate"] is True
+        assert second["decision"] == first["decision"]
+        dups = server.service.registry.get("service_submit_duplicates_total")
+        assert dups is not None and dups.value == 1
 
     def test_bad_version_is_400(self, client):
         status, response = client.rpc({"v": 99, "type": "stats"})
@@ -171,6 +184,31 @@ class TestBackpressure:
         status, response = service.handle(b'{"v": 1, "type": "stats"}')
         assert status == 503
         assert response["error"]["code"] == "shutting_down"
+        assert response["error"]["retry_after"] == service.retry_after
+
+    def test_shed_response_carries_retry_after(self):
+        service = make_service(max_inflight=0, retry_after=2.5)
+        status, response = service.handle(b'{"v": 1, "type": "stats"}')
+        assert status == 503
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["retry_after"] == 2.5
+
+    def test_retry_after_http_header_rounds_up(self):
+        server = ServiceServer(
+            make_service(max_inflight=0, retry_after=1.2), port=0
+        ).start()
+        try:
+            body = json.dumps({"v": PROTOCOL_VERSION, "type": "stats"}).encode()
+            request = urllib.request.Request(
+                f"{server.url}/v1/rpc", data=body,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5.0)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "2"
+        finally:
+            server.stop()
 
 
 class TestServiceDirect:
@@ -250,3 +288,45 @@ class TestServiceDirect:
 
         resumed = checkpoint_mod.load(str(path))
         assert resumed.query(7) is not None
+
+
+class TestShutdown:
+    def test_clean_stop_returns_true(self):
+        server = ServiceServer(make_service(), port=0).start()
+        assert server.stop() is True
+
+    def test_stop_reports_wedged_worker_thread(self):
+        class Wedged:
+            """A thread-shaped object that never finishes joining."""
+
+            name = "wedged-handler"
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        server = ServiceServer(make_service(), port=0).start()
+        server._thread = Wedged()
+        assert server.stop() is False
+
+    def test_graceful_stop_flushes_and_closes_wal(self, tmp_path):
+        from repro.service.wal import WriteAheadLog, read_wal
+
+        engine = AdmissionEngine(
+            EngineConfig(policy="librarisk", num_nodes=4, rating=1.0)
+        )
+        wal = WriteAheadLog.open(
+            str(tmp_path / "srv.log"), config=engine.config.as_dict(),
+            fsync="none",
+        )
+        service = AdmissionService(engine, wal=wal)
+        server = ServiceServer(service, port=0).start()
+        client = ServiceClient(server.url, timeout=5.0)
+        client.rpc({"v": PROTOCOL_VERSION, "type": "submit",
+                    "job": submit_payload(1)})
+        assert server.stop() is True
+        assert wal.closed
+        result = read_wal(str(tmp_path / "srv.log"))
+        assert len(result.records) == 1 and result.torn is None
