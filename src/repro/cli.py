@@ -362,6 +362,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     session = ObsSession() if args.metrics_out is not None else None
     recovery = None
+    if args.wal is not None:
+        # A crash during the very first header write leaves a torn
+        # header-only file nothing was ever acked from; reset it here
+        # so neither recovery nor the appender trips over it.
+        try:
+            wal_mod.discard_torn_header(args.wal)
+        except (OSError, wal_mod.WalError) as exc:
+            print(f"repro serve: cannot read WAL {args.wal}: {exc}",
+                  file=sys.stderr)
+            return 1
     wal_has_records = (
         args.wal is not None
         and os.path.exists(args.wal)

@@ -21,7 +21,7 @@ Derived quantities (Eq. 3 of the paper):
 from __future__ import annotations
 
 import enum
-import itertools
+import threading
 from typing import Optional
 
 
@@ -54,7 +54,32 @@ _VALID_TRANSITIONS = {
     JobState.FAILED: set(),
 }
 
-_id_counter = itertools.count(1)
+_id_lock = threading.Lock()
+_next_auto_id = 1
+
+
+def _auto_id() -> int:
+    global _next_auto_id
+    with _id_lock:
+        assigned = _next_auto_id
+        _next_auto_id += 1
+        return assigned
+
+
+def reserve_job_ids(through: int) -> None:
+    """Advance the auto-id counter past ``through``.
+
+    Restoring a checkpoint or replaying a WAL rebuilds jobs under their
+    original explicit ids without drawing from the counter; a service
+    that then accepts a submit *without* an id must not hand out an id
+    a recovered job already owns (the duplicate-id guard would refuse
+    it, or worse, answer with the old job's decision).  Recovery paths
+    call this with the highest id they materialised.
+    """
+    global _next_auto_id
+    with _id_lock:
+        if through >= _next_auto_id:
+            _next_auto_id = through + 1
 
 #: Completions within this many seconds past the deadline count as on
 #: time.  Libra's proportional share finishes jobs *exactly at* their
@@ -122,7 +147,7 @@ class Job:
             raise ValueError(f"deadline must be > 0, got {deadline}")
         if submit_time < 0:
             raise ValueError(f"submit_time must be >= 0, got {submit_time}")
-        self.job_id = int(job_id) if job_id is not None else next(_id_counter)
+        self.job_id = int(job_id) if job_id is not None else _auto_id()
         self.submit_time = float(submit_time)
         self.runtime = float(runtime)
         self.estimated_runtime = float(estimated_runtime)

@@ -34,7 +34,7 @@ import re
 import tempfile
 from typing import Any, Optional
 
-from repro.cluster.job import Job, JobState, UrgencyClass
+from repro.cluster.job import Job, JobState, UrgencyClass, reserve_job_ids
 from repro.cluster.node import SpaceSharedNode, TimeSharedNode
 from repro.service.engine import AdmissionEngine, Decision, EngineConfig
 from repro.sim.rng import RngStreams
@@ -193,6 +193,10 @@ def restore(
         by_id[job.job_id] = job
         engine.rms.jobs.append(job)
     engine._known_ids.update(by_id)
+    # Auto-assigned ids must never collide with restored explicit ids:
+    # a post-restore submit without an id would otherwise be refused as
+    # a duplicate (or silently answered with the old job's decision).
+    reserve_job_ids(max(by_id, default=0))
     for list_name in ("accepted", "rejected", "completed", "failed"):
         target = getattr(engine.rms, list_name)
         for job_id in snap["rms"][list_name]:

@@ -30,7 +30,7 @@ import json
 import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Any, Optional
 
 from repro.obs.log import get_logger
@@ -477,6 +477,46 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(status, payload)
 
 
+class _TrackingServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` that remembers its handler threads.
+
+    socketserver does not track daemon handler threads at all (and
+    ``server_close`` joins nothing for them), so without this a
+    graceful stop could close the WAL and snapshot the engine while a
+    handler is still mid-mutation.  Tracking them lets ``stop()`` join
+    with a bounded timeout and *report* a wedged handler instead of
+    silently racing it.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._handler_threads: list[threading.Thread] = []
+        self._handler_lock = threading.Lock()
+
+    def process_request(self, request: Any, client_address: Any) -> None:
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address),
+            name=f"repro-handler-{client_address}",
+            daemon=True,
+        )
+        with self._handler_lock:
+            self._handler_threads = [
+                t for t in self._handler_threads if t.is_alive()
+            ]
+            self._handler_threads.append(thread)
+        thread.start()
+
+    def alive_handlers(self) -> list[threading.Thread]:
+        with self._handler_lock:
+            self._handler_threads = [
+                t for t in self._handler_threads if t.is_alive()
+            ]
+            return list(self._handler_threads)
+
+
 class ServiceServer:
     """Lifecycle wrapper: bind, serve (optionally in-thread), shut down.
 
@@ -497,8 +537,7 @@ class ServiceServer:
     ) -> None:
         self.service = service
         self.checkpoint_on_exit = checkpoint_on_exit
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _TrackingServer((host, port), _Handler)
         self._httpd.service = service  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
@@ -529,11 +568,11 @@ class ServiceServer:
     def stop(self) -> bool:
         """Drain, stop the accept loop, and close the WAL.
 
-        Returns ``True`` on a clean shutdown.  A worker thread that is
-        still alive after the 5 s join is *reported* (logged and
-        reflected in the return value) rather than silently abandoned,
-        so operators and tests can tell a wedged handler from a clean
-        exit.
+        Returns ``True`` on a clean shutdown.  Any thread — the accept
+        loop or a request handler — still alive after the 5 s join is
+        *reported* (logged and reflected in the return value) rather
+        than silently abandoned, so operators and tests can tell a
+        wedged handler from a clean exit.
         """
         self.service.draining = True
         self._httpd.shutdown()
@@ -550,12 +589,47 @@ class ServiceServer:
                 )
             else:
                 self._thread = None
-        # Flush/close the WAL only after the accept loop is down, so no
-        # acked record can race the close and be lost on graceful exit.
+        # server_close() does not join daemon handler threads: wait for
+        # in-flight requests to leave the engine before touching the WAL
+        # or the exit checkpoint.
+        deadline = monotonic() + 5.0
+        wedged = []
+        for worker in self._httpd.alive_handlers():
+            worker.join(timeout=max(0.0, deadline - monotonic()))
+            if worker.is_alive():
+                wedged.append(worker.name)
+        if wedged:
+            clean = False
+            log.error(
+                "%d handler thread(s) still alive 5s after shutdown (%s); "
+                "closing the WAL under them — their work may be lost",
+                len(wedged), ", ".join(wedged),
+            )
+        # Flush/close the WAL only after the accept loop and handlers
+        # are down, so no acked record can race the close and be lost
+        # on graceful exit.
         self.service.close_wal()
         if self.checkpoint_on_exit is not None:
-            checkpoint_mod.save(self.service.engine, self.checkpoint_on_exit)
-            log.info("wrote exit checkpoint to %s", self.checkpoint_on_exit)
+            # The engine lock keeps a straggling (wedged) handler from
+            # mutating state mid-snapshot; bounded so a handler wedged
+            # *inside* the lock cannot hang shutdown forever.
+            if self.service._engine_lock.acquire(timeout=5.0):
+                try:
+                    checkpoint_mod.save(
+                        self.service.engine, self.checkpoint_on_exit
+                    )
+                    log.info(
+                        "wrote exit checkpoint to %s", self.checkpoint_on_exit
+                    )
+                finally:
+                    self.service._engine_lock.release()
+            else:
+                clean = False
+                log.error(
+                    "could not acquire the engine lock within 5s; skipping "
+                    "the exit checkpoint rather than snapshotting "
+                    "mid-mutation state",
+                )
         return clean
 
     def __enter__(self) -> "ServiceServer":

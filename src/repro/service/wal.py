@@ -61,6 +61,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.cluster.job import reserve_job_ids
 from repro.obs.log import get_logger
 from repro.service import protocol
 from repro.service.engine import AdmissionEngine, EngineConfig, EngineError
@@ -144,6 +145,38 @@ class WalReadResult:
         return self.records[-1].lsn if self.records else 0
 
 
+def _read_bytes(path: str) -> bytes:
+    try:
+        with open(path, "rb") as fp:
+            return fp.read()
+    except OSError as exc:
+        raise WalError(f"cannot read WAL {path}: {exc}") from exc
+
+
+def discard_torn_header(path: str) -> bool:
+    """Reset a WAL holding only a torn header line; returns True if reset.
+
+    A crash during the very first header write leaves a single
+    unterminated line.  Records only ever follow a newline-terminated
+    header, so nothing can have been acked from such a file — it is
+    safe (and far kinder than failing until an operator deletes it by
+    hand) to truncate it to empty and start over.  Files that are
+    missing, empty, or contain any newline are left untouched.
+    """
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return False
+    if b"\n" in _read_bytes(path):
+        return False
+    log.warning(
+        "%s: discarding torn header-only WAL (no record was ever acked)", path
+    )
+    with open(path, "r+b") as fp:
+        fp.truncate(0)
+        fp.flush()
+        os.fsync(fp.fileno())
+    return True
+
+
 def read_wal(path: str) -> WalReadResult:
     """Read and validate a WAL file, tolerating a torn final record.
 
@@ -154,11 +187,7 @@ def read_wal(path: str) -> WalReadResult:
     WalCorruptionError
         If a record *before* the final one is invalid.
     """
-    try:
-        with open(path, "rb") as fp:
-            raw = fp.read()
-    except OSError as exc:
-        raise WalError(f"cannot read WAL {path}: {exc}") from exc
+    raw = _read_bytes(path)
     if not raw:
         raise WalError(f"{path}: empty WAL file (missing header)")
 
@@ -239,6 +268,14 @@ class WriteAheadLog:
     re-opens an existing one, validating its header against ``config``
     and truncating a torn tail so appends continue from a clean
     prefix.
+
+    Write failures (``ENOSPC``, ``EIO``) never leave torn bytes in the
+    *middle* of the log: a failed append is truncated back to the end
+    of the last good record before any later append is accepted, and if
+    that rollback itself fails — or an fsync fails, leaving durability
+    of already-acked records unknowable — the log is marked
+    :attr:`failed` and refuses every further append, so nothing can be
+    acked against a file recovery would reject.
     """
 
     def __init__(
@@ -260,7 +297,12 @@ class WriteAheadLog:
         self.appended = 0
         self.bytes_written = 0
         self.syncs = 0
+        #: Permanently broken (failed rollback or fsync); appends refused.
+        self.failed = False
         self._unsynced = 0
+        #: File offset of the end of the last fully-written frame — the
+        #: truncation point if a later frame write fails partway.
+        self._good_offset = 0
         self._fp: Optional[Any] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -280,7 +322,10 @@ class WriteAheadLog:
         truncated away before the first append.
         """
         wal = cls(path, fsync=fsync, batch_size=batch_size)
-        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        if discard_torn_header(path):
+            exists = False
+        else:
+            exists = os.path.exists(path) and os.path.getsize(path) > 0
         if exists:
             result = read_wal(path)
             if config is not None and result.header.get("config") not in (None, config):
@@ -298,9 +343,10 @@ class WriteAheadLog:
                     fp.flush()
                     os.fsync(fp.fileno())
             wal.next_lsn = result.last_lsn + 1
-            wal._fp = open(path, "ab")
+            wal._fp = open(path, "ab", buffering=0)
+            wal._good_offset = result.valid_bytes
         else:
-            wal._fp = open(path, "ab")
+            wal._fp = open(path, "ab", buffering=0)
             header: dict[str, Any] = {"format": WAL_FORMAT, "version": WAL_VERSION}
             if config is not None:
                 header["config"] = config
@@ -328,6 +374,11 @@ class WriteAheadLog:
         returns — which is exactly what lets the caller ack the
         decision afterwards.
         """
+        if self.failed:
+            raise WalError(
+                f"{self.path}: WAL failed permanently after a write error; "
+                f"refusing to ack records against an untrustworthy log"
+            )
         if self._fp is None:
             raise WalError(f"{self.path}: WAL is closed")
         lsn = self.next_lsn
@@ -350,15 +401,55 @@ class WriteAheadLog:
             self._sync()
 
     def _write(self, frame: bytes) -> None:
+        """Write one whole frame (unbuffered fd), rolling back any tear."""
         assert self._fp is not None
-        self._fp.write(frame)
-        self._fp.flush()
+        view = memoryview(frame)
+        try:
+            while view:
+                written = self._fp.write(view)
+                view = view[written:]
+        except OSError:
+            self._rollback()
+            raise
         self.bytes_written += len(frame)
+        self._good_offset += len(frame)
+
+    def _rollback(self) -> None:
+        """A frame tore mid-write: cut it off, or fail the log for good.
+
+        Truncating back to the last good frame keeps the file valid so
+        later appends (after the caller surfaces the error un-acked)
+        land on a clean prefix instead of after garbage — which would
+        be interior corruption that recovery rightly refuses to replay.
+        """
+        assert self._fp is not None
+        try:
+            os.ftruncate(self._fp.fileno(), self._good_offset)
+            os.fsync(self._fp.fileno())
+        except OSError as exc:
+            self._fail(f"could not truncate a torn append ({exc})")
+
+    def _fail(self, reason: str) -> None:
+        """Mark the log permanently unusable; every later append raises."""
+        self.failed = True
+        log.error("%s: WAL failed permanently: %s", self.path, reason)
+        if self._fp is not None:
+            try:
+                self._fp.close()
+            except OSError:
+                pass
+            self._fp = None
 
     def _sync(self) -> None:
         assert self._fp is not None
         if self._unsynced or self.syncs == 0:
-            os.fsync(self._fp.fileno())
+            try:
+                os.fsync(self._fp.fileno())
+            except OSError as exc:
+                # Post-fsync-failure page-cache state is unknowable; no
+                # further record may be acked against this file.
+                self._fail(f"fsync failed ({exc})")
+                raise
             self.syncs += 1
             self._unsynced = 0
 
@@ -499,6 +590,10 @@ def recover(
             report.replayed += 1
         finally:
             engine.wal_lsn = record.lsn
+    # Jobs were rebuilt under their original explicit ids without
+    # touching the auto-id counter; advance it so a fresh submit
+    # without an id can never collide with a recovered job.
+    reserve_job_ids(max(engine._known_ids, default=0))
     report.horizon = engine.now
     log.info("%s", report)
     return engine, report
@@ -516,6 +611,7 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "apply_record",
+    "discard_torn_header",
     "read_wal",
     "recover",
 ]

@@ -77,6 +77,21 @@ class TestRoundTrip:
         resumed.drain()
         assert resumed.query(1).state.value == "completed"
 
+    def test_restore_reserves_recovered_job_ids(self, tmp_path):
+        # Restored jobs keep their explicit ids without touching the
+        # auto-id counter; a job created without an id afterwards must
+        # not collide with any of them.
+        engine = AdmissionEngine(EngineConfig(num_nodes=4, rating=1.0))
+        big = 61_000
+        engine.submit(make_job(runtime=50.0, deadline=200.0, job_id=big))
+        path = tmp_path / "engine.json"
+        checkpoint.save(engine, str(path))
+        resumed = checkpoint.load(str(path))
+        fresh = make_job(runtime=5.0, deadline=100.0, submit=resumed.now)
+        assert fresh.job_id > big
+        decision = resumed.submit(fresh)
+        assert decision.job_id == fresh.job_id
+
     def test_restore_preserves_queue(self):
         engine = AdmissionEngine(EngineConfig(policy="edf", num_nodes=1, rating=1.0))
         engine.submit(make_job(runtime=100.0, deadline=1000.0, job_id=1))

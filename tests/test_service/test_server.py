@@ -311,6 +311,74 @@ class TestShutdown:
         server._thread = Wedged()
         assert server.stop() is False
 
+    def test_stop_reports_wedged_handler_thread(self):
+        class Wedged:
+            """A thread-shaped object that never finishes joining."""
+
+            name = "wedged-handler"
+
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        server = ServiceServer(make_service(), port=0).start()
+        server._httpd._handler_threads.append(Wedged())
+        assert server.stop() is False
+
+    def test_stop_waits_for_inflight_handler_before_closing_wal(self, tmp_path):
+        # A handler blocked mid-request (here: on the engine lock) must
+        # be joined before stop() closes the WAL, or its append would
+        # land on a closed file and the acked record would be lost.
+        import threading
+        import time
+
+        from repro.service.wal import WriteAheadLog, read_wal
+
+        engine = AdmissionEngine(
+            EngineConfig(policy="librarisk", num_nodes=4, rating=1.0)
+        )
+        wal = WriteAheadLog.open(
+            str(tmp_path / "srv.log"), config=engine.config.as_dict(),
+            fsync="none",
+        )
+        service = AdmissionService(engine, wal=wal)
+        server = ServiceServer(service, port=0).start()
+        client = ServiceClient(server.url, timeout=10.0)
+
+        service._engine_lock.acquire()  # hold the in-flight request hostage
+        result: list = []
+        request = threading.Thread(
+            target=lambda: result.append(
+                client.rpc({"v": PROTOCOL_VERSION, "type": "submit",
+                            "job": submit_payload(1)})
+            ),
+            daemon=True,
+        )
+        request.start()
+        deadline = time.monotonic() + 5.0
+        while service._inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)  # wait for the handler to pass admission checks
+        assert service._inflight == 1
+
+        stopped: list = []
+        stopper = threading.Thread(
+            target=lambda: stopped.append(server.stop()), daemon=True
+        )
+        stopper.start()
+        time.sleep(0.2)  # stop() is now joining the blocked handler
+        service._engine_lock.release()
+        stopper.join(timeout=10.0)
+        request.join(timeout=10.0)
+
+        assert stopped == [True]
+        status, _ = result[0]
+        assert status == 200
+        assert wal.closed
+        records = read_wal(str(tmp_path / "srv.log")).records
+        assert len(records) == 1 and records[0].req["job"]["id"] == 1
+
     def test_graceful_stop_flushes_and_closes_wal(self, tmp_path):
         from repro.service.wal import WriteAheadLog, read_wal
 

@@ -154,7 +154,100 @@ class TestCorruption:
         assert result.records[-1].req["job"]["id"] == 9
 
 
+class TestWriteFailures:
+    class _FlakyFile:
+        """Delegating file wrapper whose next write tears partway."""
+
+        def __init__(self, fp, tear_after: int):
+            self.fp = fp
+            self.tear_after: int | None = tear_after
+
+        def write(self, data):
+            if self.tear_after is not None:
+                self.fp.write(bytes(data[: self.tear_after]))
+                self.tear_after = None
+                raise OSError(28, "No space left on device")
+            return self.fp.write(data)
+
+        def fileno(self):
+            return self.fp.fileno()
+
+        def close(self):
+            self.fp.close()
+
+    def test_failed_append_truncates_torn_bytes_and_continues(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog.open(str(path), config=CONFIG)
+        wal.append(1.0, submit_req(1, 1.0))
+        wal._fp = self._FlakyFile(wal._fp, tear_after=8)
+        with pytest.raises(OSError, match="No space left"):
+            wal.append(2.0, submit_req(2, 2.0))
+        # The torn frame was cut off: the file is a clean one-record log.
+        result = read_wal(str(path))
+        assert [r.lsn for r in result.records] == [1]
+        assert result.torn is None
+        # The log is still usable; the failed record's LSN is reused.
+        assert not wal.failed
+        assert wal.append(2.0, submit_req(2, 2.0)) == 2
+        wal.close()
+        assert [r.lsn for r in read_wal(str(path)).records] == [1, 2]
+
+    def test_failed_rollback_fails_the_log_permanently(self, tmp_path, monkeypatch):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog.open(str(path), config=CONFIG)
+        wal.append(1.0, submit_req(1, 1.0))
+        wal._fp = self._FlakyFile(wal._fp, tear_after=8)
+        monkeypatch.setattr(
+            "repro.service.wal.os.ftruncate",
+            lambda fd, size: (_ for _ in ()).throw(OSError(5, "I/O error")),
+        )
+        with pytest.raises(OSError, match="No space left"):
+            wal.append(2.0, submit_req(2, 2.0))
+        assert wal.failed and wal.closed
+        with pytest.raises(WalError, match="failed permanently"):
+            wal.append(3.0, submit_req(3, 3.0))
+
+    def test_fsync_failure_fails_the_log(self, tmp_path, monkeypatch):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog.open(str(path), config=CONFIG)
+        monkeypatch.setattr(
+            "repro.service.wal.os.fsync",
+            lambda fd: (_ for _ in ()).throw(OSError(5, "I/O error")),
+        )
+        with pytest.raises(OSError, match="I/O error"):
+            wal.append(1.0, submit_req(1, 1.0))
+        assert wal.failed
+        with pytest.raises(WalError, match="failed permanently"):
+            wal.append(2.0, submit_req(2, 2.0))
+
+
 class TestOpen:
+    def test_open_resets_torn_header_only_file(self, tmp_path):
+        # A crash during the very first header write leaves a single
+        # unterminated line; nothing was ever acked, so open() must
+        # start over instead of failing until an operator intervenes.
+        path = tmp_path / "wal.log"
+        path.write_bytes(b'xxxxxxxx {"format": "repro-adm')
+        wal = WriteAheadLog.open(str(path), config=CONFIG)
+        wal.append(1.0, submit_req(1, 1.0))
+        wal.close()
+        result = read_wal(str(path))
+        assert result.header["config"] == CONFIG
+        assert [r.lsn for r in result.records] == [1]
+        assert result.torn is None
+
+    def test_torn_header_with_records_after_it_still_fails(self, tmp_path):
+        # Once any newline exists, records may have been acked after the
+        # first line — a bad header is then real corruption, not a torn
+        # first write.
+        path = tmp_path / "wal.log"
+        write_log(path, n=1)
+        raw = path.read_bytes()
+        first_newline = raw.index(b"\n")
+        path.write_bytes(b"garbage-header" + raw[first_newline:])
+        with pytest.raises(WalError, match="unreadable WAL header"):
+            WriteAheadLog.open(str(path), config=CONFIG)
+
     def test_reopen_continues_lsn_sequence(self, tmp_path):
         path = tmp_path / "wal.log"
         write_log(path, n=2)
@@ -270,6 +363,35 @@ class TestRecovery:
         wal.close()
         with pytest.raises(WalError, match="no engine config"):
             recover(str(path))
+
+    def test_recovered_service_assigns_fresh_auto_ids(self, tmp_path):
+        # Recovery rebuilds jobs under their original explicit ids; a
+        # later submit *without* an id must draw a fresh one, not
+        # collide with a recovered job (which would 409 — or worse,
+        # silently answer with the old job's decision).
+        path = tmp_path / "wal.log"
+        svc = self.service(path)
+        big = 54_321
+        for i in range(3):
+            status, _ = svc.handle(
+                json.dumps(submit_req(big + i, float(i))).encode()
+            )
+            assert status == 200
+        svc.close_wal()
+
+        engine, _ = recover(str(path))
+        svc2 = AdmissionService(engine)
+        req = {
+            "v": protocol.PROTOCOL_VERSION, "type": "submit",
+            "job": {
+                "submit_time": 10.0, "runtime": 5.0, "estimated_runtime": 5.0,
+                "numproc": 1, "deadline": 500.0,
+            },
+        }
+        status, response = svc2.handle(json.dumps(req).encode())
+        assert status == 200
+        assert "duplicate" not in response
+        assert response["decision"]["job"] > big + 2
 
     def test_apply_record_rejects_non_mutating_request(self):
         from repro.service.wal import WalRecord
