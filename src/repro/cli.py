@@ -211,17 +211,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("log", type=str, help="path to the .jsonl metrics log")
     p.add_argument(
         "--mode", default="report",
-        choices=("report", "prom", "decisions", "transitions"),
+        choices=("report", "prom", "decisions", "transitions", "cache"),
         help="report: human summary; prom: Prometheus text of the final "
-             "registry; decisions/transitions: dump those records",
+             "registry; decisions/transitions: dump those records; "
+             "cache: admission fast-path counters from profile records",
     )
     p.add_argument("--policy", type=str, default=None,
                    help="filter decision output to one policy")
+    p.add_argument(
+        "--cache-stats", action="store_true",
+        help="shorthand for --mode cache: admission fast-path counters "
+             "(suitability cache hits, projections avoided, tombstones)",
+    )
     p.add_argument(
         "--json", action="store_true",
         help="emit decisions/transitions as canonical JSON lines "
              "instead of aligned text",
     )
+
+    p = sub.add_parser(
+        "bench",
+        help="run the tracked admission benchmarks (batch + engine submit path)",
+    )
+    _add_common(p)
+    p.add_argument("--policies", nargs="+", default=None,
+                   choices=available_policies(),
+                   help="policies to benchmark (default: edf libra librarisk)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="repetitions per measurement; best run is kept")
+    p.add_argument("--out", type=str, default=None, metavar="PATH",
+                   help="benchmark file to update (default: BENCH_admission.json "
+                        "in the current directory)")
+    p.add_argument("--label", type=str, default=None,
+                   help="section label in the benchmark file (default: derived "
+                        "from the scale, e.g. 'paper' for 3000x128)")
+    p.add_argument("--record-baseline", action="store_true",
+                   help="store the run as the section's baseline instead of "
+                        "its current entry (do this before optimising)")
+    p.add_argument("--check", action="store_true",
+                   help="do not write the file; compare the fresh run against "
+                        "the committed entry and fail on >--max-regression")
+    p.add_argument("--max-regression", type=float, default=2.0,
+                   help="allowed slowdown factor for --check (default 2.0)")
+    p.add_argument("--verbose", action="store_true", help="print progress")
 
     p = sub.add_parser("trace-stats", help="workload statistics (paper §4)")
     _add_common(p)
@@ -559,6 +591,57 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: measure and track admission throughput."""
+    from repro.experiments import bench as bench_mod
+
+    policies = args.policies if args.policies else list(bench_mod.DEFAULT_POLICIES)
+    label = args.label or bench_mod.bench_label(args.jobs, args.nodes)
+    out_path = args.out or bench_mod.BENCH_FILENAME
+    progress = _progress_printer(args.verbose)
+
+    section = bench_mod.run_bench(
+        jobs=args.jobs, nodes=args.nodes, seed=args.seed,
+        policies=policies, repeats=args.repeats, progress=progress,
+    )
+    for policy in policies:
+        body = section["policies"][policy]
+        eng, scen = body["engine"], body["scenario"]
+        print(
+            f"{policy:<10s} engine {eng['jobs_per_sec']:>9.1f} jobs/s "
+            f"(p99 {eng['latency_us']['p99']:.0f} us)  "
+            f"batch {scen['jobs_per_sec']:>9.1f} jobs/s "
+            f"({scen['events_per_sec']:,} events/s)"
+        )
+
+    if args.check:
+        doc = bench_mod.load_bench_file(out_path)
+        failures = bench_mod.check_regression(
+            doc, label, section, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"repro bench: REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check passed (within {args.max_regression:g}x of "
+              f"committed {label!r} numbers)")
+        return 0
+
+    doc = bench_mod.update_bench_file(
+        out_path, label, section, record_baseline=args.record_baseline
+    )
+    slot = doc["benchmarks"][label]
+    print(f"\nwrote {'baseline' if args.record_baseline else 'current'} "
+          f"numbers for label {label!r} to {out_path}")
+    if "baseline" in slot and "current" in slot:
+        for policy, metric, base, cur, ratio in bench_mod.compare(
+            slot["baseline"], slot["current"]
+        ):
+            print(f"  {policy:<10s} {metric:<22s} {base:>9.1f} -> {cur:>9.1f} "
+                  f"({ratio:.2f}x)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _dispatch(argv)
@@ -589,8 +672,9 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
     if args.command == "inspect":
         from repro.obs.inspect import inspect_log
 
+        mode = "cache" if args.cache_stats else args.mode
         try:
-            print(inspect_log(args.log, mode=args.mode, policy=args.policy,
+            print(inspect_log(args.log, mode=mode, policy=args.policy,
                               json_output=args.json))
         except BrokenPipeError:
             raise  # downstream reader closed the pipe; handled in main()
@@ -611,6 +695,9 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
 
     if args.command == "replay":
         return _cmd_replay(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.command in _FIGURE_FNS:
         base = _base_config(args)

@@ -55,7 +55,15 @@ PREDICTED_DELAY_EPSILON = 1e-6
 class NodeTask:
     """One job's slice of work on one node."""
 
-    __slots__ = ("job", "node_id", "remaining_work", "remaining_est_work", "rate", "added_at")
+    __slots__ = (
+        "job",
+        "node_id",
+        "remaining_work",
+        "remaining_est_work",
+        "rate",
+        "added_at",
+        "deadline",
+    )
 
     def __init__(
         self,
@@ -71,6 +79,12 @@ class NodeTask:
         self.remaining_est_work = float(est_work)
         self.rate = 0.0  # effective node fraction, set by recompute()
         self.added_at = float(added_at)
+        #: The job's absolute deadline, snapshotted at placement.  A
+        #: job's submit time (and hence deadline) is only ever adjusted
+        #: *before* admission, so the copy cannot go stale while the
+        #: task is resident — and it turns the admission scan's
+        #: per-resident deadline read into a plain slot load.
+        self.deadline = job.absolute_deadline
 
     @property
     def finished(self) -> bool:
@@ -270,6 +284,13 @@ class TimeSharedNode(Node):
     :meth:`recompute` re-derives Eq. 1 shares, converts them to
     effective rates, and (re)schedules the node's single pending
     completion event.
+
+    :attr:`generation` counts share-relevant state changes — task
+    add/remove, completion, overrun demotion (all via
+    :meth:`recompute`), restore, failure and repair.  Admission fast
+    paths key cached per-node verdicts on it; :meth:`sync` deliberately
+    does *not* bump it, because the only cross-submit cache
+    (:meth:`min_resident_deadline`) depends on task membership alone.
     """
 
     def __init__(
@@ -284,6 +305,11 @@ class TimeSharedNode(Node):
         self.share_params = share_params
         self._last_sync = sim.now
         self._completion_event: Optional[Event] = None
+        #: Bumped on every task-set / share mutation; cache key for
+        #: admission-side memoization (never reset, monotone).
+        self.generation = 0
+        self._min_deadline_gen = -1
+        self._min_deadline = float("inf")
 
     # -- time advance -------------------------------------------------------
     def sync(self, now: float) -> None:
@@ -295,12 +321,23 @@ class TimeSharedNode(Node):
                 f"t={self._last_sync:.6g}"
             )
         if dt > 0.0:
+            # Hot path (one call per occupied node per admission scan):
+            # min/max inlined as comparisons, attribute loads hoisted.
+            # `task.rate * rating * dt` must stay left-associated — float
+            # multiplication is not associative and the ledger values are
+            # part of the byte-identical-export guarantee.
+            rating = self.rating
             for task in self.tasks.values():
-                consumed = task.rate * self.rating * dt
+                consumed = task.rate * rating * dt
                 if consumed > 0.0:
-                    self.busy_time += min(consumed, task.remaining_work)
-                    task.remaining_work = max(0.0, task.remaining_work - consumed)
-                    task.remaining_est_work = max(0.0, task.remaining_est_work - consumed)
+                    remaining = task.remaining_work
+                    self.busy_time += consumed if consumed < remaining else remaining
+                    remaining -= consumed
+                    task.remaining_work = remaining if remaining > 0.0 else 0.0
+                    est_remaining = task.remaining_est_work - consumed
+                    task.remaining_est_work = (
+                        est_remaining if est_remaining > 0.0 else 0.0
+                    )
         self._last_sync = now
 
     # -- task management ----------------------------------------------------
@@ -319,15 +356,25 @@ class TimeSharedNode(Node):
 
         Must be called with work ledgers already synced to ``now``.
         """
+        self.generation += 1
         tasks = list(self.tasks.values())
-        shares = [
-            nominal_share(
-                t.remaining_est_time(self.rating),
-                t.job.remaining_deadline(now),
-                self.share_params,
-            )
-            for t in tasks
-        ]
+        # nominal_share inlined (same clamps, same float sequence): this
+        # runs for every resident on every task add/remove/overrun.
+        rating = self.rating
+        floor = self.share_params.overrun_floor_share
+        shares: list[float] = []
+        for t in tasks:
+            est = t.remaining_est_work / rating
+            rem = t.deadline - now
+            if est <= SHARE_EPSILON or rem <= 0.0:
+                shares.append(floor)
+            else:
+                s = est / rem
+                if s < SHARE_EPSILON:
+                    s = SHARE_EPSILON
+                elif s > 1.0:
+                    s = 1.0
+                shares.append(s)
         rates = effective_rates(shares, self.share_params)
         for task, rate in zip(tasks, rates):
             task.rate = rate
@@ -387,6 +434,7 @@ class TimeSharedNode(Node):
         self.sync(now)
         self.online = False
         self.failures += 1
+        self.generation += 1
         affected = [task.job for task in self.tasks.values()]
         self.tasks.clear()
         if self._completion_event is not None:
@@ -398,6 +446,7 @@ class TimeSharedNode(Node):
         super().repair(now)
         # Restart the clock: nothing ran while offline.
         self._last_sync = now
+        self.generation += 1
 
     def remove_task(self, job_id: int, now: float) -> Optional[NodeTask]:
         """Forcibly remove one task (sibling of a failed task) and rebalance."""
@@ -431,6 +480,27 @@ class TimeSharedNode(Node):
         self.recompute(now)
 
     # -- admission-control views ---------------------------------------------
+    def min_resident_deadline(self) -> float:
+        """Earliest absolute deadline among resident tasks (``inf`` if idle).
+
+        Cached per :attr:`generation`: resident deadlines are constants,
+        so the minimum changes only when the task set does.  Admission
+        fast paths use it as the exact "poisoned node" test — once the
+        clock reaches this instant some resident has a non-positive
+        remaining deadline, which makes every Eq. 4 deadline-delay value
+        (and hence σ_j) infinite regardless of the projection, so the
+        node stays unsuitable for LibraRisk until its next mutation.
+        The comparison involves no derived floats, so skipping the
+        projection on it cannot change any decision.
+        """
+        if self._min_deadline_gen != self.generation:
+            self._min_deadline = min(
+                (t.deadline for t in self.tasks.values()),
+                default=float("inf"),
+            )
+            self._min_deadline_gen = self.generation
+        return self._min_deadline
+
     def iter_share_terms(self, now: float) -> Iterable[tuple[NodeTask, float]]:
         """Yield ``(task, unclamped Eq. 1 share)`` for every resident task."""
         for task in self.tasks.values():
@@ -562,18 +632,33 @@ class TimeSharedNode(Node):
                 pend_deadline.append(job.absolute_deadline)
 
         params = self.share_params
+        redistribute = params.redistribute_spare
         overrun_share_sum = n_overruns * floor
         t = now
+        # One loop iteration per projected completion phase, with
+        # nominal_share inlined (same clamps, same float sequence) and
+        # the pending lists compacted in place instead of reallocated —
+        # this is the single hottest loop of a LibraRisk run.
         while pend_jobs:
             total = overrun_share_sum
             shares = []
+            append_share = shares.append
             for est, deadline in zip(pend_est, pend_deadline):
-                s = nominal_share(est, deadline - t, params)
-                shares.append(s)
+                rem = deadline - t
+                if est <= SHARE_EPSILON or rem <= 0.0:
+                    s = floor
+                else:
+                    s = est / rem
+                    if s < SHARE_EPSILON:
+                        s = SHARE_EPSILON
+                    elif s > 1.0:
+                        s = 1.0
+                append_share(s)
                 total += s
-            scale = 1.0 / total if total > 1.0 else (
-                1.0 / total if params.redistribute_spare and total > SHARE_EPSILON else 1.0
-            )
+            if total > 1.0 or (redistribute and total > SHARE_EPSILON):
+                scale = 1.0 / total
+            else:
+                scale = 1.0
 
             # Earliest estimated completion among pending jobs.
             best_dt = -1.0
@@ -590,16 +675,20 @@ class TimeSharedNode(Node):
                 break
 
             t += best_dt
-            nj, ne, nd = [], [], []
-            for job, est, deadline, s in zip(pend_jobs, pend_est, pend_deadline, shares):
-                remaining = est - s * scale * best_dt
+            write = 0
+            for i, s in enumerate(shares):
+                remaining = pend_est[i] - s * scale * best_dt
                 if remaining <= SHARE_EPSILON:
+                    deadline = pend_deadline[i]
                     delay = t - deadline
-                    delays[job.job_id] = 0.0 if delay < PREDICTED_DELAY_EPSILON else delay
+                    delays[pend_jobs[i].job_id] = (
+                        0.0 if delay < PREDICTED_DELAY_EPSILON else delay
+                    )
                 else:
-                    nj.append(job)
-                    ne.append(remaining)
-                    nd.append(deadline)
-            pend_jobs, pend_est, pend_deadline = nj, ne, nd
+                    pend_jobs[write] = pend_jobs[i]
+                    pend_est[write] = remaining
+                    pend_deadline[write] = pend_deadline[i]
+                    write += 1
+            del pend_jobs[write:], pend_est[write:], pend_deadline[write:]
 
         return [(job, delays[job.job_id]) for job, _ in entries]

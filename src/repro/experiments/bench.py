@@ -1,0 +1,237 @@
+"""Tracked admission-control benchmarks (``repro bench``).
+
+Two cost surfaces matter for the serving story:
+
+* **batch scenario throughput** — the closed ``run_scenario`` loop the
+  figures use (jobs/s over the whole simulate-everything run, kernel
+  events/s);
+* **online submit throughput** — the :class:`AdmissionEngine` serving
+  path added by the service layer: per-job ``submit`` latency
+  (p50/p90/p99) and sustained jobs/s, which is what a live deployment
+  experiences per request.
+
+``repro bench`` measures both for every policy and records them in
+``BENCH_admission.json`` at the repo root, keyed by a scale label, with
+a ``baseline`` (recorded once per optimisation effort, before the
+change) and a ``current`` entry per label.  The committed file is the
+perf trajectory future PRs are held against — see
+``docs/PERFORMANCE.md`` and ``scripts/perf_smoke.py``.
+
+Wall-clock numbers are machine-dependent; the regression check is
+therefore *relative* (current vs. baseline ratio), never absolute.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from typing import Any, Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario_jobs, run_scenario
+
+#: Bumped when the JSON layout of BENCH_admission.json changes.
+BENCH_SCHEMA = 1
+
+#: Default benchmark file at the repo root.
+BENCH_FILENAME = "BENCH_admission.json"
+
+DEFAULT_POLICIES = ("edf", "libra", "librarisk")
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def bench_label(jobs: int, nodes: int) -> str:
+    """Canonical section label for one benchmark scale."""
+    if jobs == 3000 and nodes == 128:
+        return "paper"
+    return f"jobs{jobs}x{nodes}"
+
+
+def bench_scenario(config: ScenarioConfig, repeats: int = 1) -> dict[str, Any]:
+    """Time the closed batch run of one scenario (best of ``repeats``)."""
+    best: Optional[dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        result = run_scenario(config, jobs=build_scenario_jobs(config))
+        wall = result.elapsed
+        record = {
+            "wall_s": round(wall, 4),
+            "events": result.events,
+            "events_per_sec": round(result.events / wall) if wall > 0 else 0,
+            "jobs_per_sec": round(config.num_jobs / wall, 1) if wall > 0 else 0.0,
+        }
+        if best is None or record["wall_s"] < best["wall_s"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def bench_engine(config: ScenarioConfig, repeats: int = 1) -> dict[str, Any]:
+    """Time the online serving path: per-submit latency and throughput."""
+    from repro.service.engine import engine_for_scenario
+
+    best: Optional[dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        jobs = build_scenario_jobs(config)
+        engine = engine_for_scenario(config)
+        latencies: list[float] = []
+        t0 = time.perf_counter()
+        for job in jobs:
+            t = time.perf_counter()
+            engine.submit(job)
+            latencies.append(time.perf_counter() - t)
+        submit_wall = time.perf_counter() - t0
+        t = time.perf_counter()
+        engine.drain()
+        drain_wall = time.perf_counter() - t
+        latencies.sort()
+        n = len(latencies)
+        record = {
+            "submit_wall_s": round(submit_wall, 4),
+            "jobs_per_sec": round(n / submit_wall, 1) if submit_wall > 0 else 0.0,
+            "latency_us": {
+                "mean": round(1e6 * submit_wall / n, 1) if n else 0.0,
+                "p50": round(1e6 * _percentile(latencies, 50.0), 1),
+                "p90": round(1e6 * _percentile(latencies, 90.0), 1),
+                "p99": round(1e6 * _percentile(latencies, 99.0), 1),
+                "max": round(1e6 * latencies[-1], 1) if latencies else 0.0,
+            },
+            "drain_wall_s": round(drain_wall, 4),
+            "events": engine.sim.events_fired,
+            "events_per_sec": (
+                round(engine.sim.events_fired / (submit_wall + drain_wall))
+                if submit_wall + drain_wall > 0
+                else 0
+            ),
+        }
+        if best is None or record["submit_wall_s"] < best["submit_wall_s"]:
+            best = record
+    assert best is not None
+    return best
+
+
+def run_bench(
+    jobs: int = 3000,
+    nodes: int = 128,
+    seed: int = 42,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    repeats: int = 1,
+    progress=None,
+) -> dict[str, Any]:
+    """Run the full benchmark suite at one scale; returns the section body."""
+    out: dict[str, Any] = {
+        "scale": {"jobs": jobs, "nodes": nodes, "seed": seed},
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.machine() or "unknown",
+        },
+        "policies": {},
+    }
+    for policy in policies:
+        config = ScenarioConfig(
+            num_jobs=jobs, num_nodes=nodes, seed=seed, policy=policy
+        )
+        if progress is not None:
+            progress(f"bench {policy}: batch scenario ({jobs} jobs x {nodes} nodes)")
+        scenario = bench_scenario(config, repeats=repeats)
+        if progress is not None:
+            progress(f"bench {policy}: engine submit microbenchmark")
+        engine = bench_engine(config, repeats=repeats)
+        out["policies"][policy] = {"scenario": scenario, "engine": engine}
+    return out
+
+
+# -- the tracked file ---------------------------------------------------------
+
+def load_bench_file(path: str) -> dict[str, Any]:
+    """Load ``BENCH_admission.json`` (empty skeleton when absent)."""
+    if os.path.exists(path) and os.path.getsize(path) > 0:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: expected a JSON object")
+        doc.setdefault("schema", BENCH_SCHEMA)
+        doc.setdefault("benchmarks", {})
+        return doc
+    return {"schema": BENCH_SCHEMA, "benchmarks": {}}
+
+
+def update_bench_file(
+    path: str,
+    label: str,
+    section: dict[str, Any],
+    record_baseline: bool = False,
+) -> dict[str, Any]:
+    """Merge one benchmark run into the tracked file and write it back.
+
+    The run lands under ``benchmarks.<label>.current`` (or ``.baseline``
+    with ``record_baseline``); the other entry is preserved, which is
+    what keeps the pre-optimisation numbers and the current numbers in
+    the same file for ratio checks.
+    """
+    doc = load_bench_file(path)
+    slot = doc["benchmarks"].setdefault(label, {})
+    slot["baseline" if record_baseline else "current"] = section
+    with open(path, "w", encoding="utf-8", newline="\n") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return doc
+
+
+def compare(
+    baseline: dict[str, Any], current: dict[str, Any]
+) -> list[tuple[str, str, float, float, float]]:
+    """Per-policy throughput ratios: ``(policy, metric, base, cur, ratio)``."""
+    rows: list[tuple[str, str, float, float, float]] = []
+    for policy in sorted(current.get("policies", {})):
+        if policy not in baseline.get("policies", {}):
+            continue
+        for surface, metric in (("engine", "jobs_per_sec"), ("scenario", "jobs_per_sec")):
+            base = baseline["policies"][policy][surface][metric]
+            cur = current["policies"][policy][surface][metric]
+            ratio = cur / base if base else float("inf")
+            rows.append((policy, f"{surface}.{metric}", base, cur, ratio))
+    return rows
+
+
+def check_regression(
+    doc: dict[str, Any],
+    label: str,
+    fresh: dict[str, Any],
+    max_regression: float = 2.0,
+    against: str = "current",
+) -> list[str]:
+    """Regression check for CI: is ``fresh`` >``max_regression``x slower?
+
+    Compares the engine submit throughput of a freshly-measured run
+    against the committed ``against`` entry of ``label``; returns a list
+    of human-readable failures (empty = pass).  The threshold absorbs
+    machine-to-machine variance — it catches algorithmic regressions,
+    not jitter.
+    """
+    committed = doc.get("benchmarks", {}).get(label, {}).get(against)
+    if committed is None:
+        return [f"no committed {against!r} entry for label {label!r}"]
+    failures: list[str] = []
+    for policy, body in committed.get("policies", {}).items():
+        if policy not in fresh.get("policies", {}):
+            failures.append(f"{policy}: missing from fresh run")
+            continue
+        base = body["engine"]["jobs_per_sec"]
+        cur = fresh["policies"][policy]["engine"]["jobs_per_sec"]
+        if base > 0 and cur < base / max_regression:
+            failures.append(
+                f"{policy}: engine submit throughput {cur:.1f} jobs/s is more "
+                f"than {max_regression:g}x below the committed {base:.1f} jobs/s"
+            )
+    return failures

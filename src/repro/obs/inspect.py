@@ -20,7 +20,7 @@ from repro.obs.exporters import (
     run_report,
 )
 
-INSPECT_MODES = ("report", "prom", "decisions", "transitions")
+INSPECT_MODES = ("report", "prom", "decisions", "transitions", "cache")
 
 
 @dataclass
@@ -100,7 +100,36 @@ def render_inspection(
         return "\n".join(
             f"t={r['t']:<12.6g} job={r['job']:<6d} -> {r['to']}" for r in rows
         )
+    if mode == "cache":
+        return _render_cache(records, json_output=json_output)
     raise ValueError(f"unknown inspect mode {mode!r}; choose from {INSPECT_MODES}")
+
+
+def _render_cache(records: Sequence[dict], json_output: bool = False) -> str:
+    """Admission fast-path counters from the log's ``profile`` records.
+
+    Cache statistics ride in the profile record (they explain wall
+    clocks, so they are kept out of the deterministic export), which
+    means the log must come from a ``--profile`` run to contain any.
+    """
+    profiles = [r for r in records if r.get("type") == "profile"]
+    blocks = [p.get("cache", {}) for p in profiles]
+    if json_output:
+        return "\n".join(jsonl_line(b) for b in blocks)
+    if not profiles:
+        return (
+            "no profile record in log — admission cache counters are only\n"
+            "recorded by profiled runs; re-run with --profile to capture them"
+        )
+    lines: list[str] = []
+    for i, block in enumerate(blocks):
+        prefix = f"run {i + 1}: " if len(blocks) > 1 else ""
+        if not block:
+            lines.append(f"{prefix}no cache counters (fast path disabled or unused)")
+            continue
+        for key in sorted(block):
+            lines.append(f"{prefix}{key:<24s} {block[key]}")
+    return "\n".join(lines)
 
 
 def _decision_line(record: dict) -> str:

@@ -66,6 +66,7 @@ class Profiler:
         self.heap_depth = _RunningStats()
         self.admission_wall: dict[str, float] = {}   # policy name -> seconds
         self.admission_calls: dict[str, int] = {}
+        self.cache_stats: dict[str, int] = {}
         self._events_at_run_start = 0
         self._events_at_run_end = 0
 
@@ -96,6 +97,16 @@ class Profiler:
     def note_run_bounds(self, events_before: int, events_after: int) -> None:
         self._events_at_run_start = events_before
         self._events_at_run_end = events_after
+
+    def note_cache_stats(self, stats: dict[str, int]) -> None:
+        """Record the admission fast-path counters for the report.
+
+        ``stats`` comes from :attr:`SchedulingPolicy.cache_stats` plus
+        kernel counters (e.g. ``events_tombstoned``); counters are summed
+        on repeated calls so multi-run sessions aggregate.
+        """
+        for key, value in stats.items():
+            self.cache_stats[key] = self.cache_stats.get(key, 0) + int(value)
 
     # -- admission timing ---------------------------------------------------
     def wrap_admission(self, policy: "SchedulingPolicy") -> None:
@@ -148,6 +159,7 @@ class Profiler:
             "events_per_sec": self.events_per_sec,
             "admission": admission,
             "heap_depth": self.heap_depth.as_dict(),
+            "cache": dict(sorted(self.cache_stats.items())),
         }
 
     def render(self) -> str:
@@ -171,4 +183,7 @@ class Profiler:
                 f"admission[{name}]: {a['calls']} calls, "
                 f"{a['wall_s'] * 1e3:.2f} ms total, {a['mean_us']:.1f} µs/call"
             )
+        if d["cache"]:
+            pairs = "  ".join(f"{k}={v}" for k, v in d["cache"].items())
+            lines.append(f"admission cache: {pairs}")
         return "\n".join(lines)

@@ -81,6 +81,7 @@ class ObsSession:
         self.scenario = scenario
         self.finalized = False
         self._sim: Optional["Simulator"] = None
+        self._policy: Optional["SchedulingPolicy"] = None
         self._events_counter = self.registry.counter(
             "sim_events_total", "Kernel events fired"
         )
@@ -124,6 +125,7 @@ class ObsSession:
             rms.observer = self
         if policy is not None:
             policy.observer = self
+            self._policy = policy
             if self.profiler is not None:
                 self.profiler.wrap_admission(policy)
         return self
@@ -264,6 +266,15 @@ class ObsSession:
             self.records.append({"type": "metrics", "values": payload})
         self.records.append({"type": "registry", "metrics": self.registry.collect()})
         if self.profiler is not None:
+            # Fast-path effectiveness counters ride in the profile record
+            # (explicitly outside the byte-identity guarantee, like the
+            # wall clocks they explain).
+            if self._policy is not None and self._policy.cache_stats:
+                self.profiler.note_cache_stats(self._policy.cache_stats)
+            if sim is not None and sim.tombstones_dropped:
+                self.profiler.note_cache_stats(
+                    {"events_tombstoned": sim.tombstones_dropped}
+                )
             self.records.append({"type": "profile", **self.profiler.as_dict()})
         log.info(
             "run finalized: %d records, %d metrics%s",

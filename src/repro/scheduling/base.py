@@ -21,6 +21,7 @@ details the concrete policy supplies.
 from __future__ import annotations
 
 import abc
+import os
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.cluster.job import Job
@@ -31,6 +32,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.rms import ResourceManagementSystem
     from repro.obs.hooks import PolicyObserver
     from repro.sim.kernel import Simulator
+
+#: Escape hatch: set to ``1`` to run every policy on its pre-cache
+#: reference admission path (production debugging; the fast paths are
+#: exact memoization, so both paths produce byte-identical output).
+DISABLE_CACHE_ENV = "REPRO_DISABLE_ADMISSION_CACHE"
+
+#: Opt-in: defer node ledger syncs until a node is actually read on a
+#: slow path or mutated, instead of syncing every node on every submit.
+#: Mathematically equivalent but NOT bit-identical to the eager default
+#: (float subtraction is not associative across different sync chop
+#: points), hence off unless requested — see docs/PERFORMANCE.md.
+LAZY_SYNC_ENV = "REPRO_LAZY_SYNC"
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
 class SchedulingPolicy(abc.ABC):
@@ -52,6 +69,16 @@ class SchedulingPolicy(abc.ABC):
         #: passive: they may not mutate jobs or scheduling state.
         self.observer: Optional["PolicyObserver"] = None
         self._pending_tasks: dict[int, int] = {}  # job_id -> unfinished task count
+        #: Admission fast-path switches, read once at construction so a
+        #: policy's behaviour is fixed for its lifetime (tests override
+        #: the attributes directly).
+        self.fast_path = not _env_flag(DISABLE_CACHE_ENV)
+        self.lazy_sync = _env_flag(LAZY_SYNC_ENV)
+        #: Monotone counters describing fast-path effectiveness
+        #: (suitability cache hits/misses, projections avoided, ...).
+        #: Surfaced by the profiler's ``cache`` block and the service
+        #: ``stats`` endpoint; never part of deterministic exports.
+        self.cache_stats: dict[str, int] = {}
 
     # -- wiring -----------------------------------------------------------
     def bind(self, sim: "Simulator", cluster: "Cluster", rms: "ResourceManagementSystem") -> None:

@@ -103,13 +103,21 @@ class QueuedSpaceSharedPolicy(SchedulingPolicy):
                     queued=len(self.queue),
                 )
                 continue
-            free = [n for n in self.cluster if n.available_for_work]
-            if len(free) < job.numproc:
+            # Stop scanning as soon as numproc free nodes are found: the
+            # first numproc in cluster order are exactly the slice the
+            # full list comprehension would have taken.
+            free: list[SpaceSharedNode] = []
+            for n in self.cluster:
+                if n.available_for_work:
+                    free.append(n)
+                    if len(free) == job.numproc:
+                        break
+            else:
                 # Non-preemptive wait: the selection is revisited at the
                 # next scheduling event, which may pick a different job.
                 return
             self.queue.remove(job)
-            self._start(job, free[: job.numproc], now)
+            self._start(job, free, now)
 
     def _feasible(self, job: Job, now: float) -> bool:
         """Paper's dispatch-time check, based on the *estimate*."""

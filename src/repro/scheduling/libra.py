@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job
 from repro.cluster.node import TimeSharedNode
+from repro.cluster.share import WORK_EPSILON
 from repro.scheduling.base import SchedulingPolicy
 
 #: Slack for float error in the Σ share <= 1 capacity test.
@@ -54,6 +55,17 @@ class LibraPolicy(SchedulingPolicy):
 
     # -- admission ----------------------------------------------------------
     def on_job_submitted(self, job: Job, now: float) -> None:
+        # The inlined fast scan only replicates the default "zero" Eq. 2
+        # semantics; the research knobs take the reference path.
+        if self.fast_path and self.expired_job_share_mode == "zero":
+            self._submit_fast(job, now)
+        else:
+            self._submit_reference(job, now)
+
+    def _submit_reference(self, job: Job, now: float) -> None:
+        """Pre-cache admission scan, kept verbatim as the escape hatch
+        (``REPRO_DISABLE_ADMISSION_CACHE=1``) and for the non-default
+        ``expired_job_share_mode`` values."""
         assert self.cluster is not None and self.rms is not None
         suitable: list[tuple[float, TimeSharedNode]] = []
         for node in self.cluster:
@@ -70,8 +82,72 @@ class LibraPolicy(SchedulingPolicy):
             if total <= 1.0 + CAPACITY_EPSILON:
                 suitable.append((total, node))
 
+        online = sum(1 for n in self.cluster if n.online)
+        self._finish(job, suitable, online, now)
+
+    def _submit_fast(self, job: Job, now: float) -> None:
+        """The ``"zero"``-mode scan with ``total_admission_share``
+        inlined: same skip rule, same summation order, bit-identical
+        totals — but no per-node method dispatch, no extra-pair list,
+        and no sync calls on idle nodes (an empty node's sync is a pure
+        no-op).  A job whose deadline already passed gets an infinite
+        Eq. 1 share on every node, so the scan degenerates to the online
+        count."""
+        cluster = self.cluster
+        assert cluster is not None and self.rms is not None
+        lazy = self.lazy_sync
+        suitable: list[tuple[float, TimeSharedNode]] = []
+        online = 0
+        rem_new = job.remaining_deadline(now)
+        feasible = rem_new > 0.0
+        # est_time_on(node, est) = (est * reference_rating) / rating.
+        est_work_new = job.estimated_runtime * cluster.reference_rating
+
+        for node in cluster.nodes:
+            if not node.online:
+                continue
+            online += 1
+            tasks = node.tasks
+            if tasks and not lazy:
+                node.sync(now)
+            if not feasible:
+                continue  # admission_share(·, rem <= 0) = inf on every node
+            rating = node.rating
+            work_threshold = WORK_EPSILON / rating
+            total = 0.0
+            if lazy:
+                speed = rating * (now - node._last_sync)
+            for task in tasks.values():
+                if lazy:
+                    est_work = task.remaining_est_work - task.rate * speed
+                    if est_work < 0.0:
+                        est_work = 0.0
+                    est = est_work / rating
+                else:
+                    est = task.remaining_est_work / rating
+                rem = task.deadline - now
+                if est <= work_threshold or rem <= 0.0:
+                    continue  # "zero" mode: expired/exhausted jobs vanish
+                total += est / rem
+            total += (est_work_new / rating) / rem_new
+            if total <= 1.0 + CAPACITY_EPSILON:
+                suitable.append((total, node))
+
+        stats = self.cache_stats
+        stats["online_scans"] = stats.get("online_scans", 0) + online
+        stats["inline_share_sums"] = (
+            stats.get("inline_share_sums", 0) + (online if feasible else 0)
+        )
+        self._finish(job, suitable, online, now)
+
+    def _finish(
+        self,
+        job: Job,
+        suitable: list[tuple[float, TimeSharedNode]],
+        online: int,
+        now: float,
+    ) -> None:
         if len(suitable) < job.numproc:
-            online = sum(1 for n in self.cluster if n.online)
             self._reject(
                 job,
                 f"only {len(suitable)} of {job.numproc} required nodes have "

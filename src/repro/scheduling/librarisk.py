@@ -34,11 +34,14 @@ from __future__ import annotations
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job
 from repro.cluster.node import TimeSharedNode
+from repro.cluster.share import SHARE_EPSILON, WORK_EPSILON
 from repro.scheduling.base import SchedulingPolicy
 from repro.scheduling.risk import RiskAssessment, assess_delays
 
 _NODE_ORDERS = ("worst_fit", "best_fit", "index")
 _SUITABILITIES = ("sigma", "no-delay")
+
+_INF = float("inf")
 
 
 class LibraRiskPolicy(SchedulingPolicy):
@@ -92,6 +95,16 @@ class LibraRiskPolicy(SchedulingPolicy):
         return assess_delays(pairs)
 
     def on_job_submitted(self, job: Job, now: float) -> None:
+        if self.fast_path:
+            self._submit_fast(job, now)
+        else:
+            self._submit_reference(job, now)
+
+    def _submit_reference(self, job: Job, now: float) -> None:
+        """Pre-cache admission scan, kept verbatim as the escape hatch
+        (``REPRO_DISABLE_ADMISSION_CACHE=1``).  The fast path must stay
+        byte-identical to this — see ``tests/test_scheduling/
+        test_cache_parity.py``."""
         assert self.cluster is not None and self.rms is not None
         zero_risk: list[TimeSharedNode] = []
         online = 0
@@ -114,26 +127,246 @@ class LibraRiskPolicy(SchedulingPolicy):
                 zero_risk.append(node)
 
         if len(zero_risk) < job.numproc:
-            unsuitable = online - len(zero_risk)
-            criterion = "σ_j > 0" if sigma_mode else "predicted delay"
-            self._reject(
-                job,
-                f"only {len(zero_risk)} of {job.numproc} required nodes are "
-                f"zero-risk ({criterion} on {unsuitable}/{online} online nodes)",
-                suitable=len(zero_risk),
-                required=job.numproc,
-                online=online,
-                suitability=self.suitability,
-            )
+            self._reject_unsuitable(job, zero_risk, online, sigma_mode)
             return
 
         chosen = self._order(zero_risk, now)[: job.numproc]
         self._allocate(job, chosen, now)
 
+    def _submit_fast(self, job: Job, now: float) -> None:
+        """One fused pass per node, equal to :meth:`_submit_reference`
+        decision-for-decision and bit-for-bit.
+
+        Three exact shortcuts, in test order per node:
+
+        * **poisoned** — a resident past its absolute deadline keeps
+          every Eq. 4 value infinite, so σ_j = ∞ until the task set
+          changes; the verdict comes from
+          :meth:`~repro.cluster.node.TimeSharedNode.min_resident_deadline`
+          (cached per node generation) without touching the ledgers;
+        * **healthy fit** — all shares defined, each ≤ 1 and Σ ≤ 1 + ε:
+          the projection would predict zero delay for everyone, making
+          every deadline-delay exactly ``(0 + r) / r = 1.0``, σ = 0 —
+          suitable with no projection and no assessment object.  The
+          same loop accumulates the resident-only Eq. 2 sum with
+          ``total_admission_share``'s skip rule and summation order, so
+          best-fit ordering can reuse it instead of re-walking the node;
+        * **projection** — everything else runs the same
+          ``_project_delays`` forward simulation, with the σ
+          accumulation fused over it in pairs order (identical float
+          sequence to ``assess_delays``) and an early exit on the first
+          infinite deadline-delay, which decides σ > 0 on its own.
+        """
+        cluster = self.cluster
+        assert cluster is not None and self.rms is not None
+        sigma_mode = self.suitability == "sigma"
+        lazy = self.lazy_sync
+        zero_risk: list[TimeSharedNode] = []
+        loads: dict[int, float] = {}
+        online = 0
+        n_poisoned = n_fast_fit = n_empty = n_projected = 0
+        rem_new = job.remaining_deadline(now)
+        # est_time_on(node, est) = (est * reference_rating) / rating —
+        # hoist the numerator; the division stays per node.
+        est_work_new = job.estimated_runtime * cluster.reference_rating
+
+        for node in cluster.nodes:
+            if not node.online:
+                continue
+            online += 1
+            tasks = node.tasks
+            if not tasks:
+                if sigma_mode:
+                    # Empty-node gamble: one deadline-delay value, σ = 0.
+                    n_empty += 1
+                    zero_risk.append(node)
+                    loads[node.node_id] = 0.0
+                    continue
+            else:
+                if not lazy:
+                    # Eager mode advances every occupied node's ledgers
+                    # per submit, exactly as the reference scan does —
+                    # identical sync chop points keep the busy-time
+                    # accumulation bit-identical.  (An idle node's sync
+                    # is a pure no-op, safe to skip outright.)
+                    node.sync(now)
+                if now >= node.min_resident_deadline():
+                    # The poison verdict needs no ledgers, only the
+                    # deadlines — valid until the task set changes.
+                    n_poisoned += 1
+                    continue
+
+            rating = node.rating
+            est_new = est_work_new / rating
+            # Fused predicted_delays fast check over residents-then-new,
+            # gathering the resident-only admission sum on the side.
+            healthy = True
+            total = 0.0
+            resident_load = 0.0
+            work_threshold = WORK_EPSILON / rating
+            if lazy:
+                dt = now - node._last_sync
+                speed = rating * dt
+            for task in tasks.values():
+                if lazy:
+                    est_work = task.remaining_est_work - task.rate * speed
+                    if est_work < 0.0:
+                        est_work = 0.0
+                    est = est_work / rating
+                else:
+                    est = task.remaining_est_work / rating
+                rem = task.deadline - now
+                if est <= SHARE_EPSILON or rem <= 0.0:
+                    healthy = False
+                    break
+                share = est / rem
+                if share > 1.0:
+                    healthy = False
+                    break
+                total += share
+                if est > work_threshold:
+                    # total_admission_share's zero-mode skip rule; same
+                    # values in the same order as its own loop.
+                    resident_load += share
+            if healthy and est_new > SHARE_EPSILON and rem_new > 0.0:
+                share_new = est_new / rem_new
+                if share_new <= 1.0:
+                    total += share_new
+                    if total <= 1.0 + SHARE_EPSILON:
+                        if tasks:
+                            n_fast_fit += 1
+                        else:
+                            n_empty += 1
+                        zero_risk.append(node)
+                        loads[node.node_id] = resident_load
+                        continue
+            # Slow path: the exact forward projection (lazy nodes sync
+            # first — the projection reads and the node may be chosen).
+            if lazy and tasks:
+                node.sync(now)
+            n_projected += 1
+            if self._projected_suitable(node, job, est_new, now, sigma_mode):
+                zero_risk.append(node)
+
+        stats = self.cache_stats
+        stats["online_scans"] = stats.get("online_scans", 0) + online
+        stats["poison_skips"] = stats.get("poison_skips", 0) + n_poisoned
+        stats["fast_fit_hits"] = stats.get("fast_fit_hits", 0) + n_fast_fit
+        stats["empty_shortcuts"] = stats.get("empty_shortcuts", 0) + n_empty
+        stats["projections_run"] = stats.get("projections_run", 0) + n_projected
+
+        if len(zero_risk) < job.numproc:
+            self._reject_unsuitable(job, zero_risk, online, sigma_mode)
+            return
+
+        chosen = self._order_with_loads(zero_risk, loads, now)[: job.numproc]
+        self._allocate(job, chosen, now)
+
+    def _projected_suitable(
+        self,
+        node: TimeSharedNode,
+        job: Job,
+        est_new: float,
+        now: float,
+        sigma_mode: bool,
+    ) -> bool:
+        """Run the forward projection and decide suitability in one pass.
+
+        Float-for-float the same computation as ``assess_node`` +
+        ``RiskAssessment``: deadline-delay values accumulate in pairs
+        order (residents in task order, then the new job), Σv and Σv²
+        left-to-right exactly as ``assess_delays``'s ``sum()`` calls,
+        and σ == 0 ⇔ the unclamped variance is ≤ 0.  The only
+        divergence is the early return on an infinite value — which
+        ``assess_delays`` maps to σ = ∞, never suitable either way.
+        """
+        rating = node.rating
+        entries: list[tuple[Job, float]] = []
+        deadlines: list[float] = []
+        for t in node.tasks.values():
+            entries.append((t.job, t.remaining_est_work / rating))
+            deadlines.append(t.deadline)
+        entries.append((job, est_new))
+        deadlines.append(job.absolute_deadline)
+        # _project_delays returns pairs in entries order, so the
+        # snapshotted deadlines line up pairwise.
+        predicted = node._project_delays(now, entries)
+        n = 0
+        sum_v = 0.0
+        sum_v2 = 0.0
+        max_delay = 0.0
+        for (j, delay), deadline in zip(predicted, deadlines):
+            rem = deadline - now
+            if rem <= 0.0 or delay == _INF:
+                return False  # Eq. 4 value infinite -> sigma infinite
+            v = (delay + rem) / rem
+            if v == _INF:
+                return False
+            n += 1
+            sum_v += v
+            sum_v2 += v * v
+            if delay > max_delay:
+                max_delay = delay
+        mu = sum_v / n
+        zero_risk = sum_v2 / n - mu * mu <= 0.0  # sigma == 0.0
+        if sigma_mode:
+            return zero_risk
+        return zero_risk and max_delay == 0.0
+
+    def _reject_unsuitable(
+        self,
+        job: Job,
+        zero_risk: list[TimeSharedNode],
+        online: int,
+        sigma_mode: bool,
+    ) -> None:
+        unsuitable = online - len(zero_risk)
+        criterion = "σ_j > 0" if sigma_mode else "predicted delay"
+        self._reject(
+            job,
+            f"only {len(zero_risk)} of {job.numproc} required nodes are "
+            f"zero-risk ({criterion} on {unsuitable}/{online} online nodes)",
+            suitable=len(zero_risk),
+            required=job.numproc,
+            online=online,
+            suitability=self.suitability,
+        )
+
     def _order(self, nodes: list[TimeSharedNode], now: float) -> list[TimeSharedNode]:
         if self.node_order == "index":
             return sorted(nodes, key=lambda n: n.node_id)
         loads = {n.node_id: n.total_admission_share(now) for n in nodes}
+        reverse = self.node_order == "best_fit"
+        return sorted(
+            nodes,
+            key=lambda n: (-loads[n.node_id] if reverse else loads[n.node_id], n.node_id),
+        )
+
+    def _order_with_loads(
+        self,
+        nodes: list[TimeSharedNode],
+        loads: dict[int, float],
+        now: float,
+    ) -> list[TimeSharedNode]:
+        """:meth:`_order`, reusing the Eq. 2 sums the scan already built.
+
+        Only nodes that went through the projection are missing from
+        ``loads``; they get the on-demand ``total_admission_share`` walk
+        the old code paid for *every* zero-risk node.
+        """
+        if self.node_order == "index":
+            return sorted(nodes, key=lambda n: n.node_id)
+        reused = 0
+        for n in nodes:
+            if n.node_id not in loads:
+                loads[n.node_id] = n.total_admission_share(now)
+            else:
+                reused += 1
+        stats = self.cache_stats
+        stats["order_loads_reused"] = stats.get("order_loads_reused", 0) + reused
+        stats["order_loads_computed"] = (
+            stats.get("order_loads_computed", 0) + len(nodes) - reused
+        )
         reverse = self.node_order == "best_fit"
         return sorted(
             nodes,

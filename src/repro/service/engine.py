@@ -331,7 +331,12 @@ class AdmissionEngine:
             "queued": len(getattr(self.policy, "queue", ())),
             "events_fired": self.sim.events_fired,
             "pending_events": self.sim.pending,
+            "events_tombstoned": self.sim.tombstones_dropped,
         }
+        if self.policy.cache_stats:
+            # Admission fast-path effectiveness (see docs/PERFORMANCE.md);
+            # monotone counters, safe to diff between polls.
+            out["cache"] = dict(sorted(self.policy.cache_stats.items()))
         ratio = rms.acceptance_ratio
         if ratio is not None:
             out["acceptance_ratio"] = ratio

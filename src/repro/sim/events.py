@@ -76,7 +76,13 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        # Called O(log n) times per heap operation — compare fields
+        # directly instead of allocating two key tuples per call.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     # -- cancellation -----------------------------------------------------
     def cancel(self) -> None:

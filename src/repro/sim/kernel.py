@@ -75,6 +75,7 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = 0
         self._events_fired = 0
+        self._tombstones_dropped = 0
         self._running = False
         self._stopped = False
         self.trace = trace
@@ -96,6 +97,18 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def tombstones_dropped(self) -> int:
+        """Cancelled events discarded lazily instead of re-heapified.
+
+        ``cancel()`` is O(1): it only flags the event, and the heap drops
+        the tombstone when it surfaces (or in :meth:`drain_cancelled`).
+        This counter sizes how much churn that laziness absorbed —
+        LibraRisk's per-completion reschedules cancel one timer per
+        resident task, so it grows with cluster occupancy.
+        """
+        return self._tombstones_dropped
 
     # -- scheduling -------------------------------------------------------
     def schedule(
@@ -239,6 +252,7 @@ class Simulator:
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._tombstones_dropped += 1
 
     def drain_cancelled(self) -> int:
         """Remove every cancelled event from the heap; return the count.
@@ -251,6 +265,7 @@ class Simulator:
         if removed:
             heapq.heapify(live)
             self._heap = live
+            self._tombstones_dropped += removed
         return removed
 
     def iter_pending(self) -> Iterable[Event]:

@@ -1,0 +1,130 @@
+"""Unit tests for the tracked benchmark plumbing (``repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    bench_engine,
+    bench_label,
+    bench_scenario,
+    check_regression,
+    compare,
+    load_bench_file,
+    run_bench,
+    update_bench_file,
+    _percentile,
+)
+from repro.experiments.config import ScenarioConfig
+
+
+class TestPercentile:
+    def test_empty_sample(self):
+        assert _percentile([], 99.0) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 50.0) == 2.0
+        assert _percentile(values, 75.0) == 3.0
+        assert _percentile(values, 99.0) == 4.0
+
+    def test_single_value(self):
+        assert _percentile([7.0], 1.0) == 7.0
+        assert _percentile([7.0], 100.0) == 7.0
+
+
+class TestBenchLabel:
+    def test_paper_scale(self):
+        assert bench_label(3000, 128) == "paper"
+
+    def test_derived_label(self):
+        assert bench_label(400, 64) == "jobs400x64"
+
+
+class TestBenchFile:
+    def test_load_missing_returns_skeleton(self, tmp_path):
+        doc = load_bench_file(str(tmp_path / "nope.json"))
+        assert doc == {"schema": 1, "benchmarks": {}}
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_bench_file(str(path))
+
+    def test_update_round_trip_preserves_baseline(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        baseline = {"policies": {"libra": {"engine": {"jobs_per_sec": 100.0}}}}
+        current = {"policies": {"libra": {"engine": {"jobs_per_sec": 250.0}}}}
+        update_bench_file(path, "smoke", baseline, record_baseline=True)
+        doc = update_bench_file(path, "smoke", current)
+        assert doc["benchmarks"]["smoke"]["baseline"] == baseline
+        assert doc["benchmarks"]["smoke"]["current"] == current
+        # File is valid JSON and survives reload.
+        on_disk = load_bench_file(path)
+        assert on_disk == doc
+        with open(path, encoding="utf-8") as fp:
+            assert json.load(fp)["schema"] == 1
+
+
+def _section(jobs_per_sec: float) -> dict:
+    return {
+        "policies": {
+            "librarisk": {
+                "engine": {"jobs_per_sec": jobs_per_sec},
+                "scenario": {"jobs_per_sec": jobs_per_sec * 2},
+            }
+        }
+    }
+
+
+class TestCompareAndRegression:
+    def test_compare_ratios(self):
+        rows = compare(_section(100.0), _section(250.0))
+        assert ("librarisk", "engine.jobs_per_sec", 100.0, 250.0, 2.5) in rows
+        assert ("librarisk", "scenario.jobs_per_sec", 200.0, 500.0, 2.5) in rows
+
+    def test_compare_skips_unknown_policy(self):
+        rows = compare({"policies": {}}, _section(250.0))
+        assert rows == []
+
+    def test_regression_pass_within_threshold(self):
+        doc = {"benchmarks": {"smoke": {"current": _section(100.0)}}}
+        assert check_regression(doc, "smoke", _section(60.0)) == []
+
+    def test_regression_fails_beyond_threshold(self):
+        doc = {"benchmarks": {"smoke": {"current": _section(100.0)}}}
+        failures = check_regression(doc, "smoke", _section(40.0))
+        assert len(failures) == 1
+        assert "librarisk" in failures[0]
+
+    def test_regression_missing_label(self):
+        failures = check_regression({"benchmarks": {}}, "smoke", _section(40.0))
+        assert failures == ["no committed 'current' entry for label 'smoke'"]
+
+    def test_regression_missing_policy_in_fresh(self):
+        doc = {"benchmarks": {"smoke": {"current": _section(100.0)}}}
+        failures = check_regression(doc, "smoke", {"policies": {}})
+        assert failures == ["librarisk: missing from fresh run"]
+
+
+class TestBenchRunners:
+    def test_bench_scenario_shape(self):
+        config = ScenarioConfig(num_jobs=30, num_nodes=8, seed=1, policy="libra")
+        record = bench_scenario(config)
+        assert record["events"] > 0
+        assert record["jobs_per_sec"] > 0
+
+    def test_bench_engine_shape(self):
+        config = ScenarioConfig(num_jobs=30, num_nodes=8, seed=1, policy="librarisk")
+        record = bench_engine(config)
+        assert record["jobs_per_sec"] > 0
+        lat = record["latency_us"]
+        assert lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+
+    def test_run_bench_covers_policies(self):
+        section = run_bench(jobs=20, nodes=8, seed=1, policies=("edf", "libra"))
+        assert set(section["policies"]) == {"edf", "libra"}
+        assert section["scale"] == {"jobs": 20, "nodes": 8, "seed": 1}

@@ -1,0 +1,86 @@
+"""Property-style exactness check: fast path == reference, byte for byte.
+
+The admission fast path (``repro.scheduling.libra`` / ``librarisk``)
+claims to be *exact memoization*: not statistically close, but
+bit-identical on every decision, metric and exported record.  These
+tests hold it to that claim over randomized workloads — random scale,
+seed, estimate mode and policy knobs — by running each scenario twice,
+once cached and once with ``REPRO_DISABLE_ADMISSION_CACHE=1`` (which
+routes through the pre-optimization reference scan), and comparing the
+complete JSON-lines metrics export byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import build_scenario_jobs, run_scenario
+from repro.obs.session import RunSink
+
+POLICIES = ("edf", "libra", "librarisk")
+
+#: Deterministic sampling of scenario space (fixed seed: the *workloads*
+#: inside each scenario are random, the test matrix is reproducible).
+_RNG = random.Random(20260806)
+
+
+def _random_configs(policy: str, count: int) -> list[ScenarioConfig]:
+    configs = []
+    for _ in range(count):
+        kwargs = {}
+        if policy == "librarisk":
+            kwargs["suitability"] = _RNG.choice(["sigma", "no-delay"])
+            kwargs["node_order"] = _RNG.choice(["best_fit", "worst_fit", "index"])
+        configs.append(
+            ScenarioConfig(
+                num_jobs=200,
+                num_nodes=_RNG.choice([16, 32, 48]),
+                seed=_RNG.randrange(1, 10_000),
+                policy=policy,
+                policy_kwargs=kwargs,
+                estimate_mode=_RNG.choice(["accurate", "trace", "inaccuracy"]),
+                arrival_delay_factor=_RNG.choice([0.5, 1.0]),
+            )
+        )
+    return configs
+
+
+def _export_bytes(config: ScenarioConfig, tmp_path, tag: str) -> bytes:
+    path = tmp_path / f"{tag}.jsonl"
+    with RunSink(path=str(path)):
+        run_scenario(config, jobs=build_scenario_jobs(config))
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_randomized_workloads_export_identically(policy, tmp_path, monkeypatch):
+    for i, config in enumerate(_random_configs(policy, count=3)):
+        monkeypatch.delenv("REPRO_DISABLE_ADMISSION_CACHE", raising=False)
+        fast = _export_bytes(config, tmp_path, f"{policy}-{i}-fast")
+        monkeypatch.setenv("REPRO_DISABLE_ADMISSION_CACHE", "1")
+        reference = _export_bytes(config, tmp_path, f"{policy}-{i}-ref")
+        assert fast == reference, (
+            f"{policy} export diverged for {config.label()} "
+            f"(seed={config.seed}, kwargs={config.policy_kwargs})"
+        )
+        assert len(fast) > 0
+
+
+def test_libra_non_default_share_mode_uses_reference_path(monkeypatch):
+    # "floor"/"infinite" expired-share modes are research knobs the
+    # inlined scan does not replicate; the policy must route them to the
+    # reference implementation even with the cache enabled.
+    monkeypatch.delenv("REPRO_DISABLE_ADMISSION_CACHE", raising=False)
+    for mode in ("floor", "infinite"):
+        config = ScenarioConfig(
+            num_jobs=120, num_nodes=16, seed=21, policy="libra",
+            policy_kwargs={"expired_job_share_mode": mode},
+        )
+        cached = run_scenario(config, jobs=build_scenario_jobs(config))
+        monkeypatch.setenv("REPRO_DISABLE_ADMISSION_CACHE", "1")
+        reference = run_scenario(config, jobs=build_scenario_jobs(config))
+        monkeypatch.delenv("REPRO_DISABLE_ADMISSION_CACHE")
+        assert cached.metrics == reference.metrics
