@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` runs the determinism/concurrency linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

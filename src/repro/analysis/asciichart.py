@@ -9,7 +9,7 @@ dependencies, deterministic layout — so charts are testable.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 #: Marker characters assigned to series in insertion order.
 MARKERS = "*o+x#@%&"
@@ -93,7 +93,7 @@ def ascii_chart(
     return "\n".join(lines)
 
 
-def panel_chart(panel, width: int = 64, height: int = 14) -> str:
+def panel_chart(panel: Any, width: int = 64, height: int = 14) -> str:
     """Chart a figure :class:`~repro.experiments.figures.Panel`."""
     head = f"({panel.label}) {panel.title}"
     body = ascii_chart(

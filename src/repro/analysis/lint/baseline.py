@@ -1,0 +1,83 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a JSON document recording the *content identity* of known
+findings — ``(path, rule, message)``, deliberately without line numbers
+so unrelated edits above a grandfathered finding do not break the
+match.  Matching is multiset-based: two identical findings in a file
+need two baseline entries, and fixing one of them retires one entry.
+
+The intended workflow is a ratchet: write a baseline once when adopting
+a rule on legacy code, then only ever shrink it.  ``repro lint``
+reports baselined findings as suppressed and exits nonzero only for
+findings absent from the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.lint.findings import Finding
+
+#: Current baseline schema version.
+BASELINE_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Counter[BaselineKey]:
+    """Read a baseline file into a multiset of finding keys."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    keys: Counter[BaselineKey] = Counter()
+    for entry in data.get("findings", []):
+        keys[(entry["path"], entry["rule"], entry["message"])] += 1
+    return keys
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as a fresh baseline (sorted, stable output)."""
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Counter[BaselineKey]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, grandfathered) against ``baseline``.
+
+    Each baseline entry absorbs at most one matching finding; any
+    surplus findings with the same key are new.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineKey",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]

@@ -1,0 +1,48 @@
+"""Finding records emitted by the ``repro lint`` rule engine.
+
+A :class:`Finding` pins one rule violation to a file and line.  Its
+identity for baseline purposes is ``(path, rule, message)`` — line
+numbers drift with every unrelated edit, so the baseline matches on
+content, not position (see :mod:`repro.analysis.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    #: Path as reported (relative to the lint invocation's root).
+    path: str
+    #: 1-based source line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Rule id, e.g. ``"DET001"``.
+    rule: str
+    #: Human-readable description of the violation.
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.path, self.rule, self.message)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The classic ``path:line:col: RULE message`` compiler form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+__all__ = ["Finding"]

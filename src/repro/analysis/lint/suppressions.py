@@ -1,0 +1,130 @@
+"""``# repro-lint:`` pragma comments: suppressions and scope markers.
+
+The linter reads control comments out of the token stream (so they
+work anywhere Python allows a comment) with this grammar::
+
+    # repro-lint: disable=DET003            suppress rule(s) on this line
+    # repro-lint: disable=DET003,CONC001    several rules at once
+    # repro-lint: disable=all               everything on this line
+    # repro-lint: disable-file=DET003       suppress rule(s) in the whole file
+    # repro-lint: module=repro.sim.fake     lint this file *as if* it were
+                                            that module (test fixtures)
+    # repro-lint: locked                    on a ``def`` line: the caller
+                                            must hold the engine lock, so
+                                            CONC001 treats the body as a
+                                            lock-held scope
+    # repro-lint: safe=CONC001              on a ``def`` line: the function
+                                            is designated safe for the
+                                            listed rule(s) (e.g. it runs
+                                            before the object is shared
+                                            between threads)
+
+Every suppression should carry a short justification after the pragma
+(``# repro-lint: disable=DET003  exact tie-break, not a tolerance``);
+the parser ignores trailing prose, humans should not.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Optional
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+
+#: Directives whose value is a rule list.
+_RULE_LIST_DIRECTIVES = ("disable", "disable-file", "safe")
+
+
+@dataclass
+class ScopeMarker:
+    """A ``def``-line marker granting the function body an exemption."""
+
+    #: True for ``locked`` — the enclosing function documents that its
+    #: caller holds the relevant lock.
+    locked: bool = False
+    #: Rules the function is designated safe for (``safe=...``).
+    safe: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Suppressions:
+    """Everything the pragma comments of one file say."""
+
+    #: line -> rule ids disabled on that line ("all" disables everything).
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    #: Rules disabled for the entire file ("all" disables everything).
+    file_disables: set[str] = field(default_factory=set)
+    #: ``module=`` override, or ``None`` to derive the module from the path.
+    module_override: Optional[str] = None
+    #: line -> scope marker (looked up by the ``def`` statement's line).
+    scope_markers: dict[int, ScopeMarker] = field(default_factory=dict)
+
+    def is_line_suppressed(self, line: int, rule: str) -> bool:
+        rules = self.line_disables.get(line)
+        return rules is not None and (rule in rules or "all" in rules)
+
+    def is_file_suppressed(self, rule: str) -> bool:
+        return rule in self.file_disables or "all" in self.file_disables
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return self.is_file_suppressed(rule) or self.is_line_suppressed(line, rule)
+
+    def marker_at(self, line: int) -> Optional[ScopeMarker]:
+        return self.scope_markers.get(line)
+
+
+def _parse_rules(value: str) -> set[str]:
+    return {part.strip() for part in value.split(",") if part.strip()}
+
+
+def _marker_for(sup: Suppressions, line: int) -> ScopeMarker:
+    marker = sup.scope_markers.get(line)
+    if marker is None:
+        marker = ScopeMarker()
+        sup.scope_markers[line] = marker
+    return marker
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``# repro-lint:`` pragma from ``source``.
+
+    Unreadable sources (tokenize errors) yield an empty
+    :class:`Suppressions` — the parse error will surface as a lint
+    engine error anyway, and pragmas in a broken file are moot.
+    """
+    sup = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return sup
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        body = match.group("body").strip()
+        # The directive is the first whitespace-delimited word; trailing
+        # prose is the human justification and is ignored.
+        directive = body.split()[0] if body.split() else ""
+        if directive == "locked":
+            _marker_for(sup, line).locked = True
+            continue
+        key, _, value = directive.partition("=")
+        if key == "module" and value:
+            sup.module_override = value
+        elif key == "disable" and value:
+            sup.line_disables.setdefault(line, set()).update(_parse_rules(value))
+        elif key == "disable-file" and value:
+            sup.file_disables.update(_parse_rules(value))
+        elif key == "safe" and value:
+            _marker_for(sup, line).safe.update(_parse_rules(value))
+        # Unknown directives are ignored (forward compatibility).
+    return sup
+
+
+__all__ = ["ScopeMarker", "Suppressions", "parse_suppressions"]

@@ -153,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce Yeo & Buyya (ICPP 2006): EDF vs Libra vs LibraRisk",
+        epilog=(
+            "Static analysis: `repro lint src/` runs the determinism & "
+            "concurrency linter (rules DET001-003, CONC001-002, API001); "
+            "see docs/STATIC_ANALYSIS.md for the catalog."
+        ),
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {_package_version()}",
@@ -369,6 +374,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "retrying client with exponential backoff)")
 
     sub.add_parser("policies", help="list available admission controls")
+
+    from repro.analysis.lint import cli as lint_cli
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism & concurrency static analysis (AST rules)",
+        description=lint_cli.DESCRIPTION,
+        epilog=lint_cli.EPILOG,
+    )
+    lint_cli.add_arguments(p)
     return parser
 
 
@@ -668,6 +683,11 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         for name in available_policies():
             print(name)
         return 0
+
+    if args.command == "lint":
+        from repro.analysis.lint import cli as lint_cli
+
+        return lint_cli.run(args, parser)
 
     if args.command == "inspect":
         from repro.obs.inspect import inspect_log

@@ -23,7 +23,7 @@ fast approximation for tests/CI; the defaults reproduce the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.experiments.config import ScenarioConfig

@@ -14,7 +14,7 @@ SP2 file.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.analysis.compare import crossover_points, dominance_fraction, trend
 from repro.experiments.figures import FigureResult

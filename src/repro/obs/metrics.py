@@ -24,7 +24,8 @@ Quickstart
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+import threading
+from typing import Iterator, Optional, Sequence, Union
 
 Number = Union[int, float]
 
@@ -43,7 +44,14 @@ def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
 
 
 class Metric:
-    """Base class for one labelled time series."""
+    """Base class for one labelled time series.
+
+    Value updates and snapshots are guarded by a per-metric reentrant
+    lock: the registry is shared across the service's HTTP handler
+    threads, where unsynchronized ``+=`` loses increments and a
+    ``/metrics`` render can observe a half-applied histogram update.
+    Single-threaded simulation runs pay only an uncontended acquire.
+    """
 
     kind = "untyped"
 
@@ -51,6 +59,7 @@ class Metric:
         self.name = name
         self.help = help
         self.labels = dict(sorted((str(k), str(v)) for k, v in labels.items()))
+        self._lock = threading.RLock()
 
     def label_suffix(self) -> str:
         """Prometheus-style ``{k="v",...}`` rendering (empty when unlabelled)."""
@@ -75,13 +84,15 @@ class Counter(Metric):
     def inc(self, amount: Number = 1) -> None:
         if amount < 0:
             raise MetricError(f"counter {self.name} cannot decrease (inc {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self) -> dict:
-        return {
-            "name": self.name, "kind": self.kind, "labels": self.labels,
-            "value": self.value,
-        }
+        with self._lock:
+            return {
+                "name": self.name, "kind": self.kind, "labels": self.labels,
+                "value": self.value,
+            }
 
 
 class Gauge(Metric):
@@ -94,24 +105,29 @@ class Gauge(Metric):
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: Number = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def max(self, value: Number) -> None:
         """Keep the running maximum of observed values."""
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
     def as_dict(self) -> dict:
-        return {
-            "name": self.name, "kind": self.kind, "labels": self.labels,
-            "value": self.value,
-        }
+        with self._lock:
+            return {
+                "name": self.name, "kind": self.kind, "labels": self.labels,
+                "value": self.value,
+            }
 
 
 class Histogram(Metric):
@@ -143,37 +159,41 @@ class Histogram(Metric):
 
     def observe(self, value: Number) -> None:
         value = float(value)
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self._counts[i] += 1
-                return
-        self._counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
 
     def bucket_counts(self) -> list[tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, ending at +Inf."""
-        out: list[tuple[float, int]] = []
-        running = 0
-        for bound, count in zip(self.bounds, self._counts):
-            running += count
-            out.append((bound, running))
-        out.append((float("inf"), self.count))
-        return out
+        with self._lock:
+            out: list[tuple[float, int]] = []
+            running = 0
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                out.append((bound, running))
+            out.append((float("inf"), self.count))
+            return out
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "name": self.name, "kind": self.kind, "labels": self.labels,
-            "sum": self.sum, "count": self.count,
-            "buckets": [
-                [("+Inf" if b == float("inf") else b), c]
-                for b, c in self.bucket_counts()
-            ],
-        }
+        with self._lock:
+            return {
+                "name": self.name, "kind": self.kind, "labels": self.labels,
+                "sum": self.sum, "count": self.count,
+                "buckets": [
+                    [("+Inf" if b == float("inf") else b), c]
+                    for b, c in self.bucket_counts()
+                ],
+            }
 
 
 class MetricsRegistry:
@@ -182,10 +202,18 @@ class MetricsRegistry:
     The same ``(name, labels)`` pair always returns the same metric
     object; asking for it with a different *kind* raises
     :class:`MetricError` so name collisions are caught early.
+
+    Structural operations (get-or-create, lookup, iteration, collect)
+    are serialized by a registry-level lock: service handler threads
+    lazily create labelled metrics while ``GET /metrics`` iterates, and
+    an unguarded dict would race (lost registrations, ``dict changed
+    size during iteration``).  Iteration yields a point-in-time
+    snapshot for the same reason.
     """
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
+        self._lock = threading.Lock()
 
     # -- get-or-create ------------------------------------------------------
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
@@ -202,44 +230,49 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         key = (name, _label_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, Histogram):
-                raise MetricError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            if tuple(float(b) for b in buckets) != existing.bounds:
-                raise MetricError(
-                    f"histogram {name!r} re-registered with different buckets"
-                )
-            return existing
-        metric = Histogram(name, help, labels, buckets=buckets)
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise MetricError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if tuple(float(b) for b in buckets) != existing.bounds:
+                    raise MetricError(
+                        f"histogram {name!r} re-registered with different buckets"
+                    )
+                return existing
+            metric = Histogram(name, help, labels, buckets=buckets)
+            self._metrics[key] = metric
+            return metric
 
     def _get_or_create(self, cls, name: str, help: str, labels: dict[str, str]):
         key = (name, _label_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise MetricError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            return existing
-        metric = cls(name, help, labels)
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help, labels)
+            self._metrics[key] = metric
+            return metric
 
     # -- inspection ---------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
-    def __iter__(self) -> Iterable[Metric]:
-        return iter(self._metrics.values())
+    def __iter__(self) -> Iterator[Metric]:
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def get(self, name: str, **labels: str) -> Optional[Metric]:
         """Look up an existing metric without creating it."""
-        return self._metrics.get((name, _label_key(labels)))
+        with self._lock:
+            return self._metrics.get((name, _label_key(labels)))
 
     def collect(self) -> list[dict]:
         """Every metric as a plain dict, **sorted** by (name, labels).
@@ -248,10 +281,9 @@ class MetricsRegistry:
         independent of code paths that merely changed registration
         order, which keeps the byte-identity guarantee robust.
         """
-        return [
-            m.as_dict()
-            for _, m in sorted(self._metrics.items(), key=lambda kv: kv[0])
-        ]
+        with self._lock:
+            snapshot = sorted(self._metrics.items(), key=lambda kv: kv[0])
+        return [m.as_dict() for _, m in snapshot]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MetricsRegistry metrics={len(self._metrics)}>"

@@ -13,6 +13,7 @@ Useful for debugging why a policy accepted or rejected a job, for the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
@@ -70,7 +71,7 @@ def render_profile(snapshots: list[NodeSnapshot]) -> str:
     """ASCII table of a cluster risk profile."""
     rows = []
     for s in snapshots:
-        sigma = "inf" if s.risk.sigma == float("inf") else f"{s.risk.sigma:.4f}"
+        sigma = "inf" if math.isinf(s.risk.sigma) else f"{s.risk.sigma:.4f}"
         rows.append([
             s.node_id, s.num_tasks, f"{s.total_share:.3f}", s.overruns, s.expired,
             sigma, "yes" if s.risk.zero_risk else "no",

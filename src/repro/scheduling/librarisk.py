@@ -31,12 +31,15 @@ Algorithm 1 in pseudo-code form::
 
 from __future__ import annotations
 
+import math
+
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job
 from repro.cluster.node import TimeSharedNode
 from repro.cluster.share import SHARE_EPSILON, WORK_EPSILON
 from repro.scheduling.base import SchedulingPolicy
 from repro.scheduling.risk import RiskAssessment, assess_delays
+from repro.sim.numerics import exact_zero
 
 _NODE_ORDERS = ("worst_fit", "best_fit", "index")
 _SUITABILITIES = ("sigma", "no-delay")
@@ -297,10 +300,10 @@ class LibraRiskPolicy(SchedulingPolicy):
         max_delay = 0.0
         for (j, delay), deadline in zip(predicted, deadlines):
             rem = deadline - now
-            if rem <= 0.0 or delay == _INF:
+            if rem <= 0.0 or math.isinf(delay):
                 return False  # Eq. 4 value infinite -> sigma infinite
             v = (delay + rem) / rem
-            if v == _INF:
+            if math.isinf(v):
                 return False
             n += 1
             sum_v += v
@@ -311,7 +314,7 @@ class LibraRiskPolicy(SchedulingPolicy):
         zero_risk = sum_v2 / n - mu * mu <= 0.0  # sigma == 0.0
         if sigma_mode:
             return zero_risk
-        return zero_risk and max_delay == 0.0
+        return zero_risk and exact_zero(max_delay)
 
     def _reject_unsuitable(
         self,

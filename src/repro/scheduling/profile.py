@@ -21,8 +21,7 @@ reality diverges (this is what conservative backfilling's
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, Optional
+from typing import Optional
 
 
 class CapacityProfile:

@@ -52,6 +52,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.sim.numerics import exact_zero
+
 
 def deadline_delay(delay: float, remaining_deadline: float) -> float:
     """Eq. 4 impact of a (predicted) delay on a job's remaining deadline.
@@ -90,12 +92,12 @@ class RiskAssessment:
     @property
     def zero_risk(self) -> bool:
         """Literal Algorithm 1 suitability: σ_j = 0 (and finite)."""
-        return self.sigma == 0.0
+        return exact_zero(self.sigma)
 
     @property
     def strictly_safe(self) -> bool:
         """Stricter ablation: additionally no predicted delay at all."""
-        return self.max_delay == 0.0 and self.sigma == 0.0
+        return exact_zero(self.max_delay) and exact_zero(self.sigma)
 
 
 def assess_delays(pairs: Sequence[tuple[float, float]]) -> RiskAssessment:

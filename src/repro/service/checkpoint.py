@@ -154,7 +154,7 @@ def _job_state(job: Job) -> dict[str, Any]:
 
 # -- restore ------------------------------------------------------------------
 
-def restore(
+def restore(  # repro-lint: safe=CONC001  builds a private engine; not shared until returned
     snap: dict[str, Any],
     clock: Optional[Any] = None,
     obs: Optional[Any] = None,

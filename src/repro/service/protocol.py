@@ -23,6 +23,7 @@ server fails loudly instead of being silently dropped.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
@@ -177,7 +178,7 @@ def _number(obj: Mapping[str, Any], key: str, what: str, *, required: bool = Tru
             f"{what}.{key} must be a number, got {type(value).__name__}",
         )
     value = float(value)
-    if value != value or value in (float("inf"), float("-inf")):
+    if not math.isfinite(value):
         raise ProtocolError(ErrorCode.INVALID_FIELD, f"{what}.{key} must be finite")
     if minimum is not None:
         if exclusive and value <= minimum:

@@ -237,7 +237,7 @@ class AdmissionService:
         self._crash("wal.after_append")
         return lsn
 
-    def _apply_logged(self, lsn: Optional[int], apply: Any) -> Any:
+    def _apply_logged(self, lsn: Optional[int], apply: Any) -> Any:  # repro-lint: locked  only called from _execute under _engine_lock
         """Apply a WAL-logged mutation, recording the LSN even on failure.
 
         A failed application (duplicate id, out-of-order submit) fails

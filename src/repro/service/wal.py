@@ -307,7 +307,7 @@ class WriteAheadLog:
 
     # -- lifecycle ----------------------------------------------------------
     @classmethod
-    def open(
+    def open(  # repro-lint: safe=CONC001  constructs the WAL before it is published
         cls,
         path: str,
         config: Optional[dict[str, Any]] = None,
@@ -539,7 +539,7 @@ def apply_record(engine: AdmissionEngine, record: WalRecord) -> Optional[str]:
     )
 
 
-def recover(
+def recover(  # repro-lint: safe=CONC001  replays into a private engine before any thread sees it
     wal_path: str,
     checkpoint_path: Optional[str] = None,
     clock: Optional[Any] = None,

@@ -78,7 +78,9 @@ class Event:
     def __lt__(self, other: "Event") -> bool:
         # Called O(log n) times per heap operation — compare fields
         # directly instead of allocating two key tuples per call.
-        if self.time != other.time:
+        # The inequality is a deliberate exact tie-break (same-instant
+        # events fall through to priority/seq), not a tolerance.
+        if self.time != other.time:  # repro-lint: disable=DET003  exact tie-break
             return self.time < other.time
         if self.priority != other.priority:
             return self.priority < other.priority

@@ -21,6 +21,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Iterable, Optional
 
 from repro.sim.events import Event, EventPriority
@@ -138,7 +139,7 @@ class Simulator:
             If ``time`` lies in the past or is not finite.
         """
         time = float(time)
-        if time != time or time in (float("inf"), float("-inf")):
+        if not math.isfinite(time):
             raise SimulationError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise SimulationError(
@@ -240,7 +241,7 @@ class Simulator:
                 f"cannot restore clock state with {len(self._heap)} events pending"
             )
         now = float(now)
-        if now != now or now in (float("inf"), float("-inf")):
+        if not math.isfinite(now):
             raise SimulationError(f"restored clock must be finite, got {now!r}")
         if seq < 0 or events_fired < 0:
             raise SimulationError("restored seq/events_fired must be >= 0")

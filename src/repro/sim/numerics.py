@@ -1,0 +1,52 @@
+# repro-lint: disable-file=DET003  this module is where exact float comparison lives
+"""Float comparison helpers for deterministic scheduling code.
+
+``repro lint`` (rule DET003) bans bare ``==``/``!=`` between float
+expressions in ``repro.sim``/``repro.scheduling``: a bare comparison
+does not say whether exactness is *required* or merely *assumed*.
+These helpers make the intent explicit:
+
+* :func:`exact_eq` / :func:`exact_zero` — deliberate bitwise equality.
+  The paper's zero-risk criterion (Yeo & Buyya 2006, σ = 0) is a
+  *literal* zero test on an exactly-propagated statistic, not a
+  tolerance, so it must stay bitwise; these helpers name that choice.
+* :func:`approx_eq` — tolerance-based equality for genuinely inexact
+  quantities (accumulated sums, products of rates).
+
+Sentinel checks against ±inf/NaN should use :func:`math.isinf` /
+:func:`math.isfinite` directly.
+
+Everything here is branch-for-branch equivalent to the bare comparison
+it replaces — adopting a helper never changes a scheduling decision or
+an exported byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def exact_eq(a: float, b: float) -> bool:
+    """Bitwise-intent float equality (IEEE ``==``, so NaN != NaN).
+
+    Use only where the algorithm genuinely requires exactness — e.g.
+    comparing values that were assigned, never recomputed.
+    """
+    return a == b
+
+
+def exact_zero(x: float) -> bool:
+    """True when ``x`` is exactly ``0.0`` (or ``-0.0``).
+
+    The paper's zero-risk admission criterion is the literal σ = 0 —
+    a tolerance here would admit jobs the analysis calls risky.
+    """
+    return x == 0.0
+
+
+def approx_eq(a: float, b: float, rel_tol: float = 1e-9, abs_tol: float = 0.0) -> bool:
+    """Tolerance-based equality for accumulated/inexact quantities."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+__all__ = ["approx_eq", "exact_eq", "exact_zero"]

@@ -1,6 +1,5 @@
 """Tests for distribution summaries."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.distribution import (

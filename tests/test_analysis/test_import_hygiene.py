@@ -1,0 +1,48 @@
+"""Fast import-hygiene guard, independent of the `repro lint` engine.
+
+`repro.sim` and `repro.scheduling` must never import the `time` or
+`random` modules: wall clocks and the global random stream are exactly
+the ambient state that breaks replay==batch parity. This walks the
+module ASTs directly so the guard holds even if the linter's scoping
+rules are ever loosened.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+FORBIDDEN = {"time", "random"}
+
+#: The sanctioned entropy source is allowed to construct numpy
+#: generators; even it has no business with the stdlib modules above.
+PACKAGES = ("repro/sim", "repro/scheduling")
+
+
+def _module_files():
+    for pkg in PACKAGES:
+        yield from sorted((SRC / pkg).rglob("*.py"))
+
+
+@pytest.mark.parametrize("path", _module_files(), ids=lambda p: str(p.relative_to(SRC)))
+def test_no_wall_clock_or_global_random_imports(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            offenders.extend(
+                alias.name for alias in node.names
+                if alias.name.split(".")[0] in FORBIDDEN
+            )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and (node.module or "").split(".")[0] in FORBIDDEN:
+                offenders.append(node.module)
+    assert not offenders, (
+        f"{path} imports {offenders}: deterministic code must take the "
+        f"simulated clock as an argument and draw randomness from "
+        f"repro.sim.rng streams"
+    )

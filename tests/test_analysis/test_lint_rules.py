@@ -1,0 +1,340 @@
+"""Positive and negative fixtures for every `repro lint` rule.
+
+Each fixture is a small source file written to tmp_path carrying a
+``# repro-lint: module=...`` pragma so the engine scopes it like real
+package code. Every rule gets at least one fixture that must fire and
+one that must stay silent.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint.engine import lint_file
+
+
+def _lint(tmp_path: Path, module: str, body: str, name: str = "fixture.py"):
+    source = f"# repro-lint: module={module}\n" + textwrap.dedent(body)
+    path = tmp_path / name
+    path.write_text(source)
+    findings, error = lint_file(str(path))
+    assert error is None, error
+    return findings
+
+
+def _rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- DET001 -------------------------------------------------------------------
+
+def test_det001_flags_time_time(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        import time
+
+        def now():
+            return time.time()
+    """)
+    assert _rules(findings) == ["DET001"]
+    assert len(findings) == 2  # the import and the call
+
+
+def test_det001_flags_datetime_now_and_bare_random(tmp_path):
+    findings = _lint(tmp_path, "repro.scheduling.fake", """
+        import datetime
+        import random
+
+        def stamp():
+            return datetime.datetime.now(), random.random()
+    """)
+    rules = [f.rule for f in findings]
+    assert set(rules) == {"DET001"}
+    messages = " ".join(f.message for f in findings)
+    assert "datetime.datetime.now" in messages
+    assert "random.random" in messages
+
+
+def test_det001_flags_os_urandom_and_np_random(tmp_path):
+    findings = _lint(tmp_path, "repro.metrics.fake", """
+        import os
+        import numpy as np
+
+        def entropy():
+            return os.urandom(8), np.random.default_rng()
+    """)
+    messages = " ".join(f.message for f in findings)
+    assert "os.urandom" in messages
+    assert "np.random.default_rng" in messages
+
+
+def test_det001_silent_outside_deterministic_packages(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        import time
+
+        def now():
+            return time.time()
+    """)
+    assert "DET001" not in _rules(findings)
+
+
+def test_det001_whitelists_the_rng_module(tmp_path):
+    # repro.sim.rng is the sanctioned entropy source.
+    findings = _lint(tmp_path, "repro.sim.rng", """
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(seed)
+    """)
+    assert "DET001" not in _rules(findings)
+
+
+def test_det001_allows_injected_clock_idiom(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def advance(sim, dt: float) -> float:
+            return sim.now + dt
+    """)
+    assert findings == []
+
+
+# -- DET002 -------------------------------------------------------------------
+
+def test_det002_flags_set_iteration(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(pending: set) -> list:
+            out = []
+            for job in pending:  # ordered input, fine
+                out.append(job)
+            for job in set(out):
+                out.append(job)
+            return out
+    """)
+    assert _rules(findings) == ["DET002"]
+    assert len(findings) == 1  # only the set(...) loop
+
+
+def test_det002_flags_dict_keys_and_set_literal_comprehension(tmp_path):
+    findings = _lint(tmp_path, "repro.scheduling.fake", """
+        def emit(d: dict) -> list:
+            a = [k for k in d.keys()]
+            b = [x for x in {1, 2, 3}]
+            return a + b
+    """)
+    assert [f.rule for f in findings] == ["DET002", "DET002"]
+
+
+def test_det002_flags_set_algebra(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(a: set, b: set) -> list:
+            return [x for x in set(a) | set(b)]
+    """)
+    assert _rules(findings) == ["DET002"]
+
+
+def test_det002_sorted_wrapping_is_clean(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(pending: set, d: dict) -> list:
+            out = [x for x in sorted(pending)]
+            for k in sorted(d.keys()):
+                out.append(k)
+            return out
+    """)
+    assert findings == []
+
+
+# -- DET003 -------------------------------------------------------------------
+
+def test_det003_flags_float_name_equality(tmp_path):
+    findings = _lint(tmp_path, "repro.scheduling.fake", """
+        def same(sigma: float) -> bool:
+            return sigma == 0.0
+    """)
+    assert _rules(findings) == ["DET003"]
+
+
+def test_det003_flags_float_literal_and_division(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def check(a: int, b: int, x) -> bool:
+            return x == 0.5 or (a / b) != x
+    """)
+    assert [f.rule for f in findings] == ["DET003", "DET003"]
+
+
+def test_det003_attribute_operand(tmp_path):
+    findings = _lint(tmp_path, "repro.scheduling.fake", """
+        def due(job, t) -> bool:
+            return job.deadline == t
+    """)
+    assert _rules(findings) == ["DET003"]
+
+
+def test_det003_ignores_integer_and_string_comparisons(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def check(n: int, s: str) -> bool:
+            return n == 3 and s == "done" and n != 0
+    """)
+    assert findings == []
+
+
+def test_det003_not_applied_outside_sim_scheduling(tmp_path):
+    findings = _lint(tmp_path, "repro.metrics.fake", """
+        def same(sigma: float) -> bool:
+            return sigma == 0.0
+    """)
+    assert "DET003" not in _rules(findings)
+
+
+def test_det003_numerics_module_is_exempt(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.numerics", """
+        def exact_zero(x: float) -> bool:
+            return x == 0.0
+    """)
+    assert findings == []
+
+
+# -- CONC001 ------------------------------------------------------------------
+
+def test_conc001_flags_unlocked_engine_mutation(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def apply(self, lsn: int) -> None:
+                self.engine.wal_lsn = lsn
+    """)
+    assert _rules(findings) == ["CONC001"]
+
+
+def test_conc001_with_lock_is_clean(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def apply(self, lsn: int) -> None:
+                with self._engine_lock:
+                    self.engine.wal_lsn = lsn
+    """)
+    assert findings == []
+
+
+def test_conc001_locked_marker_exempts_function(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def apply(self, lsn: int) -> None:  # repro-lint: locked  caller holds it
+                self.engine.wal_lsn = lsn
+    """)
+    assert findings == []
+
+
+def test_conc001_safe_marker_exempts_function(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        def restore(engine, snap) -> None:  # repro-lint: safe=CONC001  pre-publication
+            engine.wal_lsn = snap["lsn"]
+    """)
+    assert findings == []
+
+
+def test_conc001_rebinding_the_reference_is_construction(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def __init__(self, engine) -> None:
+                self.engine = engine
+    """)
+    assert findings == []
+
+
+def test_conc001_nested_def_does_not_inherit_lock(tmp_path):
+    # A closure created under the lock may run later, unlocked.
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def apply(self, lsn: int):
+                with self._engine_lock:
+                    def later() -> None:
+                        self.engine.wal_lsn = lsn
+                    return later
+    """)
+    assert _rules(findings) == ["CONC001"]
+
+
+def test_conc001_not_applied_to_engine_module_itself(tmp_path):
+    findings = _lint(tmp_path, "repro.service.engine", """
+        class AdmissionEngine:
+            def bump(self, wal, lsn: int) -> None:
+                wal.next_lsn = lsn
+    """)
+    assert findings == []
+
+
+# -- CONC002 ------------------------------------------------------------------
+
+def test_conc002_flags_apply_before_append(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def handle(self, req) -> None:
+                self.engine.submit(req.job)
+                self._wal_append(req)
+    """)
+    assert _rules(findings) == ["CONC002"]
+
+
+def test_conc002_append_then_apply_is_clean(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def handle(self, req) -> None:
+                self._wal_append(req)
+                self.engine.submit(req.job)
+
+            def advance(self, req) -> None:
+                self.wal.append(req)
+                self.engine.advance(req.to)
+    """)
+    assert findings == []
+
+
+def test_conc002_ignores_functions_without_append(tmp_path):
+    # Replay/recovery applies records that are already durable.
+    findings = _lint(tmp_path, "repro.service.fake", """
+        def apply_record(engine, record) -> None:
+            engine.submit(record.job)
+    """)
+    assert findings == []
+
+
+# -- API001 -------------------------------------------------------------------
+
+def test_api001_flags_missing_annotations(tmp_path):
+    findings = _lint(tmp_path, "repro.service.protocol", """
+        def parse(data):
+            return data
+
+        class Codec:
+            def encode(self, value: int):
+                return value
+    """)
+    messages = " ".join(f.message for f in findings)
+    assert _rules(findings) == ["API001"]
+    assert "'parse'" in messages and "'encode'" in messages
+
+
+def test_api001_fully_annotated_is_clean(tmp_path):
+    findings = _lint(tmp_path, "repro.scheduling.base", """
+        class SchedulingPolicy:
+            def admit(self, job: object) -> bool:
+                return True
+
+        def helper(x: int, *args: int, **kw: int) -> int:
+            return x
+    """)
+    assert findings == []
+
+
+def test_api001_private_functions_are_exempt(tmp_path):
+    findings = _lint(tmp_path, "repro.service.protocol", """
+        def _internal(data):
+            return data
+    """)
+    assert findings == []
+
+
+def test_api001_only_applies_to_contract_modules(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        def parse(data):
+            return data
+    """)
+    assert "API001" not in _rules(findings)

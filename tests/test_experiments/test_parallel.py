@@ -1,6 +1,5 @@
 """Tests for parallel scenario execution."""
 
-import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.parallel import default_processes, run_matrix, run_scenarios

@@ -1,6 +1,5 @@
 """Tests for the EXPERIMENTS.md generator."""
 
-import pytest
 
 from repro.experiments.report import experiments_markdown, figure_section
 from tests.test_experiments.test_validation import paper_like_figure

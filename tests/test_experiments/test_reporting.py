@@ -1,6 +1,5 @@
 """Tests for ASCII/CSV reporting."""
 
-import pytest
 
 from repro.experiments.reporting import metrics_table, render_table, series_table, to_csv
 

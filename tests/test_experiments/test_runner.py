@@ -1,6 +1,5 @@
 """Tests for the scenario runner."""
 
-import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import (

@@ -1,6 +1,5 @@
 """Tests for experiment artefact serialisation."""
 
-import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.serialize import (

@@ -1,6 +1,5 @@
 """Tests for the generic sweep machinery."""
 
-import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.sweeps import sweep

@@ -4,7 +4,6 @@ Runs the validator against (a) synthetic figure data crafted to match
 or violate the paper shapes, and (b) small regenerated figures.
 """
 
-import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures import FULFILLED, SLOWDOWN, FigureResult, Panel, figure3

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.car import CaRReport, car_by_policy, computation_at_risk
+from repro.metrics.car import car_by_policy, computation_at_risk
 from tests.conftest import make_job
 
 

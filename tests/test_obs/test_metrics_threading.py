@@ -1,0 +1,91 @@
+"""Regression tests: the metrics registry is shared across service
+handler threads and must tolerate concurrent updates and collection.
+
+Before the registry grew its locks, this workload lost counter
+increments (unsynchronized ``+=``) and could raise ``RuntimeError:
+dictionary changed size during iteration`` when ``GET /metrics``
+collected while a handler lazily created a labelled metric.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _hammer(threads, target):
+    workers = [threading.Thread(target=target, args=(i,)) for i in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+
+def test_concurrent_counter_increments_are_not_lost():
+    registry = MetricsRegistry()
+    threads, per_thread = 8, 2000
+
+    def work(_i):
+        counter = registry.counter("requests_total", "reqs")
+        for _ in range(per_thread):
+            counter.inc()
+
+    _hammer(threads, work)
+    assert registry.counter("requests_total").value == threads * per_thread
+
+
+def test_concurrent_histogram_observations_are_consistent():
+    registry = MetricsRegistry()
+    threads, per_thread = 8, 1000
+
+    def work(_i):
+        hist = registry.histogram("latency", "s", buckets=(0.5, 1.0))
+        for _ in range(per_thread):
+            hist.observe(0.25)
+
+    _hammer(threads, work)
+    hist = registry.histogram("latency", "s", buckets=(0.5, 1.0))
+    assert hist.count == threads * per_thread
+    assert hist.sum == 0.25 * threads * per_thread
+    # Cumulative buckets must agree with the total count.
+    assert hist.bucket_counts()[-1][1] == hist.count
+
+
+def test_collect_during_concurrent_registration():
+    registry = MetricsRegistry()
+    stop = threading.Event()
+    errors = []
+
+    def create(i):
+        for n in range(500):
+            registry.counter("lazy_total", "lazy", worker=str(i), n=str(n)).inc()
+
+    def scrape(_i):
+        try:
+            while not stop.is_set():
+                registry.collect()
+                for _metric in registry:
+                    pass
+        except RuntimeError as exc:  # pragma: no cover - the old failure mode
+            errors.append(exc)
+
+    scraper = threading.Thread(target=scrape, args=(0,))
+    scraper.start()
+    _hammer(4, create)
+    stop.set()
+    scraper.join()
+    assert errors == []
+    assert len(registry) == 4 * 500
+
+
+def test_gauge_max_is_atomic_enough():
+    registry = MetricsRegistry()
+
+    def work(i):
+        gauge = registry.gauge("peak", "peak")
+        for v in range(1000):
+            gauge.max(v + i * 1000)
+
+    _hammer(4, work)
+    assert registry.gauge("peak").value == 3999

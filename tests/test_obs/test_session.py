@@ -1,7 +1,6 @@
 """Integration tests for ObsSession: decision tracing, determinism,
 zero overhead, and multi-run capture via RunSink."""
 
-import pytest
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.rms import ResourceManagementSystem

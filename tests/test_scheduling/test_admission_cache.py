@@ -14,7 +14,6 @@ import json
 
 import pytest
 
-from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job
 from repro.cluster.node import TimeSharedNode
 from repro.experiments.config import ScenarioConfig

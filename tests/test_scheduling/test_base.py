@@ -6,7 +6,6 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.job import JobState
 from repro.cluster.rms import ResourceManagementSystem
 from repro.scheduling.base import SchedulingPolicy
-from repro.scheduling.registry import make_policy
 from repro.sim.kernel import Simulator
 from tests.conftest import make_job
 

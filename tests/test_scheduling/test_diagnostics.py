@@ -9,7 +9,6 @@ from repro.scheduling.diagnostics import (
     node_snapshot,
     render_profile,
 )
-from repro.sim.kernel import Simulator
 from tests.conftest import make_job
 
 

@@ -1,6 +1,5 @@
 """Tests for the FCFS baseline."""
 
-import pytest
 
 from tests.conftest import make_job, run_jobs
 

@@ -124,3 +124,22 @@ class TestDegenerateSigmaAlgebra:
         a = RiskAssessment(mu=1.0, sigma=0.0, max_delay=0.0, n_jobs=0)
         with pytest.raises(AttributeError):
             a.mu = 2.0  # type: ignore[misc]
+
+
+class TestZeroRiskExactness:
+    """Regression: zero_risk adopted the exact_zero helper; the paper's
+    literal σ = 0 criterion must stay bitwise, not become a tolerance."""
+
+    def test_tiny_sigma_is_not_zero_risk(self):
+        a = RiskAssessment(mu=1.0, sigma=5e-324, max_delay=0.0, n_jobs=2)
+        assert not a.zero_risk
+        assert not a.strictly_safe
+
+    def test_negative_zero_sigma_is_zero_risk(self):
+        a = RiskAssessment(mu=1.0, sigma=-0.0, max_delay=-0.0, n_jobs=2)
+        assert a.zero_risk and a.strictly_safe
+
+    def test_tiny_max_delay_defeats_strictly_safe_only(self):
+        a = RiskAssessment(mu=1.0, sigma=0.0, max_delay=5e-324, n_jobs=1)
+        assert a.zero_risk
+        assert not a.strictly_safe

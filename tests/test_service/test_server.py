@@ -10,7 +10,6 @@ from repro.service.engine import AdmissionEngine, EngineConfig
 from repro.service.loadgen import ServiceClient
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.server import AdmissionService, ServiceServer
-from tests.conftest import make_job
 
 
 def make_service(**kwargs) -> AdmissionService:

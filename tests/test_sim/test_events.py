@@ -1,6 +1,5 @@
 """Tests for Event objects and their ordering semantics."""
 
-import pytest
 
 from repro.sim.events import Event, EventPriority
 

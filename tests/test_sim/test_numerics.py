@@ -1,0 +1,44 @@
+"""The numerics helpers must be drop-in equivalent to the bare
+comparisons they replaced — a behavior change here would shift
+admission decisions and break byte-parity."""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.numerics import approx_eq, exact_eq, exact_zero
+
+
+def test_exact_zero_matches_bare_comparison():
+    for x in (0.0, -0.0, 1e-300, -1e-300, 5e-324, 1.0, float("inf"), float("-inf")):
+        assert exact_zero(x) == (x == 0.0)
+    assert exact_zero(0.0) and exact_zero(-0.0)
+    assert not exact_zero(5e-324)  # smallest subnormal is NOT zero
+    assert not exact_zero(float("nan"))
+
+
+def test_exact_eq_is_ieee_equality():
+    assert exact_eq(0.5, 0.5)
+    assert exact_eq(0.0, -0.0)  # IEEE: +0 == -0
+    assert not exact_eq(0.1 + 0.2, 0.3)  # the classic
+    assert not exact_eq(float("nan"), float("nan"))
+    assert exact_eq(float("inf"), float("inf"))
+
+
+def test_approx_eq_tolerates_accumulation_error():
+    assert approx_eq(0.1 + 0.2, 0.3)
+    assert not approx_eq(0.3, 0.30001)
+    assert approx_eq(0.0, 1e-12, abs_tol=1e-9)
+    assert not approx_eq(0.0, 1e-12)  # rel_tol alone can't reach zero
+
+
+def test_isfinite_replacement_is_equivalent_to_old_checks():
+    # kernel.py/protocol.py used `x != x or x in (inf, -inf)`; the
+    # math.isfinite rewrite must reject and accept exactly the same set.
+    def old_check(value: float) -> bool:
+        return value != value or value in (float("inf"), float("-inf"))
+
+    cases = (0.0, -0.0, 1.5, -1.5, 1e308, -1e308, 5e-324,
+             float("inf"), float("-inf"), float("nan"))
+    for value in cases:
+        assert (not math.isfinite(value)) == old_check(value), value

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster.job import UrgencyClass
 from repro.sim.rng import RngStreams
 from repro.workload.swf import SWFRecord
 from repro.workload.traces import (
