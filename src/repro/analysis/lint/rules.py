@@ -12,6 +12,8 @@ the full catalog with rationale):
 * **CONC001** — engine/WAL attributes only mutated under the lock in
   the service layer.
 * **CONC002** — WAL append must precede the engine mutation it logs.
+* **CONC003** — windowed-metric ring buffers only mutated under the
+  metric lock.
 * **API001** — public protocol/policy-base functions must be fully
   type-annotated.
 
@@ -55,6 +57,10 @@ CONC001_EXEMPT_MODULES = ("repro.service.engine",)
 
 #: Modules whose public functions must be fully annotated (API001).
 FULLY_ANNOTATED_MODULES = ("repro.service.protocol", "repro.scheduling.base")
+
+#: Shared-metric modules whose instance state is mutated from HTTP
+#: handler threads and the engine thread at once (CONC003).
+CONC003_MODULES = ("repro.obs.metrics", "repro.obs.windows")
 
 #: Attribute names that read as "this is a lock" in a ``with`` item.
 _LOCKISH = ("lock", "mutex")
@@ -509,6 +515,116 @@ class WalOrderingRule(Rule):
                 )
 
 
+# -- CONC003: metric ring buffers only mutated under the metric lock -----------
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "popleft", "pop", "clear", "extend",
+    "extendleft", "update", "setdefault", "insert", "remove", "rotate",
+})
+
+
+class MetricLockRule(Rule):
+    id = "CONC003"
+    title = "windowed-metric ring buffers only mutated under the metric lock"
+    rationale = (
+        "The sliding-window counters and ring-buffer histograms in "
+        "repro.obs are written by the engine thread on every decision "
+        "and read by HTTP scrape/stats threads; a bucket write or deque "
+        "append outside `with self._lock:` tears the window (lost "
+        "counts, quantiles over a half-rotated ring). __init__ is "
+        "exempt: construction happens before the object is published."
+    )
+
+    def applies(self, module: str) -> bool:
+        return module in CONC003_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._walk(ctx, ctx.tree, locked=False, safe=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, locked: bool, safe: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_locked, child_safe = locked, safe
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Same non-inheritance as CONC001: a nested def may
+                # escape the lock-held scope and run on another thread.
+                child_locked = False
+                child_safe = child.name == "__init__"
+                marker = ctx.suppressions.marker_at(child.lineno)
+                if marker is not None:
+                    child_locked = marker.locked
+                    child_safe = child_safe or self.id in marker.safe
+            elif isinstance(child, ast.With):
+                if any(self._is_lockish(item.context_expr) for item in child.items):
+                    child_locked = True
+            elif isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if not (child_locked or child_safe):
+                    yield from self._check_assignment(ctx, child)
+            elif isinstance(child, ast.Call):
+                if not (child_locked or child_safe):
+                    yield from self._check_call(ctx, child)
+            yield from self._walk(ctx, child, child_locked, child_safe)
+
+    def _check_assignment(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            chain = self._receiver_chain(target)
+            if chain is None or len(chain) < 2 or chain[0] != "self":
+                continue
+            yield self.finding(
+                ctx, node,
+                f"mutation of {'.'.join(chain)} outside the metric lock; "
+                f"wrap in `with self._lock:` or mark the function "
+                f"`# repro-lint: locked`/`safe=CONC003` with a "
+                f"justification",
+            )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in _MUTATING_METHODS:
+            return
+        chain = self._receiver_chain(node.func.value)
+        if chain is None or not chain or chain[0] != "self":
+            return
+        yield self.finding(
+            ctx, node,
+            f"in-place mutation {'.'.join(chain)}.{node.func.attr}(...) "
+            f"outside the metric lock; wrap in `with self._lock:` or "
+            f"mark the function `# repro-lint: locked`/`safe=CONC003` "
+            f"with a justification",
+        )
+
+    def _receiver_chain(self, node: ast.expr) -> Optional[list[str]]:
+        """Like :func:`_attr_chain` but sees through subscripts.
+
+        ``self._buckets[i] += n`` mutates the ring through a Subscript
+        target; the receiver that needs the lock is ``self._buckets``.
+        """
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        return _attr_chain(node)
+
+    def _is_lockish(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Call):
+            return self._is_lockish(expr.func)
+        name: Optional[str] = None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(word in lowered for word in _LOCKISH)
+
+
 # -- API001: full annotations on public API -----------------------------------
 
 class PublicAnnotationRule(Rule):
@@ -571,6 +687,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatEqualityRule(),
     LockedMutationRule(),
     WalOrderingRule(),
+    MetricLockRule(),
     PublicAnnotationRule(),
 )
 
@@ -581,6 +698,7 @@ RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
 __all__ = [
     "ALL_RULES",
     "CONC001_EXEMPT_MODULES",
+    "CONC003_MODULES",
     "DETERMINISTIC_PACKAGES",
     "ENTROPY_SOURCE_MODULES",
     "FLOAT_EQ_PACKAGES",
@@ -589,6 +707,7 @@ __all__ = [
     "FileContext",
     "FloatEqualityRule",
     "LockedMutationRule",
+    "MetricLockRule",
     "PublicAnnotationRule",
     "RULES_BY_ID",
     "Rule",

@@ -155,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce Yeo & Buyya (ICPP 2006): EDF vs Libra vs LibraRisk",
         epilog=(
             "Static analysis: `repro lint src/` runs the determinism & "
-            "concurrency linter (rules DET001-003, CONC001-002, API001); "
+            "concurrency linter (rules DET001-003, CONC001-003, API001); "
             "see docs/STATIC_ANALYSIS.md for the catalog."
         ),
     )
@@ -216,13 +216,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("log", type=str, help="path to the .jsonl metrics log")
     p.add_argument(
         "--mode", default="report",
-        choices=("report", "prom", "decisions", "transitions", "cache"),
+        choices=("report", "prom", "decisions", "transitions", "cache", "windows"),
         help="report: human summary; prom: Prometheus text of the final "
              "registry; decisions/transitions: dump those records; "
-             "cache: admission fast-path counters from profile records",
+             "cache: admission fast-path counters from profile records; "
+             "windows: trailing-window loss ratio and rejection reasons "
+             "per policy at the last decision instant",
     )
     p.add_argument("--policy", type=str, default=None,
                    help="filter decision output to one policy")
+    p.add_argument("--window", type=float, default=3600.0, metavar="SECONDS",
+                   help="trailing-window size for --mode windows "
+                        "(simulated seconds, default 3600)")
     p.add_argument(
         "--cache-stats", action="store_true",
         help="shorthand for --mode cache: admission fast-path counters "
@@ -258,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "the committed entry and fail on >--max-regression")
     p.add_argument("--max-regression", type=float, default=2.0,
                    help="allowed slowdown factor for --check (default 2.0)")
+    p.add_argument("--obs", action="store_true",
+                   help="measure observability instrumentation overhead "
+                        "instead (tracing+windows on vs off; tracked in "
+                        "BENCH_obs.json, --check gates the on/off delta)")
+    p.add_argument("--max-overhead", type=float, default=5.0,
+                   help="allowed instrumentation overhead %% for "
+                        "--obs --check (default 5)")
     p.add_argument("--verbose", action="store_true", help="print progress")
 
     p = sub.add_parser("trace-stats", help="workload statistics (paper §4)")
@@ -332,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-after", type=float, default=1.0,
                    help="backoff hint (seconds) attached to overloaded/"
                         "shutting-down responses (default 1.0)")
+    p.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                   help="trailing window for the windowed telemetry block "
+                        "in /v1/stats and /metrics (simulated seconds, "
+                        "default 3600)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable deterministic trace-id minting and "
+                        "windowed telemetry (micro-benchmarks only)")
 
     p = sub.add_parser(
         "recover",
@@ -372,6 +391,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=1,
                    help="in --url mode, attempts per request (>1 enables the "
                         "retrying client with exponential backoff)")
+    p.add_argument("--latency-buckets", type=float, nargs="+", default=None,
+                   metavar="S",
+                   help="in --url mode, latency histogram bucket bounds in "
+                        "seconds (strictly ascending; default 1ms..10s)")
+
+    p = sub.add_parser(
+        "trace",
+        help="reconstruct one job's end-to-end lifecycle trace "
+             "(deterministic span tree with per-stage latency)",
+    )
+    p.add_argument("job_id", type=int, help="job id to trace")
+    p.add_argument("--url", type=str, default=None, metavar="URL",
+                   help="query a running `repro serve` over HTTP")
+    p.add_argument("--wal", type=str, default=None, metavar="PATH",
+                   help="offline: rebuild the engine by replaying this "
+                        "write-ahead log")
+    p.add_argument("--checkpoint", type=str, default=None, metavar="PATH",
+                   help="offline: engine checkpoint to restore "
+                        "(alone, or replayed on top of with --wal)")
+    p.add_argument("--json", action="store_true",
+                   help="canonical JSON instead of the ASCII span tree")
+
+    p = sub.add_parser(
+        "top",
+        help="live operator console: polls /healthz, /v1/stats and /metrics",
+    )
+    p.add_argument("--url", type=str, default="http://127.0.0.1:8331",
+                   metavar="URL",
+                   help="service base URL (default: the `repro serve` "
+                        "default port)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="poll once and exit (no clear-screen redraw)")
+    p.add_argument("--json", action="store_true",
+                   help="print the deterministic snapshot subset as one "
+                        "canonical JSON line per poll")
+    p.add_argument("--no-color", action="store_true",
+                   help="disable ANSI colors")
 
     sub.add_parser("policies", help="list available admission controls")
 
@@ -455,6 +513,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # The wall clock starts from the engine's (possibly restored)
         # simulated time, so live mode resumes where the checkpoint left off.
         engine.clock = WallClock(speedup=args.speedup, start_time=engine.now)
+    if args.no_telemetry:
+        engine.telemetry = False
+        engine.window = None
+    elif args.window is not None:
+        try:
+            engine.set_window(args.window)
+        except ValueError as exc:
+            print(f"repro serve: bad --window: {exc}", file=sys.stderr)
+            return 2
 
     wal = None
     if args.wal is not None:
@@ -558,9 +625,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(f"repro replay: no healthy service at {args.url}", file=sys.stderr)
             return 1
         speedup = args.speedup if args.speedup is not None else 1e12
-        report = LoadGenerator(
-            client, jobs, speedup=speedup, workers=args.workers,
-        ).run()
+        try:
+            generator = LoadGenerator(
+                client, jobs, speedup=speedup, workers=args.workers,
+                latency_buckets=args.latency_buckets,
+            )
+        except ValueError as exc:
+            print(f"repro replay: bad --latency-buckets: {exc}", file=sys.stderr)
+            return 2
+        report = generator.run()
         print(report)
         for outcome, count in sorted(report.outcomes.items()):
             print(f"  {outcome:<12s} {count}")
@@ -606,9 +679,48 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_obs(args: argparse.Namespace) -> int:
+    """``repro bench --obs``: instrumentation overhead, tracked + gated."""
+    from repro.experiments import bench as bench_mod
+
+    label = args.label or bench_mod.bench_label(args.jobs, args.nodes)
+    out_path = args.out or bench_mod.BENCH_OBS_FILENAME
+    policy = args.policies[0] if args.policies else "librarisk"
+    section = bench_mod.run_bench_obs(
+        jobs=args.jobs, nodes=args.nodes, seed=args.seed, policy=policy,
+        repeats=max(args.repeats, 3), progress=_progress_printer(args.verbose),
+    )
+    on, off = section["telemetry_on"], section["telemetry_off"]
+    print(
+        f"{policy}: telemetry on {on['jobs_per_sec']:>9.1f} jobs/s, "
+        f"off {off['jobs_per_sec']:>9.1f} jobs/s "
+        f"-> overhead {section['overhead_pct']:+.2f}%"
+    )
+    if args.check:
+        failures = bench_mod.check_obs_overhead(
+            section, max_overhead_pct=args.max_overhead
+        )
+        if failures:
+            for failure in failures:
+                print(f"repro bench: OVERHEAD: {failure}", file=sys.stderr)
+            return 1
+        print(f"observability overhead check passed "
+              f"(within {args.max_overhead:g}% of the uninstrumented path)")
+        return 0
+    bench_mod.update_bench_file(
+        out_path, label, section, record_baseline=args.record_baseline
+    )
+    print(f"\nwrote {'baseline' if args.record_baseline else 'current'} "
+          f"observability numbers for label {label!r} to {out_path}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: measure and track admission throughput."""
     from repro.experiments import bench as bench_mod
+
+    if args.obs:
+        return _cmd_bench_obs(args)
 
     policies = args.policies if args.policies else list(bench_mod.DEFAULT_POLICIES)
     label = args.label or bench_mod.bench_label(args.jobs, args.nodes)
@@ -657,6 +769,69 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: one job's deterministic lifecycle span tree.
+
+    Three sources, one byte-identical answer: a live server (``--url``),
+    a replayed write-ahead log (``--wal``), or a restored checkpoint
+    (``--checkpoint``) — the trace ids are minted from the engine
+    config and submit sequence, not from wall clocks or process state.
+    """
+    from repro.obs.tracing import render_trace
+    from repro.service import checkpoint as checkpoint_mod
+    from repro.service import wal as wal_mod
+
+    given = [s for s in (args.url, args.wal, args.checkpoint) if s is not None]
+    if not given:
+        print("repro trace: pass --url URL (live), --wal PATH and/or "
+              "--checkpoint PATH (offline)", file=sys.stderr)
+        return 2
+    if args.url is not None:
+        if args.wal is not None or args.checkpoint is not None:
+            print("repro trace: --url cannot be combined with --wal/"
+                  "--checkpoint", file=sys.stderr)
+            return 2
+        from repro.service.loadgen import ServiceClient
+
+        status, payload = ServiceClient(args.url).trace(args.job_id)
+        if status != 200:
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            detail = error.get("message") or f"HTTP {status}"
+            print(f"repro trace: {detail}", file=sys.stderr)
+            return 1
+        trace = payload["trace"]
+    else:
+        try:
+            if args.wal is not None:
+                engine, _ = wal_mod.recover(
+                    args.wal, checkpoint_path=args.checkpoint
+                )
+            else:
+                engine = checkpoint_mod.load(args.checkpoint)
+        except (OSError, wal_mod.WalError, checkpoint_mod.CheckpointError) as exc:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 1
+        try:
+            trace = engine.trace(args.job_id)
+        except KeyError:
+            print(f"repro trace: no decided job with id {args.job_id}",
+                  file=sys.stderr)
+            return 1
+    print(render_trace(trace, json_out=args.json))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: poll the service and render the operator console."""
+    from repro.obs.console import run_top
+
+    color = not args.no_color and not args.json and sys.stdout.isatty()
+    return run_top(
+        args.url, interval=args.interval, once=args.once,
+        json_out=args.json, color=color,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _dispatch(argv)
@@ -695,7 +870,7 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         mode = "cache" if args.cache_stats else args.mode
         try:
             print(inspect_log(args.log, mode=mode, policy=args.policy,
-                              json_output=args.json))
+                              json_output=args.json, window=args.window))
         except BrokenPipeError:
             raise  # downstream reader closed the pipe; handled in main()
         except OSError as exc:
@@ -718,6 +893,12 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
 
     if args.command == "bench":
         return _cmd_bench(args)
+
+    if args.command == "trace":
+        return _cmd_trace(args)
+
+    if args.command == "top":
+        return _cmd_top(args)
 
     if args.command in _FIGURE_FNS:
         base = _base_config(args)

@@ -39,6 +39,12 @@ BENCH_SCHEMA = 1
 #: Default benchmark file at the repo root.
 BENCH_FILENAME = "BENCH_admission.json"
 
+#: Instrumentation-overhead benchmark file (``repro bench --obs``).
+BENCH_OBS_FILENAME = "BENCH_obs.json"
+
+#: Acceptable tracing+windowed-telemetry overhead on the submit path.
+MAX_OBS_OVERHEAD_PCT = 5.0
+
 DEFAULT_POLICIES = ("edf", "libra", "librarisk")
 
 
@@ -149,6 +155,102 @@ def run_bench(
         engine = bench_engine(config, repeats=repeats)
         out["policies"][policy] = {"scenario": scenario, "engine": engine}
     return out
+
+
+def _bench_obs_pass(config: ScenarioConfig, telemetry: bool) -> dict[str, Any]:
+    """One timed submit+drain pass with telemetry on or off."""
+    from repro.service.engine import engine_for_scenario
+
+    jobs = build_scenario_jobs(config)
+    engine = engine_for_scenario(config, telemetry=telemetry)
+    n = len(jobs)
+    t0 = time.perf_counter()
+    for job in jobs:
+        engine.submit(job)
+    engine.drain()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": round(wall, 4),
+        "jobs_per_sec": round(n / wall, 1) if wall > 0 else 0.0,
+        "events_per_sec": (
+            round(engine.sim.events_fired / wall) if wall > 0 else 0
+        ),
+    }
+
+
+def run_bench_obs(
+    jobs: int = 3000,
+    nodes: int = 128,
+    seed: int = 42,
+    policy: str = "librarisk",
+    repeats: int = 3,
+    progress=None,
+) -> dict[str, Any]:
+    """Instrumentation-overhead benchmark: tracing+windows on vs off.
+
+    The engine submit path is the only place the deterministic tracing
+    ids are minted and the windowed counters are advanced, so the
+    on/off delta of a full submit+drain run bounds the observability
+    tax a live deployment pays.  Best-of-``repeats`` per mode, modes
+    interleaved so thermal/allocator drift hits both equally.
+    """
+    config = ScenarioConfig(num_jobs=jobs, num_nodes=nodes, seed=seed, policy=policy)
+    best: dict[bool, Optional[dict[str, Any]]] = {True: None, False: None}
+    # One untimed warmup pass: the first run pays imports, allocator
+    # growth and branch-predictor training that neither mode should be
+    # charged for.
+    if progress is not None:
+        progress("bench obs: warmup pass")
+    _bench_obs_pass(config, telemetry=True)
+    for i in range(max(1, repeats)):
+        for telemetry in (True, False):
+            if progress is not None:
+                mode = "on" if telemetry else "off"
+                progress(f"bench obs: pass {i + 1}/{max(1, repeats)} telemetry={mode}")
+            record = _bench_obs_pass(config, telemetry)
+            prior = best[telemetry]
+            if prior is None or record["wall_s"] < prior["wall_s"]:
+                best[telemetry] = record
+    on, off = best[True], best[False]
+    assert on is not None and off is not None
+    overhead = (
+        (on["wall_s"] - off["wall_s"]) / off["wall_s"] * 100.0
+        if off["wall_s"] > 0
+        else 0.0
+    )
+    return {
+        "scale": {"jobs": jobs, "nodes": nodes, "seed": seed},
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.machine() or "unknown",
+        },
+        "policy": policy,
+        "telemetry_on": on,
+        "telemetry_off": off,
+        "overhead_pct": round(overhead, 2),
+    }
+
+
+def check_obs_overhead(
+    fresh: dict[str, Any],
+    max_overhead_pct: float = MAX_OBS_OVERHEAD_PCT,
+) -> list[str]:
+    """Gate for CI: does tracing+windowed telemetry cost more than the cap?
+
+    Unlike :func:`check_regression` this is an *absolute* gate on the
+    freshly-measured on/off ratio — both passes ran on the same machine
+    moments apart, so the ratio is machine-independent.
+    """
+    overhead = float(fresh.get("overhead_pct", 0.0))
+    if overhead > max_overhead_pct:
+        return [
+            f"observability instrumentation costs {overhead:.2f}% on the "
+            f"submit path (cap {max_overhead_pct:g}%); telemetry_on="
+            f"{fresh['telemetry_on']['wall_s']}s telemetry_off="
+            f"{fresh['telemetry_off']['wall_s']}s"
+        ]
+    return []
 
 
 # -- the tracked file ---------------------------------------------------------

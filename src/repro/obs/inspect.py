@@ -19,8 +19,9 @@ from repro.obs.exporters import (
     read_jsonl,
     run_report,
 )
+from repro.obs.windows import DEFAULT_WINDOW, WindowAggregator
 
-INSPECT_MODES = ("report", "prom", "decisions", "transitions", "cache")
+INSPECT_MODES = ("report", "prom", "decisions", "transitions", "cache", "windows")
 
 
 @dataclass
@@ -69,6 +70,7 @@ def render_inspection(
     mode: str = "report",
     policy: Optional[str] = None,
     json_output: bool = False,
+    window: float = DEFAULT_WINDOW,
 ) -> str:
     """Render a loaded record stream in one of :data:`INSPECT_MODES`.
 
@@ -76,7 +78,9 @@ def render_inspection(
     decisions taken by one policy.  ``json_output`` switches those two
     modes from aligned human-readable rows to canonical JSON lines
     (one record per line, sorted keys) for machine consumption —
-    ``repro inspect log --mode decisions --json | jq``.
+    ``repro inspect log --mode decisions --json | jq``.  ``window``
+    sizes the trailing window of the ``windows`` mode (simulated
+    seconds).
     """
     if mode == "report":
         return run_report(records)
@@ -102,7 +106,56 @@ def render_inspection(
         )
     if mode == "cache":
         return _render_cache(records, json_output=json_output)
+    if mode == "windows":
+        return _render_windows(
+            records, policy=policy, json_output=json_output, window=window
+        )
     raise ValueError(f"unknown inspect mode {mode!r}; choose from {INSPECT_MODES}")
+
+
+def _render_windows(
+    records: Sequence[dict],
+    policy: Optional[str] = None,
+    json_output: bool = False,
+    window: float = DEFAULT_WINDOW,
+) -> str:
+    """Windowed loss-ratio/rejection-reason view over the log's decisions.
+
+    A pure function of the decision records: the aggregator is rebuilt
+    from the log, so this renders the exact windowed state a live
+    service with the same window size would have reported at the last
+    decision instant — without the run having been instrumented.
+    """
+    aggregator = WindowAggregator(window)
+    last_t = 0.0
+    seen = False
+    for record in records:
+        if record.get("type") != "decision":
+            continue
+        name = record.get("policy", "?")
+        if policy is not None and name != policy:
+            continue
+        t = float(record["t"])
+        outcome = "accepted" if record.get("outcome") == "accepted" else "rejected"
+        aggregator.note_decision(t, name, outcome, record.get("reason", ""))
+        last_t = max(last_t, t)
+        seen = True
+    if not seen:
+        return "" if json_output else "no decision records in log"
+    snap = aggregator.snapshot(last_t)
+    if json_output:
+        return jsonl_line(snap)
+    lines = [f"window: trailing {snap['window_s']:g}s at t={snap['t']:g}s"]
+    for name, pol in sorted(snap["policies"].items()):
+        lines.append(
+            f"{name}: submitted={pol['submitted']:.0f} "
+            f"rejected={pol['rejected']:.0f} loss_ratio={pol['loss_ratio']:.4f}"
+        )
+        for reason, count in sorted(
+            pol["reject_reasons"].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            lines.append(f"  {count:>8.0f}  {reason}")
+    return "\n".join(lines)
 
 
 def _render_cache(records: Sequence[dict], json_output: bool = False) -> str:
@@ -151,11 +204,12 @@ def inspect_log(
     mode: str = "report",
     policy: Optional[str] = None,
     json_output: bool = False,
+    window: float = DEFAULT_WINDOW,
 ) -> str:
     """Load ``path`` and render it (the ``repro inspect`` entry point)."""
     records = read_jsonl(path)
     if not records:
         return "" if json_output else f"{path}: empty log"
     return render_inspection(
-        records, mode=mode, policy=policy, json_output=json_output
+        records, mode=mode, policy=policy, json_output=json_output, window=window
     )

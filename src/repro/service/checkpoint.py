@@ -117,6 +117,23 @@ def snapshot(engine: AdmissionEngine) -> dict[str, Any]:
     }
     if engine.wal_lsn:
         snap["wal_lsn"] = engine.wal_lsn
+    if engine._submit_seq or engine.trace_ids:
+        # Optional block (version stays 1): trace-id stream position and
+        # the minted ids, so a restored engine keeps minting the same
+        # deterministic sequence and `repro trace` answers for
+        # pre-checkpoint jobs byte-identically.
+        trace_state: dict[str, Any] = {"seq": engine._submit_seq}
+        if engine.trace_ids:
+            trace_state["ids"] = {
+                str(job_id): engine.trace_ids[job_id]
+                for job_id in sorted(engine.trace_ids)
+            }
+        if engine.wal_lsns:
+            trace_state["wal_lsns"] = {
+                str(job_id): engine.wal_lsns[job_id]
+                for job_id in sorted(engine.wal_lsns)
+            }
+        snap["trace"] = trace_state
     if engine.streams is not None:
         snap["rng"] = {
             "seed": engine.streams.seed,
@@ -255,6 +272,21 @@ def restore(  # repro-lint: safe=CONC001  builds a private engine; not shared un
     ]
     engine._decision_index = {d.job_id: d for d in engine.decisions}
     engine.wal_lsn = int(snap.get("wal_lsn", 0))
+    trace_state = snap.get("trace", {})
+    engine._submit_seq = int(trace_state.get("seq", 0))
+    engine.trace_ids = {
+        int(job_id): str(trace_id)
+        for job_id, trace_id in trace_state.get("ids", {}).items()
+    }
+    engine.wal_lsns = {
+        int(job_id): int(lsn)
+        for job_id, lsn in trace_state.get("wal_lsns", {}).items()
+    }
+    # The windowed telemetry is a pure function of the decision log;
+    # replaying it here makes the restored window byte-identical to the
+    # uncrashed engine's.
+    if engine.window is not None:
+        engine.window.replay(engine.decisions)
     return engine
 
 

@@ -32,6 +32,8 @@ from repro.cluster.rms import ResourceManagementSystem
 from repro.cluster.share import ShareParams
 from repro.metrics.summary import ScenarioMetrics, compute_metrics
 from repro.obs.log import get_logger
+from repro.obs.tracing import build_trace, mint_trace_id, seed_from_config
+from repro.obs.windows import WindowAggregator
 from repro.scheduling.registry import make_policy, policy_discipline
 from repro.service.clock import VirtualClock, WallClock
 from repro.sim.kernel import Simulator
@@ -172,6 +174,11 @@ class AdmissionEngine:
         Optional named RNG streams owned by this engine (live synthetic
         workloads); checkpointed and restored with the rest of the
         state so a resumed engine continues the same random sequences.
+    telemetry:
+        When false, skips trace-id minting and windowed telemetry
+        entirely — the arm ``repro bench --obs`` uses to price the
+        instrumentation.  Recovery paths always run with telemetry on
+        so recovered trace state matches the uncrashed run.
     """
 
     def __init__(
@@ -180,6 +187,7 @@ class AdmissionEngine:
         clock: Optional[Any] = None,
         obs: Optional[Any] = None,
         streams: Optional[RngStreams] = None,
+        telemetry: bool = True,
     ) -> None:
         self.config = config if config is not None else EngineConfig()
         self.clock = clock if clock is not None else VirtualClock(self.config.start_time)
@@ -202,6 +210,25 @@ class AdmissionEngine:
         #: (0 = no WAL).  Maintained by the service layer; checkpointed so
         #: recovery can skip the already-materialised log prefix.
         self.wal_lsn: int = 0
+        self.telemetry = bool(telemetry)
+        #: Seed of the deterministic trace-id stream: a pure function of
+        #: the config, so differently configured engines never collide
+        #: and identically configured runs mint identical ids.
+        self.trace_seed: int = seed_from_config(self.config.as_dict())
+        #: Logical submit counter — the deterministic stand-in for the
+        #: wall-clock tick of conventional tracers.  Advances only on
+        #: submits that reach the kernel, so failed submits (which fail
+        #: identically on replay/recovery) never skew the stream.
+        self._submit_seq: int = 0
+        #: job id -> minted trace id, for every traced submission.
+        self.trace_ids: dict[int, str] = {}
+        #: job id -> WAL LSN of its submit frame (service layer fills
+        #: this in; recovery refills it from the log itself).
+        self.wal_lsns: dict[int, int] = {}
+        #: Windowed constant-memory telemetry (None when telemetry off).
+        self.window: Optional[WindowAggregator] = (
+            WindowAggregator() if telemetry else None
+        )
         if obs is not None:
             obs.attach(self.sim, self.rms, self.policy)
 
@@ -224,7 +251,12 @@ class AdmissionEngine:
         return self.advance(target)
 
     # -- the online API ----------------------------------------------------
-    def submit(self, job: Job, clamp_past: bool = False) -> Decision:
+    def submit(
+        self,
+        job: Job,
+        clamp_past: bool = False,
+        trace: Optional[str] = None,
+    ) -> Decision:
         """Admit one arriving job; returns the policy's decision.
 
         The kernel first executes every event up to the job's submit
@@ -234,6 +266,13 @@ class AdmissionEngine:
         ``clamp_past`` moves a stale submit time forward to the current
         clock instead of raising — live servers use it because network
         delay routinely lands requests a few (simulated) seconds late.
+
+        ``trace`` pins the trace id for this submission (the service
+        layer passes the id it already logged to the WAL, so recovery
+        reuses the original id instead of minting a new one).  When
+        omitted, the engine mints ``mint_trace_id(trace_seed,
+        submit_seq, job_id)`` — deterministic, so a replayed workload
+        regenerates identical ids.
 
         Raises
         ------
@@ -265,11 +304,30 @@ class AdmissionEngine:
                 )
         self.rms.submit(job)
         self._known_ids.add(job.job_id)
-        self.sim.run(until=job.submit_time)
+        self._submit_seq += 1
+        trace_id: Optional[str] = trace
+        if trace_id is None and self.telemetry:
+            trace_id = mint_trace_id(self.trace_seed, self._submit_seq, job.job_id)
+        if trace_id is not None:
+            self.trace_ids[job.job_id] = trace_id
+        # Expose the trace context to the policy for the duration of
+        # this submission: the arrival event fires inside sim.run, so
+        # admission hooks and observers can correlate their records
+        # with the job's trace without the engine injecting anything
+        # into decision records (byte parity with batch runs).
+        self.policy.trace_context = trace_id
+        try:
+            self.sim.run(until=job.submit_time)
+        finally:
+            self.policy.trace_context = None
         self.clock.advance_to(self.sim.now)
         decision = self._decision_of(job)
         self.decisions.append(decision)
         self._decision_index[decision.job_id] = decision
+        if self.window is not None:
+            self.window.note_decision(
+                decision.t, decision.policy, decision.outcome, decision.reason
+            )
         return decision
 
     def advance(self, to_time: float) -> int:
@@ -300,6 +358,38 @@ class AdmissionEngine:
             if job.job_id == job_id:
                 return job
         return None
+
+    def peek_trace_id(self, job_id: int) -> str:
+        """The trace id the *next* successful submit of ``job_id`` gets.
+
+        The service layer calls this before appending the submit frame
+        to the WAL so the logged record carries the same id the engine
+        is about to mint — which is what makes recovered traces
+        byte-identical to the uncrashed run.
+        """
+        return mint_trace_id(self.trace_seed, self._submit_seq + 1, job_id)
+
+    def trace(self, job_id: int) -> dict[str, Any]:
+        """The reconstructed lifecycle span tree for ``job_id``.
+
+        Raises ``KeyError`` when the engine never decided the job.
+        """
+        return build_trace(self, job_id)
+
+    def set_window(self, window: float, buckets: Optional[int] = None) -> None:
+        """Resize the telemetry window, replaying recorded decisions.
+
+        Replay keeps a resized window consistent with a restored
+        engine: the decision log carries ``(t, policy, outcome,
+        reason)`` in submit order, exactly the note stream the live
+        window saw.
+        """
+        kwargs: dict[str, Any] = {}
+        if buckets is not None:
+            kwargs["buckets"] = buckets
+        aggregator = WindowAggregator(window, **kwargs)
+        aggregator.replay(self.decisions)
+        self.window = aggregator
 
     def decision_for(self, job_id: int) -> Optional[Decision]:
         """The admission-time decision recorded for ``job_id``, if any.
@@ -340,6 +430,10 @@ class AdmissionEngine:
         ratio = rms.acceptance_ratio
         if ratio is not None:
             out["acceptance_ratio"] = ratio
+        if self.window is not None:
+            out["window"] = self.window.snapshot(self.sim.now)
+        if self.sim.trace is not None:
+            out["trace_events_dropped"] = self.sim.trace.dropped
         return out
 
     # -- internals ----------------------------------------------------------
@@ -369,10 +463,12 @@ def engine_for_scenario(
     scenario: Any,
     obs: Optional[Any] = None,
     clock: Optional[Any] = None,
+    telemetry: bool = True,
 ) -> AdmissionEngine:
     """An engine whose cluster/policy mirror a batch ``ScenarioConfig``."""
     return AdmissionEngine(
-        EngineConfig.from_scenario(scenario), clock=clock, obs=obs
+        EngineConfig.from_scenario(scenario), clock=clock, obs=obs,
+        telemetry=telemetry,
     )
 
 

@@ -35,6 +35,16 @@ from repro.service import protocol
 
 log = get_logger("service.loadgen")
 
+#: Default latency histogram bucket bounds (seconds).  Mirrors the
+#: server-side ``service_request_seconds`` buckets so client- and
+#: server-observed latency distributions line up; override per run
+#: with ``LoadGenerator(latency_buckets=...)`` / ``--latency-buckets``
+#: when the tail needs finer resolution.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0,
+)
+
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
     """Linear-interpolated percentile ``q`` in [0, 100] of sorted data."""
@@ -119,6 +129,12 @@ class ServiceClient:
     def stats(self) -> tuple[int, dict[str, Any]]:
         return self.rpc({"v": protocol.PROTOCOL_VERSION, "type": "stats"})
 
+    def trace(self, job_id: int) -> tuple[int, dict[str, Any]]:
+        """Fetch the reconstructed lifecycle span tree of one job."""
+        return self.rpc(
+            {"v": protocol.PROTOCOL_VERSION, "type": "trace", "job": job_id}
+        )
+
     def drain(self) -> tuple[int, dict[str, Any]]:
         return self.rpc({"v": protocol.PROTOCOL_VERSION, "type": "drain"})
 
@@ -163,6 +179,11 @@ class LoadReport:
     latency_p90: float
     latency_p99: float
     latency_max: float
+    latency_p999: float = 0.0
+    #: Cumulative histogram of request latencies over the run's bucket
+    #: bounds (Prometheus convention: each bucket counts observations
+    #: ``<= bound``; the ``+Inf`` bucket equals ``requests``).
+    latency_histogram: dict[str, int] = field(default_factory=dict)
     results: tuple[RequestResult, ...] = field(repr=False, default=())
 
     @property
@@ -181,7 +202,9 @@ class LoadReport:
             "latency_p50": self.latency_p50,
             "latency_p90": self.latency_p90,
             "latency_p99": self.latency_p99,
+            "latency_p999": self.latency_p999,
             "latency_max": self.latency_max,
+            "latency_histogram": dict(self.latency_histogram),
         }
 
     def __str__(self) -> str:
@@ -189,7 +212,9 @@ class LoadReport:
             f"{self.requests} requests in {self.duration:.3f}s "
             f"({self.rps:.1f} req/s), {self.errors} errors; latency "
             f"p50={self.latency_p50 * 1e3:.2f}ms p90={self.latency_p90 * 1e3:.2f}ms "
-            f"p99={self.latency_p99 * 1e3:.2f}ms max={self.latency_max * 1e3:.2f}ms"
+            f"p99={self.latency_p99 * 1e3:.2f}ms "
+            f"p99.9={self.latency_p999 * 1e3:.2f}ms "
+            f"max={self.latency_max * 1e3:.2f}ms"
         )
 
 
@@ -208,6 +233,10 @@ class LoadGenerator:
     workers:
         ``<= 1``: one ordered sender (safe against virtual-clock
         servers).  ``> 1``: concurrent open-loop dispatch.
+    latency_buckets:
+        Ascending positive histogram bucket bounds (seconds) for the
+        report's cumulative latency histogram; defaults to
+        :data:`DEFAULT_LATENCY_BUCKETS`.
     """
 
     def __init__(
@@ -216,15 +245,30 @@ class LoadGenerator:
         jobs: Sequence[Job],
         speedup: float = 1.0,
         workers: int = 1,
+        latency_buckets: Optional[Sequence[float]] = None,
     ) -> None:
         if speedup <= 0:
             raise ValueError(f"speedup must be > 0, got {speedup}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        bounds = tuple(
+            float(b) for b in (
+                latency_buckets if latency_buckets is not None
+                else DEFAULT_LATENCY_BUCKETS
+            )
+        )
+        if not bounds:
+            raise ValueError("latency_buckets must not be empty")
+        if any(b <= 0 for b in bounds) or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"latency_buckets must be positive and strictly ascending, "
+                f"got {bounds}"
+            )
         self.client = client
         self.jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         self.speedup = float(speedup)
         self.workers = workers
+        self.latency_buckets = bounds
         self._results: list[RequestResult] = []
         self._lock = threading.Lock()
 
@@ -295,6 +339,15 @@ class LoadGenerator:
             outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
             if 200 <= r.status < 300:
                 ok += 1
+        histogram: dict[str, int] = {}
+        cumulative = 0
+        index = 0
+        for bound in self.latency_buckets:
+            while index < len(latencies) and latencies[index] <= bound:
+                cumulative += 1
+                index += 1
+            histogram[f"{bound:g}"] = cumulative
+        histogram["+Inf"] = len(latencies)
         report = LoadReport(
             requests=len(results),
             ok=ok,
@@ -304,7 +357,9 @@ class LoadGenerator:
             latency_p50=percentile(latencies, 50.0),
             latency_p90=percentile(latencies, 90.0),
             latency_p99=percentile(latencies, 99.0),
+            latency_p999=percentile(latencies, 99.9),
             latency_max=latencies[-1],
+            latency_histogram=histogram,
             results=tuple(results),
         )
         log.info("%s", report)
@@ -312,6 +367,7 @@ class LoadGenerator:
 
 
 __all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
     "LoadGenerator",
     "LoadReport",
     "RequestResult",

@@ -33,7 +33,9 @@ from repro.cluster.job import Job, UrgencyClass
 PROTOCOL_VERSION = 1
 
 #: Request types a v1 server understands.
-REQUEST_TYPES = ("submit", "query", "stats", "advance", "drain", "checkpoint")
+REQUEST_TYPES = (
+    "submit", "query", "stats", "advance", "drain", "checkpoint", "trace"
+)
 
 
 class ErrorCode:
@@ -98,9 +100,16 @@ class ProtocolError(Exception):
 
 @dataclass(frozen=True)
 class SubmitRequest:
-    """Admit one job (``job`` follows the :func:`job_from_payload` schema)."""
+    """Admit one job (``job`` follows the :func:`job_from_payload` schema).
+
+    ``trace`` optionally pins the deterministic trace id for this
+    submission.  Live clients normally omit it (the engine mints one);
+    WAL recovery sends the id the original run logged so recovered
+    traces stay byte-identical.
+    """
 
     job: dict[str, Any]
+    trace: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -134,6 +143,13 @@ class CheckpointRequest:
     path: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class TraceRequest:
+    """Reconstruct the lifecycle span tree of one decided job."""
+
+    job_id: int
+
+
 _REQUEST_CLASSES = {
     "submit": SubmitRequest,
     "query": QueryRequest,
@@ -141,6 +157,7 @@ _REQUEST_CLASSES = {
     "advance": AdvanceRequest,
     "drain": DrainRequest,
     "checkpoint": CheckpointRequest,
+    "trace": TraceRequest,
 }
 
 Request = Any  # union of the dataclasses above
@@ -290,12 +307,13 @@ def job_payload(job: Job) -> dict[str, Any]:
 # -- request parsing ----------------------------------------------------------
 
 _TOP_FIELDS = {
-    "submit": frozenset({"v", "type", "job"}),
+    "submit": frozenset({"v", "type", "job", "trace"}),
     "query": frozenset({"v", "type", "job"}),
     "stats": frozenset({"v", "type"}),
     "advance": frozenset({"v", "type", "to"}),
     "drain": frozenset({"v", "type"}),
     "checkpoint": frozenset({"v", "type", "path"}),
+    "trace": frozenset({"v", "type", "job"}),
 }
 
 
@@ -339,11 +357,20 @@ def parse_request(data: Any) -> Request:
     if req_type == "submit":
         if "job" not in obj:
             raise ProtocolError(ErrorCode.INVALID_FIELD, "request.job is required")
-        return SubmitRequest(job=dict(_require_mapping(obj["job"], "job")))
+        trace = obj.get("trace")
+        if trace is not None and not isinstance(trace, str):
+            raise ProtocolError(ErrorCode.INVALID_FIELD, "request.trace must be a string")
+        return SubmitRequest(
+            job=dict(_require_mapping(obj["job"], "job")), trace=trace
+        )
     if req_type == "query":
         job_id = _integer(obj, "job", "request", minimum=1)
         assert job_id is not None
         return QueryRequest(job_id=job_id)
+    if req_type == "trace":
+        job_id = _integer(obj, "job", "request", minimum=1)
+        assert job_id is not None
+        return TraceRequest(job_id=job_id)
     if req_type == "advance":
         to = _number(obj, "to", "request", minimum=0.0)
         assert to is not None
@@ -404,6 +431,7 @@ __all__ = [
     "RETRYABLE_CODES",
     "StatsRequest",
     "SubmitRequest",
+    "TraceRequest",
     "encode",
     "error_response",
     "job_from_payload",

@@ -5,7 +5,7 @@ lock (the engine is single-threaded state; HTTP threads serialize on
 it) and speaks :mod:`repro.service.protocol` on ``POST /v1/rpc``.
 Convenience read-only endpoints mirror common operational queries::
 
-    GET /healthz      -> {"ok": true}
+    GET /healthz      -> health status (SLO burn rate, WAL lag, shed state)
     GET /v1/stats     -> stats response (same payload as the RPC)
     GET /metrics      -> Prometheus text of the service registry
 
@@ -85,6 +85,11 @@ class AdmissionService:
         Seconds advertised (JSON ``error.retry_after`` + HTTP
         ``Retry-After``) on shed/draining responses, so well-behaved
         clients back off instead of hammering an overloaded server.
+    slo_deadline_miss_objective:
+        The SLO: tolerated fraction of completed jobs that miss their
+        deadline.  ``GET /healthz`` reports the burn rate (observed
+        miss ratio over this objective) and flips the health status to
+        ``"degraded"`` once the budget is fully burned (rate > 1).
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class AdmissionService:
         wal: Optional[WriteAheadLog] = None,
         faults: Optional[FaultInjector] = None,
         retry_after: float = 1.0,
+        slo_deadline_miss_objective: float = 0.05,
     ) -> None:
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be >= 1")
@@ -103,6 +109,8 @@ class AdmissionService:
             raise ValueError("max_inflight must be >= 0")
         if retry_after <= 0:
             raise ValueError("retry_after must be > 0")
+        if not 0 < slo_deadline_miss_objective <= 1:
+            raise ValueError("slo_deadline_miss_objective must be in (0, 1]")
         self.engine = engine
         self.max_request_bytes = int(max_request_bytes)
         self.max_inflight = int(max_inflight)
@@ -110,10 +118,12 @@ class AdmissionService:
         self.wal = wal
         self.faults = faults
         self.retry_after = float(retry_after)
+        self.slo_deadline_miss_objective = float(slo_deadline_miss_objective)
         self.draining = False
         self._engine_lock = threading.Lock()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        self._shed_total = 0
 
     # -- backpressure accounting -------------------------------------------
     def _acquire_slot(self) -> bool:
@@ -154,6 +164,8 @@ class AdmissionService:
             )
             return protocol.HTTP_STATUS[ErrorCode.SHUTTING_DOWN], err
         if not self._acquire_slot():
+            with self._inflight_lock:
+                self._shed_total += 1
             self.registry.counter(
                 "service_requests_shed_total", "Requests refused by backpressure"
             ).inc()
@@ -221,7 +233,13 @@ class AdmissionService:
         if self.wal is None:
             return None
         self._crash("wal.before_append")
+        t0 = perf_counter()
         lsn = self.wal.append(self.engine.sim.now, req, clamp=clamp)
+        self.registry.histogram(
+            "service_wal_append_seconds",
+            "Wall-clock latency of one WAL append (including any fsync)",
+            buckets=LATENCY_BUCKETS,
+        ).observe(perf_counter() - t0)
         self.registry.counter(
             "service_wal_appends_total", "Requests appended to the WAL"
         ).inc()
@@ -248,6 +266,10 @@ class AdmissionService:
         finally:
             if lsn is not None:
                 self.engine.wal_lsn = lsn
+                self.registry.gauge(
+                    "service_wal_applied_lsn",
+                    "Highest LSN applied to the engine",
+                ).set(lsn)
         self._crash("wal.after_apply")
         return result
 
@@ -285,14 +307,29 @@ class AdmissionService:
             # so recovery rebuilds the job under the identical handle.
             logged = dict(request.job)
             logged.setdefault("id", job.job_id)
-            lsn = self._wal_append(
-                {"v": protocol.PROTOCOL_VERSION, "type": "submit", "job": logged},
-                clamp,
-            )
+            # Mint the trace id *before* logging so the WAL frame
+            # carries it and recovery reuses the original id instead of
+            # re-minting (byte-identical recovered traces).
+            trace_id = request.trace
+            if trace_id is None and engine.telemetry:
+                trace_id = engine.peek_trace_id(job.job_id)
+            payload = {
+                "v": protocol.PROTOCOL_VERSION, "type": "submit", "job": logged,
+            }
+            if trace_id is not None:
+                payload["trace"] = trace_id
+            lsn = self._wal_append(payload, clamp)
             decision = self._apply_logged(
-                lsn, lambda: engine.submit(job, clamp_past=clamp)
+                lsn, lambda: engine.submit(job, clamp_past=clamp, trace=trace_id)
             )
-            return protocol.ok_response("decision", decision=decision.as_dict())
+            if lsn is not None:
+                engine.wal_lsns[job.job_id] = lsn
+            response = protocol.ok_response(
+                "decision", decision=decision.as_dict()
+            )
+            if trace_id is not None:
+                response["trace"] = trace_id
+            return response
         if isinstance(request, protocol.QueryRequest):
             job = engine.query(request.job_id)
             if job is None:
@@ -302,6 +339,15 @@ class AdmissionService:
             return protocol.ok_response("job", job=protocol.job_payload(job))
         if isinstance(request, protocol.StatsRequest):
             return protocol.ok_response("stats", stats=engine.stats())
+        if isinstance(request, protocol.TraceRequest):
+            try:
+                trace = engine.trace(request.job_id)
+            except KeyError:
+                raise ProtocolError(
+                    ErrorCode.NOT_FOUND,
+                    f"no decided job with id {request.job_id}",
+                ) from None
+            return protocol.ok_response("trace", trace=trace)
         if isinstance(request, protocol.AdvanceRequest):
             if getattr(engine.clock, "live", False):
                 raise ProtocolError(
@@ -379,9 +425,109 @@ class AdmissionService:
             self.engine.poll()
             return protocol.ok_response("stats", stats=self.engine.stats())
 
+    def health_response(self) -> dict[str, Any]:
+        """The ``GET /healthz`` payload: threshold-driven health status.
+
+        ``status`` is ``"ok"`` until the deadline-miss error budget is
+        fully burned (``slo.burn_rate > 1``) — then ``"degraded"`` —
+        and ``"draining"`` during shutdown (served as HTTP 503 so load
+        balancers stop routing).  Every field is derived from engine
+        counters and the injected clock, so under a ``VirtualClock``
+        the payload is deterministic.
+        """
+        with self._engine_lock:
+            self.engine.poll()
+            engine = self.engine
+            completed = len(engine.rms.completed)
+            missed = sum(
+                1 for j in engine.rms.completed if j.deadline_met is False
+            )
+            miss_ratio = missed / completed if completed else 0.0
+            burn_rate = miss_ratio / self.slo_deadline_miss_objective
+            appended = self.wal.next_lsn - 1 if self.wal is not None else 0
+            applied = engine.wal_lsn
+            with self._inflight_lock:
+                inflight = self._inflight
+                shed = self._shed_total
+            status = "ok"
+            if burn_rate > 1.0:
+                status = "degraded"
+            if self.draining:
+                status = "draining"
+            return {
+                "ok": status != "draining",
+                "status": status,
+                "t": engine.now,
+                "policy": engine.policy.name,
+                "slo": {
+                    "deadline_miss_objective": self.slo_deadline_miss_objective,
+                    "deadline_miss_ratio": miss_ratio,
+                    "burn_rate": burn_rate,
+                },
+                "wal": {
+                    "enabled": self.wal is not None,
+                    "appended_lsn": appended,
+                    "applied_lsn": applied,
+                    "lag": max(0, appended - applied),
+                },
+                "backpressure": {
+                    "inflight": inflight,
+                    "max_inflight": self.max_inflight,
+                    "shed_total": shed,
+                    "draining": self.draining,
+                },
+            }
+
+    def _scrape_engine_gauges(self) -> None:
+        """Refresh scrape-time gauges derived from engine state.
+
+        The cumulative request counters update inline; everything that
+        lives *inside* the engine (kernel trace accounting, admission
+        cache counters, windowed telemetry) is sampled here, under the
+        engine lock, each time ``/metrics`` is rendered.
+        """
+        with self._engine_lock:
+            engine = self.engine
+            trace = engine.sim.trace
+            if trace is not None:
+                self.registry.gauge(
+                    "engine_trace_events_recorded",
+                    "Events ever recorded by the kernel EventTrace",
+                ).set(trace.total_recorded)
+                self.registry.gauge(
+                    "engine_trace_events_dropped",
+                    "EventTrace records evicted at capacity (non-zero means "
+                    "the retained window is truncated)",
+                ).set(trace.dropped)
+            for key, value in sorted(engine.policy.cache_stats.items()):
+                self.registry.gauge(
+                    "engine_cache_stat",
+                    "Admission fast-path counters (see docs/PERFORMANCE.md)",
+                    stat=key,
+                ).set(value)
+            if engine.window is not None:
+                snap = engine.window.snapshot(engine.now)
+                for name, pol in snap["policies"].items():
+                    self.registry.gauge(
+                        "engine_window_submitted",
+                        "Jobs submitted inside the telemetry window",
+                        policy=name,
+                    ).set(pol["submitted"])
+                    self.registry.gauge(
+                        "engine_window_rejected",
+                        "Jobs rejected inside the telemetry window",
+                        policy=name,
+                    ).set(pol["rejected"])
+                    self.registry.gauge(
+                        "engine_window_loss_ratio",
+                        "Windowed rejected/submitted ratio per policy",
+                        policy=name,
+                    ).set(pol["loss_ratio"])
+
     def prometheus_text(self) -> str:
         from repro.obs.exporters import prometheus_text
 
+        self._scrape_engine_gauges()
         return prometheus_text(self.registry)
 
 
@@ -423,7 +569,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         if self.path == "/healthz":
-            self._send_json(200, {"ok": True})
+            health = self.service.health_response()
+            self._send_json(200 if health["ok"] else 503, health)
         elif self.path == "/v1/stats":
             self._send_json(200, self.service.stats_response())
         elif self.path == "/metrics":

@@ -525,7 +525,13 @@ def apply_record(engine: AdmissionEngine, record: WalRecord) -> Optional[str]:
     request = protocol.parse_request(record.req)
     if isinstance(request, protocol.SubmitRequest):
         job = protocol.job_from_payload(request.job, default_submit_time=record.t)
-        decision = engine.submit(job, clamp_past=record.clamp)
+        # The frame carries the trace id the original run minted (when
+        # telemetry was on); reusing it keeps recovered traces
+        # byte-identical to the uncrashed run.
+        decision = engine.submit(
+            job, clamp_past=record.clamp, trace=request.trace
+        )
+        engine.wal_lsns[job.job_id] = record.lsn
         return decision.outcome
     if isinstance(request, protocol.AdvanceRequest):
         engine.advance(request.to)

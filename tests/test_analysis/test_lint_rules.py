@@ -338,3 +338,91 @@ def test_api001_only_applies_to_contract_modules(tmp_path):
             return data
     """)
     assert "API001" not in _rules(findings)
+
+
+# -- CONC003 ------------------------------------------------------------------
+
+def test_conc003_flags_unlocked_ring_mutation(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        class Counter:
+            def note(self, t):
+                self._counts[0] += 1.0
+                self.cursor = t
+    """)
+    assert _rules(findings) == ["CONC003"]
+    assert len(findings) == 2
+    # The subscript write is attributed to the ring, not ignored.
+    assert "self._counts" in findings[0].message
+
+
+def test_conc003_flags_unlocked_container_method(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.metrics", """
+        class Histogram:
+            def observe(self, value):
+                self._values.append(value)
+    """)
+    assert _rules(findings) == ["CONC003"]
+    assert "append" in findings[0].message
+
+
+def test_conc003_silent_under_the_lock(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        class Counter:
+            def note(self, t):
+                with self._lock:
+                    self._counts[0] += 1.0
+                    self._values.append(t)
+    """)
+    assert findings == []
+
+
+def test_conc003_init_is_exempt(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._counts = [0.0]
+                self._lock = threading.Lock()
+    """)
+    assert findings == []
+
+
+def test_conc003_locked_pragma_honoured(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        class Counter:
+            def _advance(self, t):  # repro-lint: locked  callers hold self._lock
+                self.cursor = t
+    """)
+    assert findings == []
+
+
+def test_conc003_ignores_locals_and_other_modules(tmp_path):
+    # Local variables are thread-private; other repro.obs modules
+    # (exporters, console) are out of scope for this rule.
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        class Counter:
+            def snapshot(self):
+                out = []
+                out.append(1)
+                return out
+    """)
+    assert findings == []
+    findings = _lint(tmp_path, "repro.obs.console", """
+        class View:
+            def poll(self):
+                self.last = 1
+    """)
+    assert findings == []
+
+
+def test_conc003_nested_def_does_not_inherit_lock(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        class Counter:
+            def start(self):
+                with self._lock:
+                    def worker():
+                        self.cursor = 1.0
+                    return worker
+    """)
+    assert _rules(findings) == ["CONC003"]

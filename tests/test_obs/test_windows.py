@@ -1,0 +1,215 @@
+"""Tests for the constant-memory windowed telemetry primitives."""
+
+import threading
+
+import pytest
+
+from repro.obs.windows import (
+    MAX_REASONS,
+    OVERFLOW_REASON,
+    PolicyWindow,
+    RingHistogram,
+    WindowAggregator,
+    WindowedCounter,
+    window_percentile,
+)
+
+
+class TestWindowPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            window_percentile([], 50.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="0, 100"):
+            window_percentile([1.0], 150.0)
+
+    def test_single_value(self):
+        assert window_percentile([7.0], 0.0) == 7.0
+        assert window_percentile([7.0], 100.0) == 7.0
+
+    def test_linear_interpolation(self):
+        data = [0.0, 10.0]
+        assert window_percentile(data, 50.0) == pytest.approx(5.0)
+        assert window_percentile(data, 99.9) == pytest.approx(9.99)
+
+    def test_monotone_in_q(self):
+        data = sorted(float(i) for i in range(37))
+        qs = [0.0, 50.0, 90.0, 99.0, 99.9, 100.0]
+        values = [window_percentile(data, q) for q in qs]
+        assert values == sorted(values)
+
+
+class TestWindowedCounter:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedCounter(window=0.0)
+        with pytest.raises(ValueError, match="buckets"):
+            WindowedCounter(buckets=0)
+
+    def test_counts_within_window(self):
+        counter = WindowedCounter(window=60.0, buckets=6)
+        for t in (0.0, 10.0, 20.0):
+            counter.note(t)
+        assert counter.total(20.0) == 3.0
+        assert counter.rate(20.0) == pytest.approx(3.0 / 60.0)
+
+    def test_old_events_slide_out(self):
+        counter = WindowedCounter(window=60.0, buckets=6)
+        counter.note(0.0)
+        counter.note(5.0)
+        # Reading far past the window must decay the count to zero.
+        assert counter.total(0.0) == 2.0
+        assert counter.total(500.0) == 0.0
+
+    def test_huge_time_jump_zeroes_everything(self):
+        counter = WindowedCounter(window=60.0, buckets=6)
+        counter.note(1.0)
+        counter.note(1e9)
+        assert counter.total(1e9) == 1.0
+
+    def test_stale_read_behind_cursor_is_harmless(self):
+        counter = WindowedCounter(window=60.0, buckets=6)
+        counter.note(100.0)
+        # A reader with an older timestamp must not rewind the ring.
+        assert counter.total(40.0) == 1.0
+        assert counter.total(100.0) == 1.0
+
+    def test_memory_is_constant(self):
+        counter = WindowedCounter(window=10.0, buckets=5)
+        for i in range(10_000):
+            counter.note(float(i))
+        assert len(counter._counts) == 5
+
+
+class TestRingHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingHistogram(capacity=0)
+
+    def test_empty_quantiles_are_zero(self):
+        assert RingHistogram().quantiles() == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0,
+        }
+
+    def test_quantiles_ordering(self):
+        hist = RingHistogram(capacity=100)
+        for i in range(100):
+            hist.observe(float(i))
+        q = hist.quantiles()
+        assert q["p50"] <= q["p90"] <= q["p99"] <= q["p999"] <= 99.0
+        assert q["p50"] == pytest.approx(49.5)
+
+    def test_eviction_bounds_memory(self):
+        hist = RingHistogram(capacity=8)
+        for i in range(100):
+            hist.observe(float(i))
+        assert len(hist) == 8
+        assert hist.total_observed == 100
+        assert hist.evicted == 92
+        # Quantiles describe the retained suffix only.
+        assert hist.quantiles()["p50"] >= 92.0
+
+
+class TestPolicyWindow:
+    def test_loss_ratio(self):
+        win = PolicyWindow(window=100.0, buckets=10)
+        win.note_decision(1.0, "accepted")
+        win.note_decision(2.0, "rejected", "deadline_infeasible")
+        win.note_decision(3.0, "rejected", "deadline_infeasible")
+        assert win.loss_ratio(3.0) == pytest.approx(2.0 / 3.0)
+        snap = win.snapshot(3.0)
+        assert snap["submitted"] == 3.0
+        assert snap["rejected"] == 2.0
+        assert snap["reject_reasons"] == {"deadline_infeasible": 2.0}
+
+    def test_idle_window_has_zero_loss(self):
+        assert PolicyWindow().loss_ratio(0.0) == 0.0
+
+    def test_unspecified_reason_gets_a_name(self):
+        win = PolicyWindow(window=100.0, buckets=10)
+        win.note_decision(1.0, "rejected", "")
+        assert win.snapshot(1.0)["reject_reasons"] == {"<unspecified>": 1.0}
+
+    def test_reason_cardinality_is_capped(self):
+        win = PolicyWindow(window=1000.0, buckets=10)
+        for i in range(MAX_REASONS + 20):
+            win.note_decision(1.0, "rejected", f"reason-{i:03d}")
+        snap = win.snapshot(1.0)
+        assert len(snap["reject_reasons"]) == MAX_REASONS + 1
+        assert snap["reject_reasons"][OVERFLOW_REASON] == 20.0
+
+    def test_expired_reasons_drop_from_snapshot(self):
+        win = PolicyWindow(window=10.0, buckets=5)
+        win.note_decision(0.0, "rejected", "stale")
+        assert win.snapshot(500.0)["reject_reasons"] == {}
+
+
+class TestWindowAggregator:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowAggregator(window=-1.0)
+        with pytest.raises(ValueError, match="buckets"):
+            WindowAggregator(buckets=0)
+
+    def test_snapshot_shape(self):
+        agg = WindowAggregator(window=100.0, buckets=10)
+        agg.note_decision(1.0, "librarisk", "accepted")
+        agg.note_decision(2.0, "librarisk", "rejected", "risk_too_high")
+        snap = agg.snapshot(2.0)
+        assert snap["t"] == 2.0
+        assert snap["window_s"] == 100.0
+        assert list(snap["policies"]) == ["librarisk"]
+        assert snap["policies"]["librarisk"]["loss_ratio"] == pytest.approx(0.5)
+
+    def test_replay_reproduces_live_state(self):
+        class FakeDecision:
+            def __init__(self, t, outcome, reason=""):
+                self.t = t
+                self.policy = "edf"
+                self.outcome = outcome
+                self.reason = reason
+
+        decisions = [
+            FakeDecision(1.0, "accepted"),
+            FakeDecision(2.0, "rejected", "no_capacity"),
+            FakeDecision(3.0, "accepted"),
+        ]
+        live = WindowAggregator(window=50.0, buckets=10)
+        for d in decisions:
+            live.note_decision(d.t, d.policy, d.outcome, d.reason)
+        restored = WindowAggregator(window=50.0, buckets=10)
+        restored.replay(decisions)
+        assert restored.snapshot(3.0) == live.snapshot(3.0)
+
+    def test_concurrent_notes_do_not_lose_counts(self):
+        agg = WindowAggregator(window=1000.0, buckets=10)
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for i in range(per_thread):
+                agg.note_decision(float(i % 100), "edf", "rejected", "race")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = agg.snapshot(100.0)["policies"]["edf"]
+        assert snap["submitted"] == float(n_threads * per_thread)
+        assert snap["rejected"] == float(n_threads * per_thread)
+
+    def test_soak_memory_is_o_window_not_o_jobs(self):
+        """100k decisions must not grow state beyond the window rings."""
+        agg = WindowAggregator(window=3600.0, buckets=60)
+        probes = []
+        for i in range(100_000):
+            outcome = "rejected" if i % 3 == 0 else "accepted"
+            agg.note_decision(float(i), "librarisk", outcome,
+                              f"reason-{i % 5}" if outcome == "rejected" else "")
+            if i in (1_000, 50_000, 99_999):
+                probes.append(agg.memory_items())
+        # One policy, <= 5 distinct reasons: (2 + 5) * 60 cells max.
+        assert max(probes) <= (2 + 5) * 60
+        # Memory stopped growing long before the soak ended.
+        assert probes[-1] == probes[-2]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.service.engine import AdmissionEngine, EngineConfig
 from repro.service.loadgen import (
+    DEFAULT_LATENCY_BUCKETS,
     LoadGenerator,
     ServiceClient,
     job_request_payload,
@@ -105,3 +106,63 @@ class TestLoadGenerator:
         # the run completes and counts them instead of aborting.
         assert report.outcomes.get("unavailable") == 2
         assert all(r.status == 0 for r in report.results)
+
+
+class TestLatencyHistogram:
+    """The configurable latency buckets and the p99.9 summary column."""
+
+    @pytest.fixture
+    def server(self):
+        engine = AdmissionEngine(
+            EngineConfig(policy="librarisk", num_nodes=4, rating=1.0)
+        )
+        srv = ServiceServer(AdmissionService(engine), port=0).start()
+        yield srv
+        srv.stop()
+
+    def jobs(self, n: int):
+        return [
+            make_job(runtime=5.0, deadline=1000.0, submit=float(i), job_id=i + 1)
+            for i in range(n)
+        ]
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert all(b > 0 for b in DEFAULT_LATENCY_BUCKETS)
+
+    def test_bucket_validation(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ValueError, match="ascending"):
+            LoadGenerator(client, self.jobs(1), latency_buckets=[0.1, 0.1])
+        with pytest.raises(ValueError, match="positive"):
+            LoadGenerator(client, self.jobs(1), latency_buckets=[-1.0, 0.1])
+        with pytest.raises(ValueError, match="empty"):
+            LoadGenerator(client, self.jobs(1), latency_buckets=[])
+
+    def test_histogram_is_cumulative_with_inf(self, server):
+        client = ServiceClient(server.url, timeout=5.0)
+        report = LoadGenerator(
+            client, self.jobs(8), speedup=1e9,
+            latency_buckets=[0.5, 2.0, 60.0],
+        ).run()
+        hist = report.latency_histogram
+        assert list(hist) == ["0.5", "2", "60", "+Inf"]
+        counts = list(hist.values())
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert counts[-1] == 8  # +Inf counts every observation
+        assert hist["60"] == 8  # local requests land well under 60 s
+
+    def test_p999_is_reported_and_ordered(self, server):
+        client = ServiceClient(server.url, timeout=5.0)
+        report = LoadGenerator(client, self.jobs(8), speedup=1e9).run()
+        assert report.latency_p99 <= report.latency_p999 <= report.latency_max
+        assert "p99.9=" in str(report)
+        data = report.as_dict()
+        assert data["latency_p999"] == report.latency_p999
+        assert data["latency_histogram"] == report.latency_histogram
+
+    def test_empty_stream_reports_empty_histogram(self, server):
+        client = ServiceClient(server.url, timeout=5.0)
+        report = LoadGenerator(client, [], speedup=1e9).run()
+        assert report.latency_p999 == 0.0
+        assert report.latency_histogram == {}
