@@ -14,7 +14,15 @@ One scripted crash is exercised at every WAL crash point::
     wal.after_append    logged but never applied
     wal.after_apply     applied but never acked
 
-Exit status 0 iff every crash point recovers to the baseline metrics.
+A fourth scenario exercises the sharded fleet: a 4-worker
+``repro serve --shards``-style deployment is driven through a
+:class:`~repro.service.sharding.ShardRouter`, one worker is killed with
+a real ``SIGKILL`` mid-stream, the supervisor respawns it, it recovers
+from its own shard WAL, and the merged drained metrics must be
+byte-identical to an un-killed run of the same fleet — while the
+surviving shards kept answering throughout the outage.
+
+Exit status 0 iff every scenario recovers to its baseline metrics.
 
 Usage::
 
@@ -191,6 +199,197 @@ def run_crash_point(point: str, jobs, port: int, baseline: dict) -> bool:
     return True
 
 
+SHARDS = 4
+KILL_AFTER = 12  # SIGKILL a worker once this many jobs are in
+
+
+def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
+    """Drive one sharded fleet to drain; optionally SIGKILL a worker.
+
+    Returns ``(merged_metrics, per_shard_metrics, restarts, report)``
+    where ``report`` is a dict of facts about the outage (which shard
+    died, how many submits the survivors answered while it was down).
+    """
+    import signal
+
+    from repro.service.engine import EngineConfig
+    from repro.service.sharding import (
+        ShardRouter,
+        ShardSupervisor,
+        WorkerSpec,
+        shard_for_submit,
+        shard_path,
+    )
+
+    wal_base = os.path.join(workdir, "fleet.wal")
+    specs = []
+    for shard in range(SHARDS):
+        port = base_port + shard
+        specs.append(WorkerSpec(
+            shard_id=shard,
+            cmd=[
+                sys.executable, "-m", "repro", "serve", "--policy", POLICY,
+                "--nodes", str(NODES), "--port", str(port),
+                "--shard-id", str(shard), "--shard-count", str(SHARDS),
+                "--wal", shard_path(wal_base, shard, SHARDS),
+            ],
+            url=f"http://127.0.0.1:{port}",
+            env=server_env(),
+        ))
+    router = ShardRouter(
+        EngineConfig(policy=POLICY, num_nodes=NODES),
+        [spec.url for spec in specs],
+        timeout=5.0,
+    )
+    supervisor = ShardSupervisor(
+        specs, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    supervisor.router = router
+
+    # The victim is the shard owning the job at the kill index, so the
+    # stream is guaranteed to route submits at a dead shard.  The jobs
+    # after the kill are sent survivors-first: cross-shard interleaving
+    # is irrelevant to any shard's state (each engine only ever sees
+    # its own jobs, in its own order), and it lets the surviving shards
+    # prove they keep admitting while the victim is down.
+    victim = None
+    order = list(jobs)
+    if kill:
+        victim = shard_for_submit(
+            jobs[KILL_AFTER].job_id, jobs[KILL_AFTER].user, SHARDS,
+        )
+        rest = jobs[KILL_AFTER:]
+        order = jobs[:KILL_AFTER] + [
+            j for j in rest
+            if shard_for_submit(j.job_id, j.user, SHARDS) != victim
+        ] + [
+            j for j in rest
+            if shard_for_submit(j.job_id, j.user, SHARDS) == victim
+        ]
+
+    report = {"victim": victim, "served_during_outage": 0, "retried": 0,
+              "down_during_outage": None, "reachable_during_outage": None}
+    with supervisor:
+        supervisor.start(wait_healthy=True, timeout=60.0)
+        victim_recovered = False
+        for index, job in enumerate(order):
+            if kill and index == KILL_AFTER:
+                os.kill(router.shard_pids[victim], signal.SIGKILL)
+                health = router.health_response()
+                stats = router.stats_response()["stats"]
+                report["down_during_outage"] = health["shards_down"]
+                report["reachable_during_outage"] = stats["shards_reachable"]
+                print(f"  [shard-kill] SIGKILL shard {victim} worker; fleet "
+                      f"reports {health['status']!r} with "
+                      f"{health['shards_down']} shard(s) down, "
+                      f"{stats['shards_reachable']}/{SHARDS} shards "
+                      f"reachable")
+            body = json.dumps(submit_request(job)).encode()
+            attempts = 0
+            deadline = time.monotonic() + 30.0
+            while True:
+                attempts += 1
+                status, response = router.handle(body)
+                if status == 200:
+                    break
+                if time.monotonic() > deadline:
+                    raise SystemExit(
+                        f"job {job.job_id} still failing after 30s: "
+                        f"HTTP {status} {response}"
+                    )
+                time.sleep(0.2)
+            if victim is not None and index >= KILL_AFTER:
+                shard = shard_for_submit(job.job_id, job.user, SHARDS)
+                if shard == victim:
+                    victim_recovered = True
+                elif attempts == 1 and not victim_recovered:
+                    report["served_during_outage"] += 1
+            if attempts > 1:
+                report["retried"] += 1
+        # The drain fans out to every shard, so wait for the whole
+        # fleet (including the respawned victim) to be reachable again.
+        # Keyed on shards_down, not the merged status: tiny 2-node
+        # shards legitimately burn their deadline-miss budget and
+        # report (SLO-)"degraded" while serving perfectly well.
+        deadline = time.monotonic() + 30.0
+        while router.health_response()["shards_down"] != 0:
+            if time.monotonic() > deadline:
+                raise SystemExit("a shard never came back after the kill")
+            time.sleep(0.2)
+        status, drained = router.handle(
+            json.dumps({"v": protocol.PROTOCOL_VERSION, "type": "drain"})
+            .encode()
+        )
+        if status != 200:
+            raise SystemExit(f"sharded drain failed: HTTP {status} {drained}")
+        restarts = supervisor.restart_counts()
+    return drained["metrics"], drained.get("shards", {}), restarts, report
+
+
+def run_shard_kill(jobs, base_port: int) -> bool:
+    """SIGKILL one of four shard workers mid-stream; require byte-identical
+    merged metrics vs an un-killed run of the same sharded fleet."""
+    clean_dir = tempfile.mkdtemp(prefix="chaos-shard-clean-")
+    killed_dir = tempfile.mkdtemp(prefix="chaos-shard-killed-")
+
+    clean, clean_shards, clean_restarts, _ = run_sharded_fleet(
+        jobs, base_port, clean_dir, kill=False,
+    )
+    if any(clean_restarts.values()):
+        print(f"  [shard-kill] baseline fleet restarted workers "
+              f"unexpectedly: {clean_restarts}")
+        return False
+    print(f"  [shard-kill] baseline fleet drained: "
+          f"{clean['pct_deadlines_fulfilled']:.1f}% deadlines fulfilled")
+
+    killed, killed_shards, restarts, report = run_sharded_fleet(
+        jobs, base_port + SHARDS, killed_dir, kill=True,
+    )
+    victim = report["victim"]
+    if victim is None or restarts.get(victim) != 1:
+        print(f"  [shard-kill] supervisor did not restart the killed "
+              f"worker exactly once (victim={victim}, restarts={restarts})")
+        return False
+    others = {k: v for k, v in restarts.items() if k != victim}
+    if any(others.values()):
+        print(f"  [shard-kill] surviving workers restarted too: {others}")
+        return False
+    print(f"  [shard-kill] supervisor respawned shard {victim} "
+          f"(restarts {restarts}); survivors answered "
+          f"{report['served_during_outage']} submit(s) during the outage; "
+          f"{report['retried']} submit(s) needed retries")
+    if report["reachable_during_outage"] != SHARDS - 1:
+        print(f"  [shard-kill] expected {SHARDS - 1} shards reachable right "
+              f"after the kill, saw {report['reachable_during_outage']}")
+        return False
+    if report["down_during_outage"] != 1:
+        # The probe runs milliseconds after the SIGKILL; a respawned
+        # worker takes far longer than that to boot, so /healthz must
+        # have seen exactly the victim down while the rest served.
+        print(f"  [shard-kill] /healthz saw {report['down_during_outage']} "
+              f"shard(s) down during the outage, expected exactly 1")
+        return False
+    if report["served_during_outage"] < 1:
+        print("  [shard-kill] no surviving shard answered during the outage")
+        return False
+
+    ok = True
+    if killed != clean:
+        print("  [shard-kill] MERGED METRICS DIVERGED")
+        for key in sorted(set(clean) | set(killed)):
+            got, want = killed.get(key), clean.get(key)
+            if got != want:
+                print(f"    {key}: killed={got!r} clean={want!r}")
+        ok = False
+    if killed_shards != clean_shards:
+        print("  [shard-kill] PER-SHARD METRICS DIVERGED")
+        ok = False
+    if ok:
+        print("  [shard-kill] merged + per-shard metrics byte-identical "
+              "to the un-killed fleet")
+    return ok
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--port", type=int, default=8461)
@@ -211,6 +410,8 @@ def main() -> int:
     for offset, point in enumerate(CRASH_POINTS):
         print(f"crash point {point}:")
         ok = run_crash_point(point, jobs, args.port + offset, baseline) and ok
+    print(f"shard kill ({SHARDS} workers):")
+    ok = run_shard_kill(jobs, args.port + 100) and ok
     print("chaos smoke: " + ("PASS" if ok else "FAIL"))
     return 0 if ok else 1
 

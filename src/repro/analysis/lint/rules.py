@@ -55,8 +55,13 @@ SERVICE_PACKAGE = "repro.service"
 #: self-mutations are single-threaded by contract (callers lock).
 CONC001_EXEMPT_MODULES = ("repro.service.engine",)
 
-#: Modules whose public functions must be fully annotated (API001).
-FULLY_ANNOTATED_MODULES = ("repro.service.protocol", "repro.scheduling.base")
+#: Modules (or whole packages) whose public functions must be fully
+#: annotated (API001); matched by prefix like the package scopes above.
+FULLY_ANNOTATED_MODULES = (
+    "repro.service.protocol",
+    "repro.service.sharding",
+    "repro.scheduling.base",
+)
 
 #: Shared-metric modules whose instance state is mutated from HTTP
 #: handler threads and the engine thread at once (CONC003).
@@ -631,14 +636,15 @@ class PublicAnnotationRule(Rule):
     id = "API001"
     title = "public protocol/policy-base functions fully type-annotated"
     rationale = (
-        "repro.service.protocol and repro.scheduling.base are the two "
-        "contracts everything else plugs into; complete annotations keep "
-        "mypy strict mode meaningful there and make wire-schema drift a "
-        "type error instead of a runtime surprise."
+        "repro.service.protocol, repro.service.sharding and "
+        "repro.scheduling.base are the contracts everything else plugs "
+        "into; complete annotations keep mypy strict mode meaningful "
+        "there and make wire-schema drift a type error instead of a "
+        "runtime surprise."
     )
 
     def applies(self, module: str) -> bool:
-        return module in FULLY_ANNOTATED_MODULES
+        return _in_packages(module, FULLY_ANNOTATED_MODULES)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         yield from self._check_body(ctx, ctx.tree.body, in_class=False)

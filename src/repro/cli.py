@@ -263,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "the committed entry and fail on >--max-regression")
     p.add_argument("--max-regression", type=float, default=2.0,
                    help="allowed slowdown factor for --check (default 2.0)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="benchmark sharded submit throughput at 1..N worker "
+                        "processes (records BENCH_shard.json)")
+    p.add_argument("--min-scaling", type=float, default=2.0,
+                   help="with --shards --check: minimum accepted throughput "
+                        "ratio of the largest shard count over 1 shard "
+                        "(default 2.0)")
     p.add_argument("--obs", action="store_true",
                    help="measure observability instrumentation overhead "
                         "instead (tracing+windows on vs off; tracked in "
@@ -344,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-after", type=float, default=1.0,
                    help="backoff hint (seconds) attached to overloaded/"
                         "shutting-down responses (default 1.0)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the cluster across N worker processes "
+                        "behind a routing front-end (default 1: a single "
+                        "in-process engine); workers bind --port+1..+N")
+    p.add_argument("--shard-id", type=int, default=0, metavar="K",
+                   help="worker mode: serve shard K of --shard-count "
+                        "(normally set by the --shards supervisor, not by hand)")
+    p.add_argument("--shard-count", type=int, default=1, metavar="N",
+                   help="worker mode: total shard count this worker belongs to")
     p.add_argument("--window", type=float, default=None, metavar="SECONDS",
                    help="trailing window for the windowed telemetry block "
                         "in /v1/stats and /metrics (simulated seconds, "
@@ -388,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain", action="store_true",
                    help="in --url mode, send a drain request after the "
                         "stream and print the final metrics")
+    p.add_argument("--batch", type=int, default=1, metavar="N",
+                   help="jobs per request with --url: N > 1 packs consecutive "
+                        "jobs into batch-submit frames (N=1: plain submits, "
+                        "the pre-batch wire format)")
     p.add_argument("--retries", type=int, default=1,
                    help="in --url mode, attempts per request (>1 enables the "
                         "retrying client with exponential backoff)")
@@ -457,6 +477,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.faults import FaultInjector, FaultSpec
     from repro.service.server import AdmissionService, ServiceServer
 
+    if args.shards < 1 or args.shard_count < 1:
+        print("repro serve: --shards/--shard-count must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.shard_count > 1:
+        print("repro serve: --shards (supervisor mode) and --shard-count "
+              "(worker mode) are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _cmd_serve_sharded(args)
+    if not 0 <= args.shard_id < args.shard_count:
+        print("repro serve: --shard-id must be in [0, --shard-count)",
+              file=sys.stderr)
+        return 2
+
     faults = None
     if args.faults is not None:
         try:
@@ -504,11 +538,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"restored engine from {args.restore}: policy={engine.policy.name} "
               f"t={engine.now:.6g}s, {len(engine.rms.jobs)} jobs known")
     else:
-        engine = AdmissionEngine(
-            EngineConfig(policy=args.policy, num_nodes=args.nodes,
-                         rating=args.rating),
-            obs=session,
-        )
+        config = EngineConfig(policy=args.policy, num_nodes=args.nodes,
+                              rating=args.rating)
+        if args.shard_count > 1:
+            # Worker mode: --nodes names the *whole* cluster; this process
+            # serves only its deterministic slice of it.
+            from repro.service.sharding.partition import plan_shards
+
+            config = plan_shards(config, args.shard_count)[args.shard_id]
+        engine = AdmissionEngine(config, obs=session)
     if args.live:
         # The wall clock starts from the engine's (possibly restored)
         # simulated time, so live mode resumes where the checkpoint left off.
@@ -555,8 +593,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     server.start()
     mode = f"live (speedup {args.speedup:g})" if args.live else "virtual clock"
+    shard_note = ""
+    if engine.config.shard_count > 1:
+        shard_note = (f", shard {engine.config.shard_id} of "
+                      f"{engine.config.shard_count}")
     print(f"serving {engine.policy.name} on {server.url} "
-          f"({len(engine.cluster)} nodes, {mode}); Ctrl-C to stop", flush=True)
+          f"({len(engine.cluster)} nodes, {mode}{shard_note}); Ctrl-C to stop",
+          flush=True)
     stop.wait()
     print("\nshutting down...", flush=True)
     clean = server.stop()
@@ -576,6 +619,117 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "period; state may not be fully flushed", file=sys.stderr)
         return 1
     return 0
+
+
+def shard_worker_command(args: argparse.Namespace, shard_id: int,
+                         port: int) -> list:
+    """The ``repro serve`` worker command line for one shard.
+
+    Derived entirely from the supervisor's own flags, so a dead worker
+    can be respawned with the identical command — including the shard's
+    namespaced WAL, which is what makes the respawn *recover* rather
+    than restart fresh.
+    """
+    from repro.service.sharding.paths import shard_path
+
+    n = args.shards
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--policy", args.policy, "--nodes", str(args.nodes),
+        "--rating", str(args.rating), "--host", args.host,
+        "--port", str(port),
+        "--shard-id", str(shard_id), "--shard-count", str(n),
+        "--max-request-bytes", str(args.max_request_bytes),
+        "--max-inflight", str(args.max_inflight),
+        "--retry-after", str(args.retry_after),
+        "--wal-fsync", args.wal_fsync,
+    ]
+    if args.live:
+        cmd += ["--live", "--speedup", str(args.speedup)]
+    if args.wal is not None:
+        cmd += ["--wal", shard_path(args.wal, shard_id, n)]
+    if args.restore is not None:
+        cmd += ["--restore", shard_path(args.restore, shard_id, n)]
+    if args.checkpoint_on_exit is not None:
+        cmd += ["--checkpoint-on-exit",
+                shard_path(args.checkpoint_on_exit, shard_id, n)]
+    if args.no_telemetry:
+        cmd += ["--no-telemetry"]
+    elif args.window is not None:
+        cmd += ["--window", str(args.window)]
+    if args.faults is not None:
+        cmd += ["--faults", args.faults]
+    return cmd
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: supervisor + router over N workers."""
+    import signal
+    import threading
+
+    from repro.service.engine import EngineConfig
+    from repro.service.sharding.paths import shard_port
+    from repro.service.sharding.router import RouterServer, ShardRouter
+    from repro.service.sharding.supervisor import (
+        ShardSupervisor,
+        WorkerSpec,
+        free_ports,
+    )
+
+    base = EngineConfig(policy=args.policy, num_nodes=args.nodes,
+                        rating=args.rating)
+    if args.nodes < args.shards:
+        print(f"repro serve: cannot split {args.nodes} nodes into "
+              f"{args.shards} shards", file=sys.stderr)
+        return 2
+    if args.port == 0:
+        ports = free_ports(args.shards)
+    else:
+        ports = [shard_port(args.port, i) for i in range(args.shards)]
+    specs = [
+        WorkerSpec(
+            shard_id=i,
+            cmd=shard_worker_command(args, i, ports[i]),
+            url=f"http://{args.host}:{ports[i]}",
+        )
+        for i in range(args.shards)
+    ]
+    router = ShardRouter(
+        base, [spec.url for spec in specs],
+        max_request_bytes=args.max_request_bytes,
+    )
+    supervisor = ShardSupervisor(specs)
+    supervisor.router = router
+    try:
+        supervisor.start(wait_healthy=True)
+    except (TimeoutError, RuntimeError, OSError) as exc:
+        print(f"repro serve: shard workers failed to start: {exc}",
+              file=sys.stderr)
+        supervisor.stop()
+        return 1
+    server = RouterServer(router, host=args.host, port=args.port)
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+
+    server.start()
+    pids = supervisor.pids()
+    print(f"routing {args.policy} on {server.url} across {args.shards} "
+          f"shard workers ({args.nodes} nodes total); worker pids "
+          + ", ".join(f"{i}:{pids.get(i, '?')}" for i in range(args.shards))
+          + "; Ctrl-C to stop", flush=True)
+    stop.wait()
+    print("\nshutting down router and shard workers...", flush=True)
+    clean = server.stop()
+    supervisor.stop()
+    restarts = supervisor.restart_counts()
+    total_restarts = sum(restarts.values())
+    if total_restarts:
+        print("worker restarts: " + ", ".join(
+            f"shard {i}: {n}" for i, n in sorted(restarts.items()) if n
+        ))
+    return 0 if clean else 1
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -628,10 +782,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         try:
             generator = LoadGenerator(
                 client, jobs, speedup=speedup, workers=args.workers,
-                latency_buckets=args.latency_buckets,
+                latency_buckets=args.latency_buckets, batch=args.batch,
             )
         except ValueError as exc:
-            print(f"repro replay: bad --latency-buckets: {exc}", file=sys.stderr)
+            print(f"repro replay: bad --latency-buckets/--batch: {exc}",
+                  file=sys.stderr)
             return 2
         report = generator.run()
         print(report)
@@ -715,12 +870,62 @@ def _cmd_bench_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_shards(args: argparse.Namespace) -> int:
+    """``repro bench --shards N``: fleet ingest scaling, tracked + gated."""
+    from repro.experiments import bench as bench_mod
+
+    if args.shards < 1:
+        print("repro bench: --shards must be >= 1", file=sys.stderr)
+        return 2
+    label = args.label or bench_mod.bench_label(args.jobs, args.nodes)
+    out_path = args.out or bench_mod.BENCH_SHARD_FILENAME
+    policy = args.policies[0] if args.policies else "librarisk"
+    counts = sorted({1, *(
+        c for c in (2, args.shards) if 1 < c <= args.shards
+    )})
+    section = bench_mod.run_bench_shard(
+        jobs=args.jobs, nodes=args.nodes, seed=args.seed, policy=policy,
+        shard_counts=counts, progress=_progress_printer(args.verbose),
+    )
+    for count in counts:
+        record = section["shards"][str(count)]
+        ratio = section["scaling"].get(str(count))
+        suffix = f"  ({ratio:.2f}x vs 1 shard)" if ratio is not None else ""
+        print(
+            f"{policy}: {count} shard(s) {record['jobs_per_sec']:>9.1f} jobs/s "
+            f"({record['errors']} errors){suffix}"
+        )
+    if args.check:
+        failures = bench_mod.check_shard_scaling(
+            section, min_scaling=args.min_scaling
+        )
+        if failures:
+            for failure in failures:
+                print(f"repro bench: SCALING: {failure}", file=sys.stderr)
+            return 1
+        print(f"shard scaling check passed (largest fleet is >= "
+              f"{args.min_scaling:g}x a single shard)")
+        return 0
+    bench_mod.update_bench_file(
+        out_path, label, section, record_baseline=args.record_baseline
+    )
+    print(f"\nwrote {'baseline' if args.record_baseline else 'current'} "
+          f"shard-scaling numbers for label {label!r} to {out_path}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: measure and track admission throughput."""
     from repro.experiments import bench as bench_mod
 
+    if args.obs and args.shards:
+        print("repro bench: --obs and --shards are separate benchmarks; "
+              "pick one", file=sys.stderr)
+        return 2
     if args.obs:
         return _cmd_bench_obs(args)
+    if args.shards:
+        return _cmd_bench_shards(args)
 
     policies = args.policies if args.policies else list(bench_mod.DEFAULT_POLICIES)
     label = args.label or bench_mod.bench_label(args.jobs, args.nodes)

@@ -42,6 +42,9 @@ BENCH_FILENAME = "BENCH_admission.json"
 #: Instrumentation-overhead benchmark file (``repro bench --obs``).
 BENCH_OBS_FILENAME = "BENCH_obs.json"
 
+#: Sharded submit-throughput benchmark file (``repro bench --shards``).
+BENCH_SHARD_FILENAME = "BENCH_shard.json"
+
 #: Acceptable tracing+windowed-telemetry overhead on the submit path.
 MAX_OBS_OVERHEAD_PCT = 5.0
 
@@ -251,6 +254,203 @@ def check_obs_overhead(
             f"{fresh['telemetry_off']['wall_s']}s"
         ]
     return []
+
+
+# -- sharded throughput (``repro bench --shards``) ----------------------------
+
+#: Minimum acceptable N-shard over 1-shard submit-throughput ratio.
+MIN_SHARD_SCALING = 2.0
+
+
+def _shard_worker_env() -> dict[str, str]:
+    """A child env that can import ``repro`` the way this process does.
+
+    Worker processes are spawned as ``python -m repro serve``; the repo
+    is normally driven with ``PYTHONPATH=src``, which children inherit,
+    but an installed/relocated parent would not pass it on — so the
+    package root is prepended explicitly.
+    """
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root + (os.pathsep + prior if prior else "")
+    return env
+
+
+def _bench_shard_count(
+    config: ScenarioConfig, num_shards: int, batch: int
+) -> dict[str, Any]:
+    """Spawn ``num_shards`` worker processes and time one full submit run.
+
+    The drive path is the production one end to end: payloads are
+    grouped into batch frames, routed by an in-process
+    :class:`~repro.service.sharding.ShardRouter` (stable hash, per-shard
+    sub-frames, concurrent forwarding) to real ``repro serve``
+    subprocesses over HTTP.  One ordered sender, so the measured number
+    is the fleet's sustainable ingest rate, not a concurrency artefact.
+    """
+    import subprocess
+    import sys
+
+    from repro.service import protocol
+    from repro.service.engine import EngineConfig
+    from repro.service.loadgen import job_request_payload
+    from repro.service.sharding.router import ShardRouter
+    from repro.service.sharding.supervisor import (
+        ShardSupervisor,
+        WorkerSpec,
+        free_ports,
+    )
+
+    payloads = [job_request_payload(job) for job in build_scenario_jobs(config)]
+    groups = [payloads[i:i + batch] for i in range(0, len(payloads), batch)]
+    frames = [
+        protocol.encode({
+            "v": protocol.PROTOCOL_VERSION, "type": "batch", "jobs": group,
+        })
+        for group in groups
+    ]
+    env = _shard_worker_env()
+    ports = free_ports(num_shards)
+    specs = [
+        WorkerSpec(
+            shard_id=i,
+            cmd=[
+                sys.executable, "-m", "repro", "serve",
+                "--policy", config.policy,
+                "--nodes", str(config.num_nodes),
+                "--host", "127.0.0.1", "--port", str(ports[i]),
+                "--shard-id", str(i), "--shard-count", str(num_shards),
+            ],
+            url=f"http://127.0.0.1:{ports[i]}",
+            env=env,
+        )
+        for i in range(num_shards)
+    ]
+    router = ShardRouter(
+        EngineConfig(policy=config.policy, num_nodes=config.num_nodes),
+        [spec.url for spec in specs],
+    )
+    supervisor = ShardSupervisor(
+        specs, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    supervisor.router = router
+    ok = 0
+    errors = 0
+    with supervisor:
+        supervisor.start(wait_healthy=True, timeout=60.0)
+        t0 = time.perf_counter()
+        for group, frame in zip(groups, frames):
+            status, response = router.handle(frame)
+            if response.get("ok"):
+                for item in response["results"]:
+                    if item.get("ok"):
+                        ok += 1
+                    else:
+                        errors += 1
+            else:
+                errors += len(group)
+        wall = time.perf_counter() - t0
+    n = len(payloads)
+    return {
+        "wall_s": round(wall, 4),
+        "jobs_per_sec": round(n / wall, 1) if wall > 0 else 0.0,
+        "ok": ok,
+        "errors": errors,
+        "frames": len(frames),
+    }
+
+
+def run_bench_shard(
+    jobs: int = 3000,
+    nodes: int = 128,
+    seed: int = 42,
+    policy: str = "librarisk",
+    shard_counts: Sequence[int] = (1, 2, 4),
+    batch: int = 64,
+    progress=None,
+) -> dict[str, Any]:
+    """Shard-scaling benchmark: fleet ingest throughput at 1..N workers.
+
+    Every shard count replays the *same* generated workload through a
+    fresh fleet (router + worker subprocesses), so the jobs/s ratios
+    between counts isolate exactly what sharding buys: smaller per-shard
+    node scans plus real process parallelism.  Like the observability gate,
+    the scaling check is *absolute* — all counts run on the same machine
+    moments apart, so the ratio is machine-independent.
+    """
+    config = ScenarioConfig(num_jobs=jobs, num_nodes=nodes, seed=seed, policy=policy)
+    counts = sorted({int(c) for c in shard_counts})
+    if not counts or counts[0] < 1:
+        raise ValueError("shard_counts must be positive")
+    if nodes < counts[-1]:
+        raise ValueError("need at least one node per shard")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    shards: dict[str, Any] = {}
+    for count in counts:
+        if progress is not None:
+            progress(
+                f"bench shards: {count} worker(s), {jobs} jobs (batch {batch})"
+            )
+        shards[str(count)] = _bench_shard_count(config, count, batch)
+    base_rate = shards[str(counts[0])]["jobs_per_sec"]
+    scaling = {
+        str(count): (
+            round(shards[str(count)]["jobs_per_sec"] / base_rate, 2)
+            if base_rate
+            else 0.0
+        )
+        for count in counts[1:]
+    }
+    return {
+        "scale": {"jobs": jobs, "nodes": nodes, "seed": seed},
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.machine() or "unknown",
+        },
+        "policy": policy,
+        "batch": batch,
+        "shards": shards,
+        #: jobs/s ratio of each count over the smallest measured count.
+        "scaling": scaling,
+    }
+
+
+def check_shard_scaling(
+    fresh: dict[str, Any],
+    min_scaling: float = MIN_SHARD_SCALING,
+) -> list[str]:
+    """Gate for CI: does the largest fleet beat 1 shard by enough?
+
+    An *absolute* gate on freshly-measured same-machine ratios (like
+    :func:`check_obs_overhead`): the largest shard count must reach at
+    least ``min_scaling``x the single-shard throughput, and no count may
+    have dropped a single submit.
+    """
+    failures: list[str] = []
+    for count, record in sorted(
+        fresh.get("shards", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        if record.get("errors"):
+            failures.append(
+                f"{count} shard(s): {record['errors']} submit(s) failed"
+            )
+    scaling = fresh.get("scaling", {})
+    if not scaling:
+        failures.append("no multi-shard measurement to check scaling with")
+        return failures
+    top = max(scaling, key=int)
+    ratio = float(scaling[top])
+    if ratio < min_scaling:
+        failures.append(
+            f"{top} shards only reach {ratio:.2f}x the single-shard submit "
+            f"throughput (floor {min_scaling:g}x)"
+        )
+    return failures
 
 
 # -- the tracked file ---------------------------------------------------------

@@ -70,6 +70,14 @@ class ScenarioMetrics:
             "acceptance_pct": self.acceptance_pct,
             "high_pct_fulfilled": self.high_urgency.pct_fulfilled,
             "low_pct_fulfilled": self.low_urgency.pct_fulfilled,
+            # Raw per-class counts: the percentages above are ratios and
+            # cannot be recombined across engines, so anything merging
+            # metrics from several shards needs the numerators and
+            # denominators themselves (see repro.service.sharding.router).
+            "high_submitted": self.high_urgency.submitted,
+            "high_fulfilled": self.high_urgency.fulfilled,
+            "low_submitted": self.low_urgency.submitted,
+            "low_fulfilled": self.low_urgency.fulfilled,
         }
 
 

@@ -26,7 +26,12 @@ kernel, cluster and policies behind an incremental API:
   circuit breaker;
 * :mod:`~repro.service.replay` / :mod:`~repro.service.loadgen` —
   deterministic in-process trace replay and an open-loop HTTP load
-  generator (``repro replay``).
+  generator (``repro replay``);
+* :mod:`~repro.service.sharding` — the sharded multi-engine service:
+  deterministic node partitioning, a stateless routing front-end with
+  batch-frame splitting and exact metric merging, and a per-shard
+  worker supervisor with independent crash recovery
+  (``repro serve --shards N``).
 
 See ``docs/SERVICE.md``.
 """
@@ -60,6 +65,19 @@ from repro.service.loadgen import LoadGenerator, LoadReport, ServiceClient
 from repro.service.protocol import PROTOCOL_VERSION, ErrorCode, ProtocolError
 from repro.service.replay import ReplayReport, replay_jobs, replay_scenario
 from repro.service.server import AdmissionService, ServiceServer
+from repro.service.sharding import (
+    RouterServer,
+    ShardRouter,
+    ShardSupervisor,
+    WorkerSpec,
+    merge_scenario_metrics,
+    plan_shards,
+    shard_for_job,
+    shard_for_submit,
+    shard_for_user,
+    shard_node_counts,
+    shard_path,
+)
 from repro.service.wal import (
     RecoveryReport,
     WalCorruptionError,
@@ -93,20 +111,31 @@ __all__ = [
     "ReplayReport",
     "RetryPolicy",
     "RetryingClient",
+    "RouterServer",
     "ServiceClient",
     "ServiceServer",
+    "ShardRouter",
+    "ShardSupervisor",
     "VirtualClock",
     "WalCorruptionError",
     "WalError",
     "WallClock",
+    "WorkerSpec",
     "WriteAheadLog",
     "engine_for_scenario",
     "load",
+    "merge_scenario_metrics",
+    "plan_shards",
     "read_wal",
     "recover",
     "replay_jobs",
     "replay_scenario",
     "restore",
     "save",
+    "shard_for_job",
+    "shard_for_submit",
+    "shard_for_user",
+    "shard_node_counts",
+    "shard_path",
     "snapshot",
 ]

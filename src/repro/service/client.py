@@ -207,10 +207,18 @@ class RetryingClient(ServiceClient):
 
     @staticmethod
     def _is_retryable(request: dict[str, Any]) -> bool:
-        if request.get("type") != "submit":
-            return True
-        job = request.get("job")
-        return isinstance(job, dict) and job.get("id") is not None
+        if request.get("type") == "submit":
+            job = request.get("job")
+            return isinstance(job, dict) and job.get("id") is not None
+        if request.get("type") == "batch":
+            # A replayed frame is only safe when *every* item can be
+            # deduped by id — one id-less job would be re-admitted as a
+            # fresh job on each retry.
+            jobs = request.get("jobs")
+            return isinstance(jobs, list) and all(
+                isinstance(job, dict) and job.get("id") is not None for job in jobs
+            )
+        return True
 
     @staticmethod
     def _failed(status: int, response: dict[str, Any]) -> bool:

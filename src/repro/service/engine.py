@@ -81,12 +81,18 @@ class EngineConfig:
     overrun_floor_share: float = 0.05
     redistribute_spare: bool = False
     start_time: float = 0.0
+    shard_id: int = 0
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         if self.rating <= 0:
             raise ValueError("rating must be > 0")
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= self.shard_id < self.shard_count:
+            raise ValueError("shard_id must be in [0, shard_count)")
 
     def share_params(self) -> ShareParams:
         return ShareParams(
@@ -107,8 +113,19 @@ class EngineConfig:
         )
 
     def as_dict(self) -> dict[str, Any]:
-        """JSON-able form (checkpoint header)."""
-        return dataclasses.asdict(self)
+        """JSON-able form (checkpoint header).
+
+        The shard identity is omitted while at the unsharded defaults so
+        that configs written before sharding existed hash to the same
+        trace seed and still match WAL/checkpoint headers byte-for-byte.
+        A shard of a partitioned cluster always carries both fields,
+        which is what gives each shard a distinct trace-id seed.
+        """
+        data = dataclasses.asdict(self)
+        if self.shard_count == 1 and self.shard_id == 0:
+            del data["shard_id"]
+            del data["shard_count"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "EngineConfig":

@@ -121,6 +121,13 @@ class ServiceClient:
             "job": job_request_payload(job),
         })
 
+    def submit_batch(self, jobs: Sequence[Job]) -> tuple[int, dict[str, Any]]:
+        """Submit several jobs in one batch frame (one round trip)."""
+        return self.rpc({
+            "v": protocol.PROTOCOL_VERSION, "type": "batch",
+            "jobs": [job_request_payload(job) for job in jobs],
+        })
+
     def query(self, job_id: int) -> tuple[int, dict[str, Any]]:
         return self.rpc(
             {"v": protocol.PROTOCOL_VERSION, "type": "query", "job": job_id}
@@ -237,6 +244,16 @@ class LoadGenerator:
         Ascending positive histogram bucket bounds (seconds) for the
         report's cumulative latency histogram; defaults to
         :data:`DEFAULT_LATENCY_BUCKETS`.
+    batch:
+        Jobs per request.  ``1`` (the default) sends plain ``submit``
+        frames — the pre-batch wire behaviour, byte-for-byte.  ``> 1``
+        groups up to ``batch`` consecutive jobs into one batch frame,
+        scheduled at the *first* job's offset, and unpacks the per-item
+        envelopes into one :class:`RequestResult` per job (items of a
+        frame share the frame's round-trip latency).  Batching implies
+        the single ordered sender; ``workers > 1`` with ``batch > 1``
+        is refused because concurrent frames would interleave
+        submit-time order within the server.
     """
 
     def __init__(
@@ -246,11 +263,16 @@ class LoadGenerator:
         speedup: float = 1.0,
         workers: int = 1,
         latency_buckets: Optional[Sequence[float]] = None,
+        batch: int = 1,
     ) -> None:
         if speedup <= 0:
             raise ValueError(f"speedup must be > 0, got {speedup}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if batch > 1 and workers > 1:
+            raise ValueError("batch > 1 requires the single ordered sender")
         bounds = tuple(
             float(b) for b in (
                 latency_buckets if latency_buckets is not None
@@ -269,6 +291,7 @@ class LoadGenerator:
         self.speedup = float(speedup)
         self.workers = workers
         self.latency_buckets = bounds
+        self.batch = int(batch)
         self._results: list[RequestResult] = []
         self._lock = threading.Lock()
 
@@ -300,6 +323,45 @@ class LoadGenerator:
         with self._lock:
             self._results.append(result)
 
+    def _fire_batch(self, jobs: Sequence[Job], offset: float, epoch: float) -> None:
+        """Send one batch frame; record one result per contained job."""
+        target = epoch + offset
+        delay = target - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        sent_at = time.monotonic()
+        t0 = time.perf_counter()
+        status, response = self.client.submit_batch(jobs)
+        latency = time.perf_counter() - t0
+        items = response.get("results") if response.get("ok") else None
+        results = []
+        for i, job in enumerate(jobs):
+            if items is not None and i < len(items):
+                item = items[i]
+                if item.get("ok"):
+                    outcome = item.get("decision", {}).get("outcome", "ok")
+                    item_status = status
+                else:
+                    outcome = item.get("error", {}).get("code", "error")
+                    item_status = protocol.HTTP_STATUS.get(
+                        item.get("error", {}).get("code", ""), status
+                    )
+            else:
+                # Whole-frame failure (transport error, shed, draining):
+                # every job in the frame shares the frame's fate.
+                outcome = response.get("error", {}).get("code", "error")
+                item_status = status
+            results.append(RequestResult(
+                job_id=job.job_id,
+                status=item_status,
+                outcome=outcome,
+                latency=latency,
+                sent_at=sent_at - epoch,
+                lag=max(0.0, sent_at - target),
+            ))
+        with self._lock:
+            self._results.extend(results)
+
     # -- the run -----------------------------------------------------------
     def run(self) -> LoadReport:
         """Send the whole stream; blocks until every response is in."""
@@ -313,7 +375,11 @@ class LoadGenerator:
         base = self.jobs[0].submit_time
         offsets = [(job.submit_time - base) / self.speedup for job in self.jobs]
         epoch = time.monotonic()
-        if self.workers <= 1:
+        if self.batch > 1:
+            for start in range(0, len(self.jobs), self.batch):
+                group = self.jobs[start:start + self.batch]
+                self._fire_batch(group, offsets[start], epoch)
+        elif self.workers <= 1:
             for job, offset in zip(self.jobs, offsets):
                 self._fire(job, offset, epoch)
         else:

@@ -34,8 +34,13 @@ PROTOCOL_VERSION = 1
 
 #: Request types a v1 server understands.
 REQUEST_TYPES = (
-    "submit", "query", "stats", "advance", "drain", "checkpoint", "trace"
+    "submit", "batch", "query", "stats", "advance", "drain", "checkpoint", "trace"
 )
+
+#: Upper bound on jobs in one batch frame.  The HTTP body-size limit
+#: already bounds the bytes; this bounds the per-request work so one
+#: frame cannot monopolise the engine lock indefinitely.
+MAX_BATCH_JOBS = 4096
 
 
 class ErrorCode:
@@ -113,6 +118,22 @@ class SubmitRequest:
 
 
 @dataclass(frozen=True)
+class BatchRequest:
+    """Admit several jobs in one round trip.
+
+    ``jobs`` is an ordered tuple of job payloads, each following the
+    exact :func:`job_from_payload` schema of ``submit.job``.  The server
+    executes the items **in order under one engine-lock acquisition**,
+    appending one WAL record per item — so a batch of N is byte-identical
+    in durable state to N individual submits, and the response carries
+    one full per-item envelope per job (a decision, or a per-item typed
+    error; one bad item never voids its siblings).
+    """
+
+    jobs: tuple[dict[str, Any], ...]
+
+
+@dataclass(frozen=True)
 class QueryRequest:
     """Look up one submitted job by id."""
 
@@ -152,6 +173,7 @@ class TraceRequest:
 
 _REQUEST_CLASSES = {
     "submit": SubmitRequest,
+    "batch": BatchRequest,
     "query": QueryRequest,
     "stats": StatsRequest,
     "advance": AdvanceRequest,
@@ -308,6 +330,7 @@ def job_payload(job: Job) -> dict[str, Any]:
 
 _TOP_FIELDS = {
     "submit": frozenset({"v", "type", "job", "trace"}),
+    "batch": frozenset({"v", "type", "jobs"}),
     "query": frozenset({"v", "type", "job"}),
     "stats": frozenset({"v", "type"}),
     "advance": frozenset({"v", "type", "to"}),
@@ -362,6 +385,25 @@ def parse_request(data: Any) -> Request:
             raise ProtocolError(ErrorCode.INVALID_FIELD, "request.trace must be a string")
         return SubmitRequest(
             job=dict(_require_mapping(obj["job"], "job")), trace=trace
+        )
+    if req_type == "batch":
+        jobs = obj.get("jobs")
+        if not isinstance(jobs, list):
+            raise ProtocolError(
+                ErrorCode.INVALID_FIELD,
+                "request.jobs must be an array of job objects",
+            )
+        if not jobs:
+            raise ProtocolError(ErrorCode.INVALID_FIELD, "request.jobs must not be empty")
+        if len(jobs) > MAX_BATCH_JOBS:
+            raise ProtocolError(
+                ErrorCode.TOO_LARGE,
+                f"batch of {len(jobs)} jobs exceeds the limit of {MAX_BATCH_JOBS}",
+            )
+        return BatchRequest(
+            jobs=tuple(
+                dict(_require_mapping(item, f"jobs[{i}]")) for i, item in enumerate(jobs)
+            )
         )
     if req_type == "query":
         job_id = _integer(obj, "job", "request", minimum=1)
@@ -421,9 +463,11 @@ def encode(response: dict[str, Any]) -> bytes:
 
 __all__ = [
     "AdvanceRequest",
+    "BatchRequest",
     "CheckpointRequest",
     "DrainRequest",
     "ErrorCode",
+    "MAX_BATCH_JOBS",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryRequest",

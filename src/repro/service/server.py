@@ -297,39 +297,21 @@ class AdmissionService:
         """Run one validated request against the engine (lock held)."""
         engine = self.engine
         if isinstance(request, protocol.SubmitRequest):
-            job = protocol.job_from_payload(
-                request.job, default_submit_time=engine.now
-            )
-            clamp = bool(getattr(engine.clock, "live", False))
-            if job.job_id in engine._known_ids:
-                return self._duplicate_submit(job)
-            # Stamp the (possibly auto-assigned) id into the logged payload
-            # so recovery rebuilds the job under the identical handle.
-            logged = dict(request.job)
-            logged.setdefault("id", job.job_id)
-            # Mint the trace id *before* logging so the WAL frame
-            # carries it and recovery reuses the original id instead of
-            # re-minting (byte-identical recovered traces).
-            trace_id = request.trace
-            if trace_id is None and engine.telemetry:
-                trace_id = engine.peek_trace_id(job.job_id)
-            payload = {
-                "v": protocol.PROTOCOL_VERSION, "type": "submit", "job": logged,
-            }
-            if trace_id is not None:
-                payload["trace"] = trace_id
-            lsn = self._wal_append(payload, clamp)
-            decision = self._apply_logged(
-                lsn, lambda: engine.submit(job, clamp_past=clamp, trace=trace_id)
-            )
-            if lsn is not None:
-                engine.wal_lsns[job.job_id] = lsn
-            response = protocol.ok_response(
-                "decision", decision=decision.as_dict()
-            )
-            if trace_id is not None:
-                response["trace"] = trace_id
-            return response
+            return self._execute_submit(request)
+        if isinstance(request, protocol.BatchRequest):
+            # Items run in order under the already-held engine lock, each
+            # through the *single-submit* path (own WAL record, own
+            # duplicate/idempotency handling) — a batch of N leaves
+            # durable state byte-identical to N individual submits.
+            # Per-item failures become per-item error envelopes; the
+            # frame itself always answers 200.
+            results: list[dict[str, Any]] = []
+            for payload in request.jobs:
+                results.append(self._execute_batch_item(payload))
+            self.registry.counter(
+                "service_batch_jobs_total", "Jobs carried inside batch frames"
+            ).inc(len(request.jobs))
+            return protocol.ok_response("batch", results=results)
         if isinstance(request, protocol.QueryRequest):
             job = engine.query(request.job_id)
             if job is None:
@@ -379,6 +361,60 @@ class AdmissionService:
         raise ProtocolError(  # pragma: no cover - parse_request is exhaustive
             ErrorCode.UNKNOWN_TYPE, f"unhandled request {type(request).__name__}"
         )
+
+    def _execute_submit(self, request: protocol.SubmitRequest) -> dict[str, Any]:
+        """The single-submit path (engine lock held by the caller)."""
+        engine = self.engine
+        job = protocol.job_from_payload(
+            request.job, default_submit_time=engine.now
+        )
+        clamp = bool(getattr(engine.clock, "live", False))
+        if job.job_id in engine._known_ids:
+            return self._duplicate_submit(job)
+        # Stamp the (possibly auto-assigned) id into the logged payload
+        # so recovery rebuilds the job under the identical handle.
+        logged = dict(request.job)
+        logged.setdefault("id", job.job_id)
+        # Mint the trace id *before* logging so the WAL frame
+        # carries it and recovery reuses the original id instead of
+        # re-minting (byte-identical recovered traces).
+        trace_id = request.trace
+        if trace_id is None and engine.telemetry:
+            trace_id = engine.peek_trace_id(job.job_id)
+        payload = {
+            "v": protocol.PROTOCOL_VERSION, "type": "submit", "job": logged,
+        }
+        if trace_id is not None:
+            payload["trace"] = trace_id
+        lsn = self._wal_append(payload, clamp)
+        decision = self._apply_logged(
+            lsn, lambda: engine.submit(job, clamp_past=clamp, trace=trace_id)
+        )
+        if lsn is not None:
+            engine.wal_lsns[job.job_id] = lsn
+        response = protocol.ok_response(
+            "decision", decision=decision.as_dict()
+        )
+        if trace_id is not None:
+            response["trace"] = trace_id
+        return response
+
+    def _execute_batch_item(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One batch item → the exact envelope a lone submit would get.
+
+        Catches the same per-request failures :meth:`_dispatch` maps to
+        error responses, so a bad item (duplicate id, stale submit time,
+        invalid field) yields its typed error envelope in place while
+        the rest of the frame proceeds.
+        """
+        try:
+            return self._execute_submit(protocol.SubmitRequest(job=payload))
+        except ProtocolError as exc:
+            return protocol.error_response(exc.code, exc.message)
+        except OutOfOrderSubmit as exc:
+            return protocol.error_response(ErrorCode.OUT_OF_ORDER, str(exc))
+        except DuplicateJob as exc:
+            return protocol.error_response(ErrorCode.CONFLICT, str(exc))
 
     def _duplicate_submit(self, job: Any) -> dict[str, Any]:
         """Resolve a submit whose job id the engine already knows.

@@ -1,0 +1,108 @@
+"""Deterministic cluster partitioning for the sharded admission service.
+
+A shard plan splits one logical cluster of ``num_nodes`` nodes into
+``num_shards`` disjoint sub-clusters, each served by its own
+:class:`~repro.service.engine.AdmissionEngine`.  Two properties make the
+split safe to rely on across restarts and across processes:
+
+* **Node counts are a pure function of (num_nodes, num_shards)** — shard
+  ``i`` owns ``num_nodes // num_shards`` nodes plus one extra when
+  ``i < num_nodes % num_shards``.  The counts always sum to
+  ``num_nodes`` and never differ by more than one.
+* **Routing is a pure function of the job identity** — a job id (or,
+  for id-less submits, the submitting user) hashes to the same shard on
+  every router, in every process, on every run.  The hash is crc32 over
+  a tagged ASCII encoding, so it is stable across Python versions and
+  does not depend on ``PYTHONHASHSEED``.
+
+Each shard's :class:`~repro.service.engine.EngineConfig` carries its
+``(shard_id, shard_count)`` identity, which flows into the trace-id seed
+(`seed_from_config`) so two shards never mint colliding trace ids.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from repro.service.engine import EngineConfig
+
+__all__ = [
+    "shard_node_counts",
+    "plan_shards",
+    "shard_for_job",
+    "shard_for_user",
+    "shard_for_submit",
+]
+
+
+def shard_node_counts(num_nodes: int, num_shards: int) -> tuple[int, ...]:
+    """Split ``num_nodes`` into ``num_shards`` near-equal positive counts."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_nodes < num_shards:
+        raise ValueError(
+            f"cannot split {num_nodes} nodes into {num_shards} shards: "
+            "every shard needs at least one node"
+        )
+    base, extra = divmod(num_nodes, num_shards)
+    return tuple(base + (1 if i < extra else 0) for i in range(num_shards))
+
+
+def plan_shards(config: EngineConfig, num_shards: int) -> tuple[EngineConfig, ...]:
+    """Derive one per-shard :class:`EngineConfig` from an unsharded config.
+
+    The input config must itself be unsharded (``shard_count == 1``);
+    splitting an already-split shard would silently nest partitions.
+    """
+    if config.shard_count != 1:
+        raise ValueError("plan_shards requires an unsharded base config")
+    counts = shard_node_counts(config.num_nodes, num_shards)
+    if num_shards == 1:
+        # A single shard *is* the unsharded engine: identical config,
+        # identical trace seed, byte-identical decisions.
+        return (config,)
+    return tuple(
+        EngineConfig(
+            policy=config.policy,
+            policy_kwargs=dict(config.policy_kwargs),
+            num_nodes=counts[i],
+            rating=config.rating,
+            overrun_floor_share=config.overrun_floor_share,
+            redistribute_spare=config.redistribute_spare,
+            start_time=config.start_time,
+            shard_id=i,
+            shard_count=num_shards,
+        )
+        for i in range(num_shards)
+    )
+
+
+def shard_for_job(job_id: int, num_shards: int) -> int:
+    """Stable shard index for a job id (crc32 of ``job:<id>``)."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return zlib.crc32(b"job:%d" % job_id) % num_shards
+
+
+def shard_for_user(user: str, num_shards: int) -> int:
+    """Stable shard index for a user name (crc32 of ``user:<name>``)."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return zlib.crc32(b"user:" + user.encode("utf-8")) % num_shards
+
+
+def shard_for_submit(job_id: Optional[int], user: Optional[str], num_shards: int) -> int:
+    """Routing key for one submit: job id first, then user, then shard 0.
+
+    Submits without an explicit job id cannot be routed by id (the id is
+    assigned *inside* a shard), so they pin to the user's shard; a
+    submit with neither lands on shard 0.  Both fallbacks are documented
+    in ``docs/SERVICE.md`` — deterministic routing is what makes retried
+    submits hit the same decision log that answered them the first time.
+    """
+    if job_id is not None:
+        return shard_for_job(job_id, num_shards)
+    if user is not None:
+        return shard_for_user(user, num_shards)
+    return 0

@@ -1,0 +1,598 @@
+"""The sharded admission service's routing front-end.
+
+One :class:`ShardRouter` sits in front of N shard workers (each an
+ordinary ``repro serve`` process over its slice of the cluster, see
+:mod:`repro.service.sharding.partition`) and presents the *same* HTTP
+surface a single server does — ``POST /v1/rpc``, ``GET /healthz``,
+``GET /v1/stats``, ``GET /metrics`` — so clients, the load generator,
+and ``repro top`` work unchanged against a sharded deployment.
+
+Routing rules
+-------------
+* ``submit`` / ``query`` / ``trace`` forward the **raw request body**
+  to the one shard owning the job (stable job-id/user hash) — the shard
+  worker's response passes through byte-identical, which is what keeps
+  duplicate-submit idempotency working: a retry hashes to the same
+  shard and is answered from its decision log.  With exactly one shard
+  *every* RPC passes through raw, so a 1-shard router is byte-identical
+  on the wire to an unsharded server.
+* ``batch`` frames are split into per-shard sub-frames (preserving the
+  submit-time order within each shard) and forwarded **concurrently**;
+  per-item envelopes are merged back into the original positions.
+* ``stats`` / ``advance`` / ``drain`` fan out to every shard and merge;
+  ``checkpoint`` requires a ``path`` and fans out with shard-namespaced
+  filenames.
+
+The router is deliberately stateless — no engine, no WAL.  Every
+durable fact lives in exactly one shard, so the router can be killed
+and restarted at any time without a recovery protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from time import perf_counter
+from typing import Any, Optional
+
+from repro.obs.console import parse_prometheus
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.service import protocol
+from repro.service.engine import EngineConfig
+from repro.service.protocol import ErrorCode, ProtocolError
+from repro.service.sharding.partition import plan_shards, shard_for_submit
+from repro.service.sharding.paths import shard_path
+
+log = get_logger("service.sharding.router")
+
+#: Metric keys of a drained ``ScenarioMetrics`` dict that merge by sum.
+_SUM_KEYS = (
+    "total_submitted", "accepted", "rejected", "completed", "unfinished",
+    "failed", "deadlines_fulfilled", "completed_late",
+    "high_submitted", "high_fulfilled", "low_submitted", "low_fulfilled",
+)
+
+
+def merge_scenario_metrics(
+    per_shard: list[dict[str, Any]], node_counts: list[int]
+) -> dict[str, Any]:
+    """Combine per-shard drained metrics into cluster-wide metrics.
+
+    Counts sum; ratios are recomputed from the summed numerators and
+    denominators (exact — this is why ``ScenarioMetrics.as_dict`` carries
+    the raw per-class counts); the per-job means (``avg_slowdown``,
+    ``avg_delay_of_late_jobs``) are job-count-weighted means, and
+    ``utilisation`` is node-count-weighted.  A single shard passes
+    through untouched, so a 1-shard merge is byte-identical to the
+    unsharded metrics dict.
+    """
+    if len(per_shard) != len(node_counts):
+        raise ValueError("per_shard and node_counts must be parallel")
+    if not per_shard:
+        raise ValueError("cannot merge zero shards")
+    if len(per_shard) == 1:
+        return dict(per_shard[0])
+    merged: dict[str, Any] = {}
+    for key in _SUM_KEYS:
+        merged[key] = sum(m[key] for m in per_shard)
+    total = merged["total_submitted"]
+    fulfilled = merged["deadlines_fulfilled"]
+    late = merged["completed_late"]
+    merged["pct_deadlines_fulfilled"] = 100.0 * fulfilled / total if total else 0.0
+    merged["acceptance_pct"] = 100.0 * merged["accepted"] / total if total else 0.0
+    merged["avg_slowdown"] = (
+        sum(m["avg_slowdown"] * m["deadlines_fulfilled"] for m in per_shard) / fulfilled
+        if fulfilled else 0.0
+    )
+    merged["avg_delay_of_late_jobs"] = (
+        sum(m["avg_delay_of_late_jobs"] * m["completed_late"] for m in per_shard) / late
+        if late else 0.0
+    )
+    nodes = sum(node_counts)
+    merged["utilisation"] = (
+        sum(m["utilisation"] * n for m, n in zip(per_shard, node_counts)) / nodes
+        if nodes else 0.0
+    )
+    merged["high_pct_fulfilled"] = (
+        100.0 * merged["high_fulfilled"] / merged["high_submitted"]
+        if merged["high_submitted"] else 0.0
+    )
+    merged["low_pct_fulfilled"] = (
+        100.0 * merged["low_fulfilled"] / merged["low_submitted"]
+        if merged["low_submitted"] else 0.0
+    )
+    # Render in the exact key order ScenarioMetrics.as_dict uses, so a
+    # merged dict and a single-engine dict serialize identically.
+    order = (
+        "total_submitted", "accepted", "rejected", "completed", "unfinished",
+        "failed", "deadlines_fulfilled", "pct_deadlines_fulfilled",
+        "avg_slowdown", "avg_delay_of_late_jobs", "completed_late",
+        "utilisation", "acceptance_pct", "high_pct_fulfilled",
+        "low_pct_fulfilled", "high_submitted", "high_fulfilled",
+        "low_submitted", "low_fulfilled",
+    )
+    return {key: merged[key] for key in order}
+
+
+def _format_sample(value: float) -> str:
+    """Deterministic Prometheus sample rendering (ints without dots)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class ShardRouter:
+    """Stateless fan-out front-end over N shard worker URLs.
+
+    Parameters
+    ----------
+    config:
+        The *unsharded* base :class:`EngineConfig`; the router re-derives
+        the shard plan from it (node counts feed the metrics merge).
+    backends:
+        One worker base URL per shard; index is the shard id.
+    timeout:
+        Per-forward HTTP timeout (seconds).
+    max_request_bytes:
+        Body-size limit advertised to the shared HTTP handler.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        backends: list[str],
+        timeout: float = 10.0,
+        max_request_bytes: int = 1024 * 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("need at least one shard backend")
+        self.config = config
+        self.configs = plan_shards(config, len(backends))
+        self.backends = [url.rstrip("/") for url in backends]
+        self.num_shards = len(backends)
+        self.timeout = float(timeout)
+        self.max_request_bytes = int(max_request_bytes)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.draining = False
+        #: Worker pids, filled in by the supervisor (surfaced on /healthz
+        #: so chaos harnesses can aim their kill -9 at a real shard).
+        self.shard_pids: dict[int, int] = {}
+
+    # -- low-level forwarding ----------------------------------------------
+    def _post(self, shard: int, body: bytes) -> tuple[int, dict[str, Any]]:
+        """POST one raw RPC body to a shard; transport failure → 503."""
+        request = urllib.request.Request(
+            f"{self.backends[shard]}/v1/rpc",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                return exc.code, json.loads(raw)
+            except json.JSONDecodeError:
+                return exc.code, protocol.error_response(
+                    ErrorCode.INTERNAL, raw or str(exc)
+                )
+        except (urllib.error.URLError, OSError) as exc:
+            self.registry.counter(
+                "router_forward_errors_total",
+                "Transport failures forwarding to a shard",
+                shard=str(shard),
+            ).inc()
+            return 503, protocol.error_response(
+                ErrorCode.UNAVAILABLE, f"shard {shard}: {type(exc).__name__}: {exc}"
+            )
+
+    def _get(self, shard: int, path: str) -> tuple[int, Optional[dict[str, Any]], str]:
+        """GET a side endpoint from one shard: ``(status, json, text)``."""
+        request = urllib.request.Request(
+            f"{self.backends[shard]}{path}", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                raw = resp.read().decode("utf-8")
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            status = exc.code
+        except (urllib.error.URLError, OSError):
+            return 0, None, ""
+        try:
+            return status, json.loads(raw), raw
+        except json.JSONDecodeError:
+            return status, None, raw
+
+    def _fan_out(self, bodies: list[Optional[bytes]]) -> list[Optional[tuple[int, dict[str, Any]]]]:
+        """POST per-shard bodies concurrently; ``None`` body skips a shard."""
+        results: list[Optional[tuple[int, dict[str, Any]]]] = [None] * self.num_shards
+        active = [i for i, body in enumerate(bodies) if body is not None]
+        if len(active) == 1:
+            only = active[0]
+            body = bodies[only]
+            assert body is not None
+            results[only] = self._post(only, body)
+            return results
+
+        def worker(shard: int, body: bytes) -> None:
+            results[shard] = self._post(shard, body)
+
+        threads = []
+        for shard in active:
+            body = bodies[shard]
+            assert body is not None
+            threads.append(threading.Thread(
+                target=worker, args=(shard, body),
+                name=f"repro-router-fanout-{shard}", daemon=True,
+            ))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results
+
+    # -- request handling ---------------------------------------------------
+    def handle(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        """Route one protocol request; returns ``(http_status, response)``."""
+        t0 = perf_counter()
+        rtype = "invalid"
+        try:
+            request = protocol.parse_request(body)
+            rtype = type(request).__name__.replace("Request", "").lower()
+            if self.draining:
+                err = protocol.error_response(
+                    ErrorCode.SHUTTING_DOWN, "router is shutting down"
+                )
+                return protocol.HTTP_STATUS[ErrorCode.SHUTTING_DOWN], err
+            status, response = self._route(request, body)
+        except ProtocolError as exc:
+            status, response = exc.http_status, protocol.error_response(
+                exc.code, exc.message
+            )
+        finally:
+            self.registry.histogram(
+                "router_request_seconds", "Router request handling latency",
+                buckets=(0.0005, 0.0025, 0.01, 0.05, 0.25, 1.0), type=rtype,
+            ).observe(perf_counter() - t0)
+        outcome = "ok" if response.get("ok") else response.get(
+            "error", {}
+        ).get("code", "error")
+        self.registry.counter(
+            "router_requests_total", "Routed requests by type and outcome",
+            type=rtype, outcome=outcome,
+        ).inc()
+        return status, response
+
+    def _route(self, request: Any, body: bytes) -> tuple[int, dict[str, Any]]:
+        if self.num_shards == 1:
+            # One shard IS the unsharded server: every RPC (including
+            # stats/drain/checkpoint, which would otherwise re-merge)
+            # passes through raw, keeping the router byte-invisible.
+            return self._post(0, body)
+        if isinstance(request, protocol.SubmitRequest):
+            job_id = request.job.get("id")
+            user = request.job.get("user")
+            shard = shard_for_submit(
+                job_id if isinstance(job_id, int) and not isinstance(job_id, bool)
+                else None,
+                user if isinstance(user, str) else None,
+                self.num_shards,
+            )
+            return self._post(shard, body)
+        if isinstance(request, protocol.BatchRequest):
+            return self._route_batch(request)
+        if isinstance(request, (protocol.QueryRequest, protocol.TraceRequest)):
+            shard = shard_for_submit(request.job_id, None, self.num_shards)
+            return self._post(shard, body)
+        if isinstance(request, protocol.StatsRequest):
+            return self._route_stats(body)
+        if isinstance(request, protocol.AdvanceRequest):
+            return self._route_advance(body)
+        if isinstance(request, protocol.DrainRequest):
+            return self._route_drain(body)
+        if isinstance(request, protocol.CheckpointRequest):
+            return self._route_checkpoint(request)
+        raise ProtocolError(  # pragma: no cover - parse_request is exhaustive
+            ErrorCode.UNKNOWN_TYPE, f"unroutable request {type(request).__name__}"
+        )
+
+    def _route_batch(self, request: protocol.BatchRequest) -> tuple[int, dict[str, Any]]:
+        """Split a batch frame by shard, forward concurrently, re-merge."""
+        slots: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for position, job in enumerate(request.jobs):
+            job_id = job.get("id")
+            user = job.get("user")
+            shard = shard_for_submit(
+                job_id if isinstance(job_id, int) and not isinstance(job_id, bool)
+                else None,
+                user if isinstance(user, str) else None,
+                self.num_shards,
+            )
+            slots[shard].append(position)
+        bodies: list[Optional[bytes]] = [None] * self.num_shards
+        for shard in range(self.num_shards):
+            if slots[shard]:
+                bodies[shard] = protocol.encode({
+                    "v": protocol.PROTOCOL_VERSION, "type": "batch",
+                    "jobs": [request.jobs[p] for p in slots[shard]],
+                })
+        answers = self._fan_out(bodies)
+        results: list[Optional[dict[str, Any]]] = [None] * len(request.jobs)
+        for shard in range(self.num_shards):
+            if not slots[shard]:
+                continue
+            answer = answers[shard]
+            assert answer is not None
+            status, response = answer
+            items = response.get("results") if response.get("ok") else None
+            for offset, position in enumerate(slots[shard]):
+                if items is not None and offset < len(items):
+                    results[position] = items[offset]
+                else:
+                    # Whole sub-frame failed (shard down, shedding):
+                    # every one of its items inherits the frame error.
+                    results[position] = dict(response)
+        merged = [r if r is not None else protocol.error_response(
+            ErrorCode.INTERNAL, "batch item lost in routing"
+        ) for r in results]
+        return 200, protocol.ok_response("batch", results=merged)
+
+    def _route_stats(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        answers = self._fan_out([body] * self.num_shards)
+        shards: dict[str, Any] = {}
+        merged = {"submitted": 0, "accepted": 0, "rejected": 0, "completed": 0}
+        horizon = 0.0
+        reachable = 0
+        for shard in range(self.num_shards):
+            answer = answers[shard]
+            assert answer is not None
+            status, response = answer
+            if response.get("ok"):
+                stats = response["stats"]
+                shards[str(shard)] = stats
+                reachable += 1
+                for key in ("submitted", "accepted", "rejected", "completed"):
+                    merged[key] += int(stats.get(key, 0))
+                horizon = max(horizon, float(stats.get("t", 0.0)))
+            else:
+                shards[str(shard)] = {"error": response.get("error", {})}
+        payload = dict(merged)
+        payload["t"] = horizon
+        payload["shard_count"] = self.num_shards
+        payload["shards_reachable"] = reachable
+        payload["shards"] = shards
+        return 200, protocol.ok_response("stats", stats=payload)
+
+    def _route_advance(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        answers = self._fan_out([body] * self.num_shards)
+        horizon = 0.0
+        events = 0
+        for shard in range(self.num_shards):
+            answer = answers[shard]
+            assert answer is not None
+            status, response = answer
+            if not response.get("ok"):
+                return status, response
+            horizon = max(horizon, float(response["t"]))
+            events += int(response["events"])
+        return 200, protocol.ok_response("advanced", t=horizon, events=events)
+
+    def _route_drain(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        answers = self._fan_out([body] * self.num_shards)
+        horizon = 0.0
+        per_shard: list[dict[str, Any]] = []
+        shards: dict[str, Any] = {}
+        for shard in range(self.num_shards):
+            answer = answers[shard]
+            assert answer is not None
+            status, response = answer
+            if not response.get("ok"):
+                # A failed drain leaves the fleet half-drained; surface
+                # the first failure rather than inventing merged numbers.
+                return status, response
+            horizon = max(horizon, float(response["t"]))
+            per_shard.append(response["metrics"])
+            shards[str(shard)] = response["metrics"]
+        merged = merge_scenario_metrics(
+            per_shard, [cfg.num_nodes for cfg in self.configs]
+        )
+        response = protocol.ok_response("drained", t=horizon, metrics=merged)
+        if self.num_shards > 1:
+            response["shards"] = shards
+        return 200, response
+
+    def _route_checkpoint(
+        self, request: protocol.CheckpointRequest
+    ) -> tuple[int, dict[str, Any]]:
+        if request.path is None:
+            raise ProtocolError(
+                ErrorCode.INVALID_FIELD,
+                "a sharded checkpoint requires a path (inline snapshots "
+                "do not compose across shards)",
+            )
+        bodies: list[Optional[bytes]] = []
+        paths: dict[str, str] = {}
+        for shard in range(self.num_shards):
+            target = shard_path(request.path, shard, self.num_shards)
+            paths[str(shard)] = target
+            bodies.append(protocol.encode({
+                "v": protocol.PROTOCOL_VERSION, "type": "checkpoint",
+                "path": target,
+            }))
+        answers = self._fan_out(bodies)
+        for shard in range(self.num_shards):
+            answer = answers[shard]
+            assert answer is not None
+            status, response = answer
+            if not response.get("ok"):
+                return status, response
+        return 200, protocol.ok_response("checkpoint", paths=paths)
+
+    # -- read-only side endpoints -------------------------------------------
+    def stats_response(self) -> dict[str, Any]:
+        body = protocol.encode({"v": protocol.PROTOCOL_VERSION, "type": "stats"})
+        if self.num_shards == 1:
+            return self._post(0, body)[1]
+        return self._route_stats(body)[1]
+
+    def health_response(self) -> dict[str, Any]:
+        """Merged ``GET /healthz``: the fleet's worst news, summarized.
+
+        ``status`` is ``"ok"`` only when every shard answers ``"ok"``;
+        one draining / degraded / unreachable shard makes the fleet
+        ``"degraded"`` (still routable — the healthy shards keep
+        serving); all shards unreachable is ``"down"`` (``ok: false``,
+        served as 503 so load balancers stop routing); a draining
+        router reports ``"draining"``.
+        """
+        shards: dict[str, Any] = {}
+        down = 0
+        worst_ok = True
+        for shard in range(self.num_shards):
+            status, payload, _ = self._get(shard, "/healthz")
+            entry: dict[str, Any] = {"url": self.backends[shard]}
+            pid = self.shard_pids.get(shard)
+            if pid is not None:
+                entry["pid"] = pid
+            if payload is None:
+                entry["status"] = "down"
+                entry["ok"] = False
+                down += 1
+                worst_ok = False
+            else:
+                entry["status"] = payload.get("status", "ok")
+                entry["ok"] = bool(payload.get("ok", status == 200))
+                if entry["status"] != "ok":
+                    worst_ok = False
+            shards[str(shard)] = entry
+        if self.draining:
+            status_text = "draining"
+        elif down == self.num_shards:
+            status_text = "down"
+        elif not worst_ok:
+            status_text = "degraded"
+        else:
+            status_text = "ok"
+        return {
+            "ok": status_text not in ("down", "draining"),
+            "status": status_text,
+            "shard_count": self.num_shards,
+            "shards_down": down,
+            "shards": shards,
+        }
+
+    def prometheus_text(self) -> str:
+        """Merged ``GET /metrics``: every shard sample gains a shard label.
+
+        Series are re-rendered in sorted ``(name, labels)`` order, so
+        the merged exposition is deterministic whenever the per-shard
+        expositions are.
+        """
+        lines: list[str] = [
+            "# Merged from %d shard(s); every sample carries a shard label."
+            % self.num_shards
+        ]
+        samples: list[tuple[str, tuple[tuple[str, str], ...], float]] = []
+        for shard in range(self.num_shards):
+            status, _, text = self._get(shard, "/metrics")
+            if status != 200 or not text:
+                continue
+            parsed = parse_prometheus(text)
+            for name in sorted(parsed):
+                for labels, value in sorted(parsed[name].items()):
+                    merged_labels = tuple(sorted(
+                        labels + (("shard", str(shard)),)
+                    ))
+                    samples.append((name, merged_labels, value))
+        samples.sort(key=lambda s: (s[0], s[1]))
+        for name, labels, value in samples:
+            blob = ",".join(f'{k}="{v}"' for k, v in labels)
+            lines.append(f"{name}{{{blob}}} {_format_sample(value)}")
+        from repro.obs.exporters import prometheus_text
+
+        lines.append(prometheus_text(self.registry))
+        return "\n".join(lines) + "\n"
+
+
+class RouterServer:
+    """HTTP lifecycle wrapper for a :class:`ShardRouter`.
+
+    Reuses the single-server request handler (the router duck-types
+    :class:`~repro.service.server.AdmissionService`'s read surface), so
+    the sharded front-end speaks byte-identical HTTP.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        from repro.service.server import _Handler, _TrackingServer
+
+        self.router = router
+        self._httpd = _TrackingServer((host, port), _Handler)
+        self._httpd.service = router  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RouterServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        log.info("shard router listening on %s (%d shards)",
+                 self.url, self.router.num_shards)
+        return self
+
+    def serve_forever(self) -> None:
+        log.info("shard router listening on %s (%d shards)",
+                 self.url, self.router.num_shards)
+        self._httpd.serve_forever()
+
+    def stop(self) -> bool:
+        self.router.draining = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        clean = True
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            if self._thread.is_alive():
+                clean = False
+                log.error("router thread still alive 5s after shutdown")
+            else:
+                self._thread = None
+        for worker in self._httpd.alive_handlers():
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                clean = False
+                log.error("router handler %s wedged at shutdown", worker.name)
+        return clean
+
+    def __enter__(self) -> "RouterServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+__all__ = ["RouterServer", "ShardRouter", "merge_scenario_metrics"]
