@@ -22,6 +22,14 @@ from its own shard WAL, and the merged drained metrics must be
 byte-identical to an un-killed run of the same fleet — while the
 surviving shards kept answering throughout the outage.
 
+A fifth scenario repeats the shard kill with **failover parking** on
+(``max_parked``) and WAL auto-compaction enabled on every worker: no
+submit may see a client-visible error (the down shard's submits are
+parked in arrival order and acked, then flushed in order on recovery),
+the drained fleet must again be byte-identical to the un-killed
+baseline, and ``repro scrub`` must pass the surviving WAL chains —
+then fail once a byte of an archived segment is flipped.
+
 Exit status 0 iff every scenario recovers to its baseline metrics.
 
 Usage::
@@ -30,6 +38,7 @@ Usage::
 """
 
 import argparse
+import glob
 import json
 import os
 import subprocess
@@ -203,8 +212,15 @@ SHARDS = 4
 KILL_AFTER = 12  # SIGKILL a worker once this many jobs are in
 
 
-def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
+def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool,
+                      park: int = 0, compact_every: int = 0):
     """Drive one sharded fleet to drain; optionally SIGKILL a worker.
+
+    With ``park > 0`` the router runs in failover-parking mode: the
+    stream keeps its original order, every submit must be acked on the
+    first attempt (forwarded or parked — a non-200 is fatal), and the
+    report counts how many submits were parked.  ``compact_every``
+    enables WAL auto-compaction on every worker.
 
     Returns ``(merged_metrics, per_shard_metrics, restarts, report)``
     where ``report`` is a dict of facts about the outage (which shard
@@ -225,14 +241,17 @@ def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
     specs = []
     for shard in range(SHARDS):
         port = base_port + shard
+        cmd = [
+            sys.executable, "-m", "repro", "serve", "--policy", POLICY,
+            "--nodes", str(NODES), "--port", str(port),
+            "--shard-id", str(shard), "--shard-count", str(SHARDS),
+            "--wal", shard_path(wal_base, shard, SHARDS),
+        ]
+        if compact_every:
+            cmd += ["--wal-compact-every", str(compact_every)]
         specs.append(WorkerSpec(
             shard_id=shard,
-            cmd=[
-                sys.executable, "-m", "repro", "serve", "--policy", POLICY,
-                "--nodes", str(NODES), "--port", str(port),
-                "--shard-id", str(shard), "--shard-count", str(SHARDS),
-                "--wal", shard_path(wal_base, shard, SHARDS),
-            ],
+            cmd=cmd,
             url=f"http://127.0.0.1:{port}",
             env=server_env(),
         ))
@@ -240,6 +259,7 @@ def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
         EngineConfig(policy=POLICY, num_nodes=NODES),
         [spec.url for spec in specs],
         timeout=5.0,
+        max_parked=park,
     )
     supervisor = ShardSupervisor(
         specs, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
@@ -258,16 +278,20 @@ def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
         victim = shard_for_submit(
             jobs[KILL_AFTER].job_id, jobs[KILL_AFTER].user, SHARDS,
         )
-        rest = jobs[KILL_AFTER:]
-        order = jobs[:KILL_AFTER] + [
-            j for j in rest
-            if shard_for_submit(j.job_id, j.user, SHARDS) != victim
-        ] + [
-            j for j in rest
-            if shard_for_submit(j.job_id, j.user, SHARDS) == victim
-        ]
+        if not park:
+            # Parking keeps the original order end to end (that is the
+            # point); without it the survivors-first reorder applies.
+            rest = jobs[KILL_AFTER:]
+            order = jobs[:KILL_AFTER] + [
+                j for j in rest
+                if shard_for_submit(j.job_id, j.user, SHARDS) != victim
+            ] + [
+                j for j in rest
+                if shard_for_submit(j.job_id, j.user, SHARDS) == victim
+            ]
 
     report = {"victim": victim, "served_during_outage": 0, "retried": 0,
+              "parked": 0,
               "down_during_outage": None, "reachable_during_outage": None}
     with supervisor:
         supervisor.start(wait_healthy=True, timeout=60.0)
@@ -285,6 +309,19 @@ def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
                       f"{stats['shards_reachable']}/{SHARDS} shards "
                       f"reachable")
             body = json.dumps(submit_request(job)).encode()
+            if park:
+                # Parking mode is strict: every submit must be acked on
+                # its first attempt — forwarded or parked — or the
+                # "no client-visible submit loss" invariant is broken.
+                status, response = router.handle(body)
+                if status != 200:
+                    raise SystemExit(
+                        f"parking drill: job {job.job_id} saw a "
+                        f"client-visible error: HTTP {status} {response}"
+                    )
+                if response.get("type") == "parked":
+                    report["parked"] += 1
+                continue
             attempts = 0
             deadline = time.monotonic() + 30.0
             while True:
@@ -326,24 +363,13 @@ def run_sharded_fleet(jobs, base_port: int, workdir: str, kill: bool):
     return drained["metrics"], drained.get("shards", {}), restarts, report
 
 
-def run_shard_kill(jobs, base_port: int) -> bool:
+def run_shard_kill(jobs, base_port: int, clean, clean_shards) -> bool:
     """SIGKILL one of four shard workers mid-stream; require byte-identical
     merged metrics vs an un-killed run of the same sharded fleet."""
-    clean_dir = tempfile.mkdtemp(prefix="chaos-shard-clean-")
     killed_dir = tempfile.mkdtemp(prefix="chaos-shard-killed-")
 
-    clean, clean_shards, clean_restarts, _ = run_sharded_fleet(
-        jobs, base_port, clean_dir, kill=False,
-    )
-    if any(clean_restarts.values()):
-        print(f"  [shard-kill] baseline fleet restarted workers "
-              f"unexpectedly: {clean_restarts}")
-        return False
-    print(f"  [shard-kill] baseline fleet drained: "
-          f"{clean['pct_deadlines_fulfilled']:.1f}% deadlines fulfilled")
-
     killed, killed_shards, restarts, report = run_sharded_fleet(
-        jobs, base_port + SHARDS, killed_dir, kill=True,
+        jobs, base_port, killed_dir, kill=True,
     )
     victim = report["victim"]
     if victim is None or restarts.get(victim) != 1:
@@ -390,6 +416,92 @@ def run_shard_kill(jobs, base_port: int) -> bool:
     return ok
 
 
+PARK_CAPACITY = 64  # per-shard failover parking slots for the drill
+COMPACT_EVERY = 5   # workers compact once 5 records sit past the base LSN
+
+
+def run_scrub(wal_base: str):
+    """One ``repro scrub`` pass over the drill fleet's WAL chains."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "scrub", wal_base,
+         "--shards", str(SHARDS)],
+        env=server_env(), capture_output=True, text=True, timeout=120,
+    )
+
+
+def run_parking_drill(jobs, base_port: int, clean, clean_shards) -> bool:
+    """SIGKILL a shard with failover parking + WAL compaction on.
+
+    Every submit must be acked first-try (forwarded or parked), the
+    drained fleet must be byte-identical to the un-killed baseline,
+    ``repro scrub`` must pass the surviving WAL chains, and must fail
+    once a byte of an archived segment is flipped.
+    """
+    workdir = tempfile.mkdtemp(prefix="chaos-shard-parked-")
+    killed, killed_shards, restarts, report = run_sharded_fleet(
+        jobs, base_port, workdir, kill=True,
+        park=PARK_CAPACITY, compact_every=COMPACT_EVERY,
+    )
+    victim = report["victim"]
+    ok = True
+    if report["parked"] < 1:
+        print("  [parking] no submit was ever parked — the drill did not "
+              "exercise failover parking")
+        ok = False
+    else:
+        print(f"  [parking] {report['parked']} submit(s) to dead shard "
+              f"{victim} parked and acked; zero client-visible errors")
+    if restarts.get(victim) != 1 or any(
+            count for shard, count in restarts.items() if shard != victim):
+        print(f"  [parking] unexpected restart counts: {restarts}")
+        ok = False
+
+    if killed != clean:
+        print("  [parking] MERGED METRICS DIVERGED")
+        for key in sorted(set(clean) | set(killed)):
+            got, want = killed.get(key), clean.get(key)
+            if got != want:
+                print(f"    {key}: parked={got!r} clean={want!r}")
+        ok = False
+    if killed_shards != clean_shards:
+        print("  [parking] PER-SHARD METRICS DIVERGED")
+        ok = False
+    if ok:
+        print("  [parking] merged + per-shard metrics byte-identical "
+              "to the un-killed fleet")
+
+    # Scrub the very WAL chains the drill dragged through a SIGKILL.
+    wal_base = os.path.join(workdir, "fleet.wal")
+    scrub = run_scrub(wal_base)
+    if scrub.returncode != 0:
+        print(f"  [scrub] surviving fleet failed scrub "
+              f"(rc={scrub.returncode}):\n{scrub.stdout}{scrub.stderr}")
+        ok = False
+    else:
+        summary = scrub.stdout.strip().splitlines()
+        print("  [scrub] " + (summary[0] if summary else "clean (exit 0)"))
+
+    segments = sorted(glob.glob(os.path.join(workdir, "*.seg*")))
+    if not segments:
+        print("  [scrub] no archived segments found — compaction never ran")
+        return False
+    target = segments[0]
+    with open(target, "rb") as handle:
+        blob = bytearray(handle.read())
+    blob[len(blob) // 2] ^= 0x01
+    with open(target, "wb") as handle:
+        handle.write(bytes(blob))
+    scrub = run_scrub(wal_base)
+    if scrub.returncode == 0:
+        print(f"  [scrub] flipped a byte of {os.path.basename(target)} "
+              f"and scrub still passed")
+        ok = False
+    else:
+        print(f"  [scrub] corrupted {os.path.basename(target)} detected "
+              f"(exit {scrub.returncode})")
+    return ok
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--port", type=int, default=8461)
@@ -410,8 +522,30 @@ def main() -> int:
     for offset, point in enumerate(CRASH_POINTS):
         print(f"crash point {point}:")
         ok = run_crash_point(point, jobs, args.port + offset, baseline) and ok
+
+    # One un-killed fleet run anchors both sharded drills: per-shard
+    # state depends only on per-shard arrival order, which every drill
+    # preserves, so a single baseline serves both comparisons.
     print(f"shard kill ({SHARDS} workers):")
-    ok = run_shard_kill(jobs, args.port + 100) and ok
+    clean_dir = tempfile.mkdtemp(prefix="chaos-shard-clean-")
+    clean, clean_shards, clean_restarts, _ = run_sharded_fleet(
+        jobs, args.port + 100, clean_dir, kill=False,
+    )
+    if any(clean_restarts.values()):
+        print(f"  [shard-kill] baseline fleet restarted workers "
+              f"unexpectedly: {clean_restarts}")
+        ok = False
+    else:
+        print(f"  [shard-kill] baseline fleet drained: "
+              f"{clean['pct_deadlines_fulfilled']:.1f}% deadlines fulfilled")
+        ok = run_shard_kill(
+            jobs, args.port + 100 + SHARDS, clean, clean_shards,
+        ) and ok
+        print(f"parking drill ({SHARDS} workers, failover parking "
+              f"+ compaction + scrub):")
+        ok = run_parking_drill(
+            jobs, args.port + 100 + 2 * SHARDS, clean, clean_shards,
+        ) and ok
     print("chaos smoke: " + ("PASS" if ok else "FAIL"))
     return 0 if ok else 1
 

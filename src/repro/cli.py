@@ -345,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("always", "batch", "none"),
                    help="WAL durability: fsync every append (default), every "
                         "few appends, or never (tests only)")
+    p.add_argument("--wal-compact-every", type=int, default=0, metavar="N",
+                   help="auto-compact the WAL whenever it retains N records "
+                        "past the last compaction point: snapshot the engine "
+                        "and truncate the log into an archive segment "
+                        "(default 0: never compact)")
     p.add_argument("--faults", type=str, default=None, metavar="SPEC",
                    help="inject faults, e.g. 'drop=0.1,error=0.05,seed=7' or "
                         "'crash=wal.after_append:3,mode=exit' (chaos testing)")
@@ -355,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="partition the cluster across N worker processes "
                         "behind a routing front-end (default 1: a single "
                         "in-process engine); workers bind --port+1..+N")
+    p.add_argument("--park", type=int, default=0, metavar="N",
+                   help="with --shards: park up to N submits per down shard "
+                        "in the router and flush them in arrival order when "
+                        "the shard recovers (default 0: refuse with 503)")
     p.add_argument("--shard-id", type=int, default=0, metavar="K",
                    help="worker mode: serve shard K of --shard-count "
                         "(normally set by the --shards supervisor, not by hand)")
@@ -380,6 +389,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=str, default=None, metavar="PATH",
                    help="write the recovered state as a compacted checkpoint "
                         "to PATH (atomic, checksummed)")
+
+    p = sub.add_parser(
+        "scrub",
+        help="verify WAL frame checksums, LSN chain continuity and "
+             "checkpoint integrity across a (possibly sharded) fleet",
+    )
+    p.add_argument("wal", type=str,
+                   help="WAL path (the base path with --shards > 1)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="scrub the N shard-namespaced WALs derived from the "
+                        "base path (default 1: scrub the path as-is)")
+    p.add_argument("--checkpoint", type=str, action="append", default=None,
+                   metavar="PATH",
+                   help="also verify this checkpoint's content checksum "
+                        "(repeatable; segment-referenced checkpoints are "
+                        "always verified)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report as canonical JSON")
 
     p = sub.add_parser(
         "replay",
@@ -572,6 +599,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
 
+    if args.wal_compact_every < 0:
+        print("repro serve: --wal-compact-every must be >= 0", file=sys.stderr)
+        return 2
+    if args.wal_compact_every and wal is None:
+        print("repro serve: --wal-compact-every requires --wal", file=sys.stderr)
+        return 2
     service = AdmissionService(
         engine,
         max_request_bytes=args.max_request_bytes,
@@ -579,6 +612,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wal=wal,
         faults=faults,
         retry_after=args.retry_after,
+        wal_compact_every=args.wal_compact_every,
     )
     if recovery is not None:
         service.note_recovery(recovery)
@@ -648,6 +682,8 @@ def shard_worker_command(args: argparse.Namespace, shard_id: int,
         cmd += ["--live", "--speedup", str(args.speedup)]
     if args.wal is not None:
         cmd += ["--wal", shard_path(args.wal, shard_id, n)]
+        if args.wal_compact_every:
+            cmd += ["--wal-compact-every", str(args.wal_compact_every)]
     if args.restore is not None:
         cmd += ["--restore", shard_path(args.restore, shard_id, n)]
     if args.checkpoint_on_exit is not None:
@@ -694,9 +730,13 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
         )
         for i in range(args.shards)
     ]
+    if args.park < 0:
+        print("repro serve: --park must be >= 0", file=sys.stderr)
+        return 2
     router = ShardRouter(
         base, [spec.url for spec in specs],
         max_request_bytes=args.max_request_bytes,
+        max_parked=args.park,
     )
     supervisor = ShardSupervisor(specs)
     supervisor.router = router
@@ -752,6 +792,28 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         print(f"wrote compacted checkpoint to {args.out} "
               f"(restart with: repro serve --restore {args.out} --wal {args.wal})")
     return 0
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    """``repro scrub``: offline fleet integrity check, exit code = verdict."""
+    import json
+
+    from repro.service import scrub as scrub_mod
+
+    if args.shards < 1:
+        print("repro scrub: --shards must be >= 1", file=sys.stderr)
+        return scrub_mod.EXIT_IO
+    report = scrub_mod.scrub_fleet(
+        args.wal, shards=args.shards, checkpoints=args.checkpoint,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True,
+                         separators=(",", ":"), ensure_ascii=False))
+    else:
+        print(report)
+        for finding in report.findings:
+            print(f"  [{finding.kind}] {finding.path}: {finding.detail}")
+    return report.exit_code
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -1089,6 +1151,9 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "scrub":
+        return _cmd_scrub(args)
 
     if args.command == "recover":
         return _cmd_recover(args)

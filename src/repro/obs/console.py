@@ -233,12 +233,55 @@ def render_dashboard(
             f"wal: appended_lsn={wal.get('appended_lsn', 0)} "
             f"applied_lsn={wal.get('applied_lsn', 0)} lag={wal.get('lag', 0)}"
         )
+        if wal.get("compactions"):
+            wal_line += (
+                f" base_lsn={wal.get('base_lsn', 0)} "
+                f"compactions={wal.get('compactions', 0)}"
+            )
         append_mean = _histogram_mean(metrics, "service_wal_append_seconds")
         if append_mean is not None:
             wal_line += f" append_mean={append_mean * 1e3:.3g}ms"
         fsyncs = metric_value(metrics, "service_wal_fsyncs")
         wal_line += f" fsyncs={fsyncs:.0f}"
         lines.append(wal_line)
+
+    shards = health.get("shards")
+    if shards:
+        header = f"fleet: {health.get('shard_count', len(shards))} shard(s)"
+        if health.get("shards_down"):
+            header += paint(f" down={health['shards_down']}", _RED)
+        if "parked" in health:
+            header += (
+                f" parked={health.get('parked', 0)}"
+                f"/{health.get('parking_capacity', 0)}"
+            )
+        lines.append(paint(header, _BOLD))
+        for shard_id, entry in sorted(shards.items(), key=lambda kv: int(kv[0])):
+            shard_status = str(entry.get("status", "?"))
+            line = (
+                f"  shard {shard_id}: "
+                + paint(shard_status, _STATUS_COLOR.get(shard_status, _RED))
+            )
+            breaker = entry.get("breaker")
+            if breaker:
+                state = str(breaker.get("state", "?"))
+                code = _GREEN if state == "closed" else (
+                    _YELLOW if state == "half_open" else _RED
+                )
+                line += f" breaker={paint(state, code)}"
+                if breaker.get("trips"):
+                    line += f" trips={breaker['trips']}"
+            parking = entry.get("parking")
+            if parking:
+                line += (
+                    f" parked={parking.get('parked', 0)}"
+                    f"/{parking.get('capacity', 0)}"
+                )
+                if parking.get("rejected_total"):
+                    line += paint(
+                        f" rejected={parking['rejected_total']}", _YELLOW
+                    )
+            lines.append(line)
 
     burn = slo.get("burn_rate", 0.0)
     code = _GREEN if burn <= 0.5 else (_YELLOW if burn <= 1.0 else _RED)

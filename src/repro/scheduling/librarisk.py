@@ -14,8 +14,14 @@ changes the two admission decisions:
    only selects nodes that have zero risk of deadline delay", §3.3).
    Among those, this implementation keeps Libra's best-fit order by
    default — the paper redefines the candidate set, not the ordering —
-   and under accurate estimates LibraRisk then coincides with Libra
-   exactly, as the paper's panels (a)/(c) show.  ``node_order`` makes
+   and under accurate estimates LibraRisk then tracks Libra closely,
+   as the paper's panels (a)/(c) show.  (Not *identically*: σ measures
+   spread, so a placement that delays every resident by the same
+   proportion — e.g. two identical simultaneous jobs sharing a node —
+   is still σ = 0 and can be admitted past its deadline, a degenerate
+   case Libra's Σ share ≤ 1 test would refuse.  Misses under accurate
+   estimates are therefore possible but never solitary — see
+   ``test_librarisk_sigma_never_misses_alone``.)  ``node_order`` makes
    the choice sweepable (``"best_fit"``, ``"worst_fit"``, ``"index"``).
 
 Algorithm 1 in pseudo-code form::

@@ -40,8 +40,17 @@ from repro.obs.log import get_logger
 
 log = get_logger("service.faults")
 
-#: Crash points the server exposes, in request-processing order.
-CRASH_POINTS = ("wal.before_append", "wal.after_append", "wal.after_apply")
+#: Crash points the server exposes, in request-processing order, then
+#: the three compaction windows (snapshot not yet written / snapshot
+#: durable but log untruncated / log truncated).
+CRASH_POINTS = (
+    "wal.before_append",
+    "wal.after_append",
+    "wal.after_apply",
+    "compact.before_snapshot",
+    "compact.after_snapshot",
+    "compact.after_truncate",
+)
 
 
 class DropRequest(Exception):

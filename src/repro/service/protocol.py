@@ -62,6 +62,9 @@ class ErrorCode:
     #                                        (connection refused/reset/timeout);
     #                                        synthesised by clients, never sent
     #                                        by a server
+    PARKING_FULL = "parking_full"          # router-side: the owning shard is
+    #                                        down and its failover parking lot
+    #                                        is at capacity
 
 
 #: HTTP status the server maps each code onto.
@@ -78,13 +81,14 @@ HTTP_STATUS = {
     ErrorCode.SHUTTING_DOWN: 503,
     ErrorCode.INTERNAL: 500,
     ErrorCode.INJECTED: 500,
+    ErrorCode.PARKING_FULL: 503,
 }
 
 #: Error codes a client may safely retry (with backoff).  4xx codes are
 #: deliberate refusals and retrying them verbatim cannot succeed.
 RETRYABLE_CODES = frozenset({
     ErrorCode.OVERLOADED, ErrorCode.SHUTTING_DOWN, ErrorCode.INTERNAL,
-    ErrorCode.INJECTED, ErrorCode.UNAVAILABLE,
+    ErrorCode.INJECTED, ErrorCode.UNAVAILABLE, ErrorCode.PARKING_FULL,
 })
 
 

@@ -45,7 +45,7 @@ from repro.service.engine import (
 )
 from repro.service.faults import DropRequest, FaultInjector, InjectedError
 from repro.service.protocol import ErrorCode, ProtocolError
-from repro.service.wal import RecoveryReport, WriteAheadLog
+from repro.service.wal import RecoveryReport, WalError, WriteAheadLog
 
 log = get_logger("service.server")
 
@@ -102,6 +102,8 @@ class AdmissionService:
         faults: Optional[FaultInjector] = None,
         retry_after: float = 1.0,
         slo_deadline_miss_objective: float = 0.05,
+        wal_compact_every: int = 0,
+        compact_path: Optional[str] = None,
     ) -> None:
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be >= 1")
@@ -111,6 +113,10 @@ class AdmissionService:
             raise ValueError("retry_after must be > 0")
         if not 0 < slo_deadline_miss_objective <= 1:
             raise ValueError("slo_deadline_miss_objective must be in (0, 1]")
+        if wal_compact_every < 0:
+            raise ValueError("wal_compact_every must be >= 0")
+        if wal_compact_every and wal is None:
+            raise ValueError("wal_compact_every requires a WAL")
         self.engine = engine
         self.max_request_bytes = int(max_request_bytes)
         self.max_inflight = int(max_inflight)
@@ -119,6 +125,12 @@ class AdmissionService:
         self.faults = faults
         self.retry_after = float(retry_after)
         self.slo_deadline_miss_objective = float(slo_deadline_miss_objective)
+        #: Compact the WAL once it retains this many records past the
+        #: last compaction point (0 disables auto-compaction).
+        self.wal_compact_every = int(wal_compact_every)
+        self.compact_path = compact_path or (
+            wal.path + ".compact.ckpt" if wal is not None else None
+        )
         self.draining = False
         self._engine_lock = threading.Lock()
         self._inflight = 0
@@ -189,6 +201,7 @@ class AdmissionService:
             with self._engine_lock:
                 self.engine.poll()
                 response = self._execute(request)
+                self._maybe_compact()
             status = 200
         except ProtocolError as exc:
             response = protocol.error_response(exc.code, exc.message)
@@ -272,6 +285,53 @@ class AdmissionService:
                 ).set(lsn)
         self._crash("wal.after_apply")
         return result
+
+    def _maybe_compact(self) -> None:  # repro-lint: locked  only called from _dispatch under _engine_lock
+        """Compact the WAL once enough records accumulate past base_lsn.
+
+        Runs under the engine lock (the checkpoint must snapshot the
+        exact state the retained tail continues from).  A compaction
+        *failure* is logged and counted but does not fail the client's
+        request — the triggering mutation is already durable and
+        applied; only the maintenance step was lost.  Scripted
+        :class:`~repro.service.faults.CrashPoint` still propagates.
+        """
+        if self.wal is None or self.wal_compact_every <= 0:
+            return
+        retained = self.wal.next_lsn - 1 - self.wal.base_lsn
+        if retained < self.wal_compact_every:
+            return
+        if self.engine.wal_lsn <= self.wal.base_lsn:
+            return  # nothing applied past the last compaction point yet
+        assert self.compact_path is not None
+        try:
+            report = self.wal.compact(
+                self.engine, self.compact_path, crash=self._crash
+            )
+        except (WalError, checkpoint_mod.CheckpointError, OSError) as exc:
+            self.registry.counter(
+                "service_wal_compaction_failures_total",
+                "Auto-compaction attempts that failed",
+            ).inc()
+            log.error("WAL auto-compaction failed: %s", exc)
+            return
+        self.registry.counter(
+            "service_wal_compactions_total", "WAL compactions performed"
+        ).inc()
+        self.registry.gauge(
+            "service_wal_base_lsn",
+            "LSN the active WAL tail starts after (compaction point)",
+        ).set(self.wal.base_lsn)
+        self.registry.counter(
+            "service_wal_compacted_records_total",
+            "Records moved from the active WAL into archive segments",
+        ).inc(report.archived)
+        log.info(
+            "compacted WAL through LSN %d: %d archived, %d retained, "
+            "%d -> %d bytes",
+            report.last_lsn, report.archived, report.retained,
+            report.bytes_before, report.bytes_after,
+        )
 
     def note_recovery(self, report: RecoveryReport) -> None:
         """Expose a recovery pass's outcome through ``GET /metrics``."""
@@ -505,6 +565,12 @@ class AdmissionService:
                     "appended_lsn": appended,
                     "applied_lsn": applied,
                     "lag": max(0, appended - applied),
+                    "base_lsn": (
+                        self.wal.base_lsn if self.wal is not None else 0
+                    ),
+                    "compactions": (
+                        self.wal.compactions if self.wal is not None else 0
+                    ),
                 },
                 "backpressure": {
                     "inflight": inflight,

@@ -17,14 +17,24 @@ proof (byte-identical exports, deterministic traces):
   single-shard requests (a 1-shard router is byte-identical on the
   wire to an unsharded server), per-shard splitting for batch frames,
   exact metric merging for ``drain``/``stats``/``/metrics``;
+* :mod:`~repro.service.sharding.breaker` — per-shard circuit breakers
+  (closed/open/half-open) so a dead shard fails fast instead of
+  costing a connect timeout per request;
+* :mod:`~repro.service.sharding.parking` — deterministic failover
+  parking: submits owned by a down shard queue in arrival order and
+  flush in order on recovery, so a shard kill leaves no client-visible
+  submit loss and byte-identical end state;
 * :mod:`~repro.service.sharding.supervisor` — one worker process per
-  shard, watched and respawned: ``kill -9`` one worker and it recovers
-  from its own WAL while every other shard keeps serving.
+  shard, watched and respawned with exponential backoff and an
+  uptime-refilled restart budget: ``kill -9`` one worker and it
+  recovers from its own WAL while every other shard keeps serving.
 
 ``repro serve --shards N`` wires all of it together; see
 ``docs/SERVICE.md``.
 """
 
+from repro.service.sharding.breaker import ShardBreaker
+from repro.service.sharding.parking import ParkingLot
 from repro.service.sharding.partition import (
     plan_shards,
     shard_for_job,
@@ -51,7 +61,9 @@ from repro.service.sharding.supervisor import (
 )
 
 __all__ = [
+    "ParkingLot",
     "RouterServer",
+    "ShardBreaker",
     "ShardRouter",
     "ShardSupervisor",
     "WorkerSpec",

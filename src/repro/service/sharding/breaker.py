@@ -1,0 +1,132 @@
+"""Per-shard circuit breaker for the routing front-end.
+
+The router forwards every request over HTTP, so a dead or wedged shard
+would otherwise cost a full connect timeout *per request* — and a
+recovering shard would be hammered by the backlog the instant it binds
+its port.  The classic three-state breaker fixes both:
+
+* **closed** — healthy; every forward is allowed.  Consecutive
+  transport-level failures (connection refused/reset/timeout, or a
+  malformed response body) are counted; app-level refusals (4xx, 409
+  conflicts, shedding 503s) are *not* — they prove the shard is alive.
+* **open** — tripped after ``failure_threshold`` consecutive failures;
+  forwards fail fast (no connect attempt) until ``reset_timeout``
+  elapses.  The remaining wait is surfaced as a ``Retry-After`` hint.
+* **half-open** — the cooldown expired; probes are allowed through.
+  One success closes the breaker, one failure re-opens it (restarting
+  the cooldown).
+
+The clock is injectable (``time.monotonic`` by default) so tests drive
+state transitions without sleeping.  All methods are thread-safe — the
+router's HTTP handler threads share one breaker per shard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "ShardBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class ShardBreaker:
+    """Consecutive-failure circuit breaker guarding one shard's forwards."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        failure_threshold: int = 5,
+        reset_timeout: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        self.shard_id = int(shard_id)
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        #: Lifetime trip count (for /metrics).
+        self.trips = 0
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a forward (or probe) be attempted right now?"""
+        with self._lock:
+            return self._state_locked() != OPEN
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe would be allowed (0 when allowed)."""
+        with self._lock:
+            if self._state_locked() != OPEN:
+                return 0.0
+            remaining = self.reset_timeout - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    # -- outcomes -----------------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._trip_locked()
+            else:
+                # A failed half-open probe (or a failure racing the
+                # cooldown) restarts the full cooldown.
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        if self._state != OPEN:
+            self.trips += 1
+        self._state = OPEN
+        self._failures = self.failure_threshold
+        self._opened_at = self._clock()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Health-endpoint view of the breaker."""
+        with self._lock:
+            state = self._state_locked()
+            out: dict[str, Any] = {
+                "state": state,
+                "consecutive_failures": self._failures if state == CLOSED else
+                self.failure_threshold,
+                "trips": self.trips,
+            }
+            if state == OPEN:
+                remaining = self.reset_timeout - (self._clock() - self._opened_at)
+                out["retry_after"] = round(max(0.0, remaining), 6)
+            return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardBreaker shard={self.shard_id} state={self.state} "
+            f"trips={self.trips}>"
+        )

@@ -23,19 +23,34 @@ Routing rules
   ``checkpoint`` requires a ``path`` and fans out with shard-namespaced
   filenames.
 
-The router is deliberately stateless — no engine, no WAL.  Every
-durable fact lives in exactly one shard, so the router can be killed
-and restarted at any time without a recovery protocol.
+Degraded mode
+-------------
+Every shard gets a :class:`~repro.service.sharding.breaker.ShardBreaker`
+(closed/open/half-open, driven by consecutive forward failures and
+``/healthz`` probes) so a dead shard fails fast instead of eating a
+connect timeout per request, plus bounded forward retries with
+deterministic backoff that honors a shard's ``Retry-After`` hint.
+With ``max_parked > 0`` the router also **parks** submits owned by a
+down shard in arrival order and flushes them in order on recovery —
+see :mod:`repro.service.sharding.parking` — so a shard kill leaves no
+client-visible submit loss and the recovered fleet's WALs and metrics
+are byte-identical to an un-killed run.
+
+The router remains stateless about *admission*: no engine, no WAL.
+Parked bodies are an in-flight buffer, not durable state — a router
+crash loses only requests that were never acked as applied, exactly
+like requests lost on the wire.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from time import perf_counter
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.obs.console import parse_prometheus
 from repro.obs.log import get_logger
@@ -43,6 +58,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.service import protocol
 from repro.service.engine import EngineConfig
 from repro.service.protocol import ErrorCode, ProtocolError
+from repro.service.sharding.breaker import CLOSED, HALF_OPEN, OPEN, ShardBreaker
+from repro.service.sharding.parking import ParkingLot
 from repro.service.sharding.partition import plan_shards, shard_for_submit
 from repro.service.sharding.paths import shard_path
 
@@ -138,6 +155,22 @@ class ShardRouter:
         Per-forward HTTP timeout (seconds).
     max_request_bytes:
         Body-size limit advertised to the shared HTTP handler.
+    failure_threshold / breaker_reset:
+        Per-shard circuit breaker tuning: consecutive transport
+        failures before the circuit opens, and the cooldown before a
+        half-open probe.
+    forward_retries / retry_backoff:
+        Bounded per-request retry on transport failure or shedding:
+        up to ``forward_retries`` re-sends with deterministic
+        exponential backoff (``retry_backoff * 2**attempt``), a shard's
+        ``Retry-After`` hint overriding the computed delay.
+    max_parked:
+        Failover parking capacity per shard; ``0`` (the default)
+        disables parking — submits to a down shard get the typed
+        ``unavailable`` error instead.
+    clock / sleep:
+        Injectable time sources so breaker/retry schedules are
+        deterministic under test.
     """
 
     def __init__(
@@ -147,9 +180,22 @@ class ShardRouter:
         timeout: float = 10.0,
         max_request_bytes: int = 1024 * 1024,
         registry: Optional[MetricsRegistry] = None,
+        failure_threshold: int = 5,
+        breaker_reset: float = 0.5,
+        forward_retries: int = 1,
+        retry_backoff: float = 0.05,
+        max_parked: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if not backends:
             raise ValueError("need at least one shard backend")
+        if forward_retries < 0:
+            raise ValueError("forward_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if max_parked < 0:
+            raise ValueError("max_parked must be >= 0")
         self.config = config
         self.configs = plan_shards(config, len(backends))
         self.backends = [url.rstrip("/") for url in backends]
@@ -158,13 +204,37 @@ class ShardRouter:
         self.max_request_bytes = int(max_request_bytes)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.draining = False
+        self.forward_retries = int(forward_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.max_parked = int(max_parked)
+        self._sleep = sleep
+        self.breakers = [
+            ShardBreaker(
+                shard, failure_threshold=failure_threshold,
+                reset_timeout=breaker_reset, clock=clock,
+            )
+            for shard in range(self.num_shards)
+        ]
+        self.parking = [
+            ParkingLot(shard, max_parked) for shard in range(self.num_shards)
+        ]
+        #: One lock per shard serialises park/flush ordering decisions.
+        self._park_locks = [threading.Lock() for _ in range(self.num_shards)]
         #: Worker pids, filled in by the supervisor (surfaced on /healthz
         #: so chaos harnesses can aim their kill -9 at a real shard).
         self.shard_pids: dict[int, int] = {}
 
     # -- low-level forwarding ----------------------------------------------
-    def _post(self, shard: int, body: bytes) -> tuple[int, dict[str, Any]]:
-        """POST one raw RPC body to a shard; transport failure → 503."""
+    def _forward_once(
+        self, shard: int, body: bytes
+    ) -> tuple[int, dict[str, Any], bool]:
+        """One POST attempt: ``(status, response, shard_fault)``.
+
+        ``shard_fault`` is True for failures that indict the *shard*
+        (connection refused/reset/timeout, or a malformed/truncated
+        response body) — these feed its circuit breaker.  App-level
+        refusals prove the shard is alive and do not.
+        """
         request = urllib.request.Request(
             f"{self.backends[shard]}/v1/rpc",
             data=body,
@@ -173,24 +243,89 @@ class ShardRouter:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.status, json.loads(resp.read().decode("utf-8"))
+                status = resp.status
+                raw = resp.read().decode("utf-8", errors="replace")
         except urllib.error.HTTPError as exc:
             raw = exc.read().decode("utf-8", errors="replace")
             try:
-                return exc.code, json.loads(raw)
+                return exc.code, json.loads(raw), False
             except json.JSONDecodeError:
                 return exc.code, protocol.error_response(
                     ErrorCode.INTERNAL, raw or str(exc)
-                )
+                ), False
         except (urllib.error.URLError, OSError) as exc:
-            self.registry.counter(
-                "router_forward_errors_total",
-                "Transport failures forwarding to a shard",
-                shard=str(shard),
-            ).inc()
+            self._note_forward_error(shard)
             return 503, protocol.error_response(
                 ErrorCode.UNAVAILABLE, f"shard {shard}: {type(exc).__name__}: {exc}"
-            )
+            ), True
+        try:
+            parsed = json.loads(raw)
+            if not isinstance(parsed, dict):
+                raise json.JSONDecodeError("response is not an object", raw, 0)
+            return status, parsed, False
+        except json.JSONDecodeError as exc:
+            # A 200 with an unparseable body means the shard died (or
+            # was truncated) mid-response: a typed per-shard fault, not
+            # an exception loose in the router's handler thread.
+            self._note_forward_error(shard)
+            return 503, protocol.error_response(
+                ErrorCode.UNAVAILABLE,
+                f"shard {shard}: malformed response body ({exc})",
+            ), True
+
+    def _note_forward_error(self, shard: int) -> None:
+        self.registry.counter(
+            "router_forward_errors_total",
+            "Transport failures forwarding to a shard",
+            shard=str(shard),
+        ).inc()
+
+    def _retry_delay(self, attempt: int, response: dict[str, Any]) -> float:
+        """Deterministic backoff; a shard's Retry-After hint wins."""
+        hint = response.get("error", {}).get("retry_after")
+        if isinstance(hint, (int, float)) and hint >= 0:
+            # Cap the shard's hint: a forward retry must stay cheap
+            # relative to the client's own retry budget.
+            return min(float(hint), self.timeout, 1.0)
+        return self.retry_backoff * (2 ** attempt)
+
+    def _fail_fast(self, shard: int) -> tuple[int, dict[str, Any]]:
+        """Breaker is open: answer without touching the wire."""
+        self.registry.counter(
+            "router_breaker_fast_fail_total",
+            "Requests refused while a shard's circuit was open",
+            shard=str(shard),
+        ).inc()
+        return 503, protocol.error_response(
+            ErrorCode.UNAVAILABLE,
+            f"shard {shard}: circuit open",
+            retry_after=round(self.breakers[shard].retry_after(), 6),
+        )
+
+    def _post(self, shard: int, body: bytes) -> tuple[int, dict[str, Any]]:
+        """POST one raw RPC body to a shard, with breaker + bounded retry."""
+        breaker = self.breakers[shard]
+        if not breaker.allow():
+            return self._fail_fast(shard)
+        attempts = self.forward_retries + 1
+        status, response = 503, protocol.error_response(
+            ErrorCode.UNAVAILABLE, f"shard {shard}: unreachable"
+        )
+        for attempt in range(attempts):
+            status, response, shard_fault = self._forward_once(shard, body)
+            if shard_fault:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+                code = response.get("error", {}).get("code")
+                if code != ErrorCode.OVERLOADED:
+                    return status, response
+            if attempt + 1 >= attempts or not breaker.allow():
+                break
+            delay = self._retry_delay(attempt, response)
+            if delay > 0:
+                self._sleep(delay)
+        return status, response
 
     def _get(self, shard: int, path: str) -> tuple[int, Optional[dict[str, Any]], str]:
         """GET a side endpoint from one shard: ``(status, json, text)``."""
@@ -239,6 +374,126 @@ class ShardRouter:
             thread.join()
         return results
 
+    # -- failover parking ---------------------------------------------------
+    @property
+    def parking_enabled(self) -> bool:
+        return self.max_parked > 0
+
+    @staticmethod
+    def _job_key(job: dict[str, Any]) -> Optional[int]:
+        job_id = job.get("id")
+        if isinstance(job_id, int) and not isinstance(job_id, bool):
+            return job_id
+        return None
+
+    def _owner_of(self, job: dict[str, Any]) -> int:
+        user = job.get("user")
+        return shard_for_submit(
+            self._job_key(job),
+            user if isinstance(user, str) else None,
+            self.num_shards,
+        )
+
+    def _shard_ready(self, shard: int) -> bool:
+        """May a submit be forwarded to ``shard`` directly right now?
+
+        Not ready while the breaker refuses *or* while parked submits
+        are still queued — forwarding past a non-empty lot would reorder
+        the shard's WAL relative to an un-killed run.  A non-empty lot
+        with a willing breaker triggers an in-order flush attempt first.
+        """
+        lot = self.parking[shard]
+        with self._park_locks[shard]:
+            if len(lot) and self.breakers[shard].allow():
+                self._flush_locked(shard)
+            return len(lot) == 0 and self.breakers[shard].allow()
+
+    def _flush_locked(self, shard: int) -> int:
+        """Replay the lot oldest-first; caller holds the shard's park lock."""
+        lot = self.parking[shard]
+        items = lot.take_all()
+        flushed = 0
+        while items:
+            status, response, shard_fault = self._forward_once(
+                shard, items[0].body
+            )
+            if shard_fault:
+                # Shard died again mid-flush: everything not yet replayed
+                # (including this one) goes back to the head, in order.
+                self.breakers[shard].record_failure()
+                lot.requeue_front(items)
+                break
+            # Non-transport answers (accepted, duplicate, conflict …)
+            # are the shard's recorded decision; the parked client was
+            # already acked, so the response itself is dropped.
+            self.breakers[shard].record_success()
+            items.pop(0)
+            flushed += 1
+        if flushed:
+            lot.note_flushed(flushed)
+            self.registry.counter(
+                "router_park_flushed_total",
+                "Parked submits replayed to a recovered shard",
+                shard=str(shard),
+            ).inc(flushed)
+            log.info("shard %d recovered: flushed %d parked submit(s)",
+                     shard, flushed)
+        return flushed
+
+    def flush_parking(self) -> dict[str, int]:
+        """Flush every shard whose breaker allows it; ``{shard: flushed}``."""
+        flushed: dict[str, int] = {}
+        if not self.parking_enabled:
+            return flushed
+        for shard in range(self.num_shards):
+            lot = self.parking[shard]
+            with self._park_locks[shard]:
+                if len(lot) and self.breakers[shard].allow():
+                    count = self._flush_locked(shard)
+                    if count:
+                        flushed[str(shard)] = count
+        return flushed
+
+    def _park_submit(
+        self, shard: int, job: dict[str, Any], body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """Park one raw submit frame for ``shard``; typed overflow refusal."""
+        key = self._job_key(job)
+        lot = self.parking[shard]
+        with self._park_locks[shard]:
+            accepted = lot.park(key, body)
+        if not accepted:
+            self.registry.counter(
+                "router_park_rejected_total",
+                "Submits refused because a shard's parking lot was full",
+                shard=str(shard),
+            ).inc()
+            return 503, protocol.error_response(
+                ErrorCode.PARKING_FULL,
+                f"shard {shard} is down and its parking lot "
+                f"({lot.capacity}) is full",
+                retry_after=round(
+                    max(self.breakers[shard].retry_after(), self.retry_backoff),
+                    6,
+                ),
+            )
+        self.registry.counter(
+            "router_parked_total",
+            "Submits parked for a down shard",
+            shard=str(shard),
+        ).inc()
+        payload: dict[str, Any] = {"shard": shard}
+        if key is not None:
+            payload["job"] = key
+        return 200, protocol.ok_response("parked", **payload)
+
+    @staticmethod
+    def _single_submit_frame(job: dict[str, Any]) -> bytes:
+        """A batch item re-framed as the single submit its flush will send."""
+        return protocol.encode({
+            "v": protocol.PROTOCOL_VERSION, "type": "submit", "job": job,
+        })
+
     # -- request handling ---------------------------------------------------
     def handle(self, body: bytes) -> tuple[int, dict[str, Any]]:
         """Route one protocol request; returns ``(http_status, response)``."""
@@ -272,23 +527,36 @@ class ShardRouter:
         return status, response
 
     def _route(self, request: Any, body: bytes) -> tuple[int, dict[str, Any]]:
-        if self.num_shards == 1:
-            # One shard IS the unsharded server: every RPC (including
-            # stats/drain/checkpoint, which would otherwise re-merge)
-            # passes through raw, keeping the router byte-invisible.
-            return self._post(0, body)
         if isinstance(request, protocol.SubmitRequest):
-            job_id = request.job.get("id")
-            user = request.job.get("user")
-            shard = shard_for_submit(
-                job_id if isinstance(job_id, int) and not isinstance(job_id, bool)
-                else None,
-                user if isinstance(user, str) else None,
-                self.num_shards,
-            )
-            return self._post(shard, body)
+            # Works unchanged at one shard (the owner is shard 0), so the
+            # healthy path stays a raw byte-identical passthrough.
+            shard = self._owner_of(request.job)
+            if self.parking_enabled and not self._shard_ready(shard):
+                return self._park_submit(shard, request.job, body)
+            status, response = self._post(shard, body)
+            if (
+                self.parking_enabled
+                and response.get("error", {}).get("code") == ErrorCode.UNAVAILABLE
+            ):
+                # The shard died under this very request: park it rather
+                # than surfacing the error — the first casualty of a
+                # crash gets the same no-loss guarantee as the backlog.
+                return self._park_submit(shard, request.job, body)
+            return status, response
         if isinstance(request, protocol.BatchRequest):
+            if self.num_shards == 1 and not (
+                self.parking_enabled and not self._shard_ready(0)
+            ):
+                return self._post(0, body)
             return self._route_batch(request)
+        if self.num_shards == 1:
+            # One shard IS the unsharded server: every other RPC
+            # (including stats/drain/checkpoint, which would otherwise
+            # re-merge) passes through raw, keeping the router
+            # byte-invisible.  Any parked backlog settles first so
+            # stats/advance/drain see the full stream.
+            self.flush_parking()
+            return self._post(0, body)
         if isinstance(request, (protocol.QueryRequest, protocol.TraceRequest)):
             shard = shard_for_submit(request.job_id, None, self.num_shards)
             return self._post(shard, body)
@@ -317,25 +585,48 @@ class ShardRouter:
                 self.num_shards,
             )
             slots[shard].append(position)
+        results: list[Optional[dict[str, Any]]] = [None] * len(request.jobs)
         bodies: list[Optional[bytes]] = [None] * self.num_shards
         for shard in range(self.num_shards):
-            if slots[shard]:
-                bodies[shard] = protocol.encode({
-                    "v": protocol.PROTOCOL_VERSION, "type": "batch",
-                    "jobs": [request.jobs[p] for p in slots[shard]],
-                })
-        answers = self._fan_out(bodies)
-        results: list[Optional[dict[str, Any]]] = [None] * len(request.jobs)
-        for shard in range(self.num_shards):
             if not slots[shard]:
+                continue
+            if self.parking_enabled and not self._shard_ready(shard):
+                # Only the down shard's items park; siblings forward.
+                for position in slots[shard]:
+                    job = request.jobs[position]
+                    _, parked = self._park_submit(
+                        shard, job, self._single_submit_frame(job)
+                    )
+                    results[position] = parked
+                continue
+            bodies[shard] = protocol.encode({
+                "v": protocol.PROTOCOL_VERSION, "type": "batch",
+                "jobs": [request.jobs[p] for p in slots[shard]],
+            })
+        answers = self._fan_out(bodies)
+        for shard in range(self.num_shards):
+            if not slots[shard] or bodies[shard] is None:
                 continue
             answer = answers[shard]
             assert answer is not None
             status, response = answer
             items = response.get("results") if response.get("ok") else None
+            failed_code = response.get("error", {}).get("code")
             for offset, position in enumerate(slots[shard]):
                 if items is not None and offset < len(items):
                     results[position] = items[offset]
+                elif (
+                    self.parking_enabled
+                    and failed_code == ErrorCode.UNAVAILABLE
+                ):
+                    # The shard died mid-batch: its items park instead
+                    # of surfacing the frame error (lot-full still
+                    # yields the typed overflow refusal per item).
+                    job = request.jobs[position]
+                    _, parked = self._park_submit(
+                        shard, job, self._single_submit_frame(job)
+                    )
+                    results[position] = parked
                 else:
                     # Whole sub-frame failed (shard down, shedding):
                     # every one of its items inherits the frame error.
@@ -346,6 +637,7 @@ class ShardRouter:
         return 200, protocol.ok_response("batch", results=merged)
 
     def _route_stats(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        self.flush_parking()
         answers = self._fan_out([body] * self.num_shards)
         shards: dict[str, Any] = {}
         merged = {"submitted": 0, "accepted": 0, "rejected": 0, "completed": 0}
@@ -372,6 +664,9 @@ class ShardRouter:
         return 200, protocol.ok_response("stats", stats=payload)
 
     def _route_advance(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        # Parked submits must land before the fleet clock moves past
+        # their submit times, or replay order would differ.
+        self.flush_parking()
         answers = self._fan_out([body] * self.num_shards)
         horizon = 0.0
         events = 0
@@ -386,6 +681,10 @@ class ShardRouter:
         return 200, protocol.ok_response("advanced", t=horizon, events=events)
 
     def _route_drain(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        # A drain is the fleet's settlement point: replay any parked
+        # backlog first so the drained metrics include every acked
+        # submit (byte-identical to an un-killed run once flushed).
+        self.flush_parking()
         answers = self._fan_out([body] * self.num_shards)
         horizon = 0.0
         per_shard: list[dict[str, Any]] = []
@@ -453,11 +752,25 @@ class ShardRouter:
         served as 503 so load balancers stop routing); a draining
         router reports ``"draining"``.
         """
+        probes: list[tuple[int, Optional[dict[str, Any]]]] = []
+        for shard in range(self.num_shards):
+            status, payload, _ = self._get(shard, "/healthz")
+            probes.append((status, payload))
+            # Health probes drive the breaker alongside forwards: a dead
+            # probe re-arms the cooldown without waiting for a request
+            # to burn a connect timeout; a healthy one closes the
+            # circuit so the parked backlog can flush immediately.
+            if payload is None:
+                self.breakers[shard].record_failure()
+            elif bool(payload.get("ok", status == 200)):
+                self.breakers[shard].record_success()
+        self.flush_parking()
+
         shards: dict[str, Any] = {}
         down = 0
         worst_ok = True
-        for shard in range(self.num_shards):
-            status, payload, _ = self._get(shard, "/healthz")
+        parked = 0
+        for shard, (status, payload) in enumerate(probes):
             entry: dict[str, Any] = {"url": self.backends[shard]}
             pid = self.shard_pids.get(shard)
             if pid is not None:
@@ -472,6 +785,10 @@ class ShardRouter:
                 entry["ok"] = bool(payload.get("ok", status == 200))
                 if entry["status"] != "ok":
                     worst_ok = False
+            entry["breaker"] = self.breakers[shard].snapshot()
+            if self.parking_enabled:
+                entry["parking"] = self.parking[shard].snapshot()
+                parked += len(self.parking[shard])
             shards[str(shard)] = entry
         if self.draining:
             status_text = "draining"
@@ -481,13 +798,17 @@ class ShardRouter:
             status_text = "degraded"
         else:
             status_text = "ok"
-        return {
+        out: dict[str, Any] = {
             "ok": status_text not in ("down", "draining"),
             "status": status_text,
             "shard_count": self.num_shards,
             "shards_down": down,
             "shards": shards,
         }
+        if self.parking_enabled:
+            out["parked"] = parked
+            out["parking_capacity"] = self.max_parked * self.num_shards
+        return out
 
     def prometheus_text(self) -> str:
         """Merged ``GET /metrics``: every shard sample gains a shard label.
@@ -496,6 +817,25 @@ class ShardRouter:
         the merged exposition is deterministic whenever the per-shard
         expositions are.
         """
+        for shard in range(self.num_shards):
+            breaker = self.breakers[shard]
+            self.registry.gauge(
+                "router_breaker_state",
+                "Shard circuit state (0 closed, 1 half-open, 2 open)",
+                shard=str(shard),
+            ).set({CLOSED: 0, HALF_OPEN: 1, OPEN: 2}[breaker.state])
+            self.registry.gauge(
+                "router_breaker_trips",
+                "Times a shard's circuit has opened",
+                shard=str(shard),
+            ).set(breaker.trips)
+            if self.parking_enabled:
+                lot = self.parking[shard]
+                self.registry.gauge(
+                    "router_parked",
+                    "Submits currently parked for a down shard",
+                    shard=str(shard),
+                ).set(len(lot))
         lines: list[str] = [
             "# Merged from %d shard(s); every sample carries a shard label."
             % self.num_shards
@@ -596,3 +936,4 @@ class RouterServer:
 
 
 __all__ = ["RouterServer", "ShardRouter", "merge_scenario_metrics"]
+# (ShardBreaker and ParkingLot are exported via repro.service.sharding.)

@@ -17,8 +17,19 @@ Crash contract
 * every other shard keeps serving throughout — the router keeps
   routing to them and reports the fleet as ``degraded``, not down.
 
-Restarts are capped per shard (``max_restarts``) so a crash-looping
-worker degrades into an honest ``down`` shard instead of a fork bomb.
+Restart policy
+--------------
+Respawns are **backed off exponentially** (``backoff_base *
+backoff_factor**consecutive``, capped at ``backoff_max``) with a small
+deterministic jitter derived from ``crc32(shard_id:restart_no)`` — no
+entropy, so two runs of the same crash schedule respawn on the same
+timeline.  Restarts draw from a per-shard **budget** of
+``max_restarts`` credits that *refills with healthy uptime* (one
+credit per ``restart_refill`` seconds alive): a worker that flaps once
+an hour lives forever, while a crash-looping worker exhausts the
+budget just like the old lifetime cap and degrades into an honest
+``down`` shard instead of a fork bomb.  A worker that stays up at
+least ``stable_uptime`` seconds also resets the backoff ladder.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from __future__ import annotations
 import socket
 import subprocess
 import threading
+import zlib
 from dataclasses import dataclass, field
 from time import monotonic, sleep
 from typing import IO, Any, Optional, Union
@@ -74,9 +86,25 @@ class WorkerState:
 
     spec: WorkerSpec
     proc: Optional[subprocess.Popen] = None  # type: ignore[type-arg]
-    restarts: int = 0
+    restarts: int = 0  # lifetime total, monotone
     failed: bool = False
     history: list[int] = field(default_factory=list)  # pids, oldest first
+    #: Restart credits spent minus healthy-uptime refills; the worker is
+    #: marked ``failed`` when charging one more would exceed the budget.
+    budget_used: float = 0.0
+    #: Consecutive deaths without a stable run — the backoff exponent.
+    consecutive: int = 0
+    #: monotonic() of the last spawn / last refill accrual tick.
+    spawned_at: float = 0.0
+    refilled_at: float = 0.0
+    #: When nonzero, a respawn is scheduled for this monotonic time.
+    respawn_at: float = 0.0
+
+
+def _restart_jitter(shard_id: int, restart_no: int, scale: float) -> float:
+    """Deterministic jitter in ``[0, scale)`` — crc32, never ``random``."""
+    token = f"{shard_id}:{restart_no}".encode("ascii")
+    return scale * (zlib.crc32(token) % 1000) / 1000.0
 
 
 class ShardSupervisor:
@@ -89,6 +117,11 @@ class ShardSupervisor:
         poll_interval: float = 0.2,
         stdout: Union[int, IO[bytes], None] = None,
         stderr: Union[int, IO[bytes], None] = None,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 5.0,
+        restart_refill: float = 30.0,
+        stable_uptime: float = 5.0,
     ) -> None:
         if not specs:
             raise ValueError("need at least one worker spec")
@@ -96,9 +129,18 @@ class ShardSupervisor:
             raise ValueError("max_restarts must be >= 0")
         if poll_interval <= 0:
             raise ValueError("poll_interval must be > 0")
+        if backoff_base <= 0 or backoff_factor < 1.0 or backoff_max <= 0:
+            raise ValueError("backoff parameters must be positive")
+        if restart_refill <= 0 or stable_uptime <= 0:
+            raise ValueError("restart_refill and stable_uptime must be > 0")
         self.specs = specs
         self.max_restarts = int(max_restarts)
         self.poll_interval = float(poll_interval)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max = float(backoff_max)
+        self.restart_refill = float(restart_refill)
+        self.stable_uptime = float(stable_uptime)
         self._stdout = stdout
         self._stderr = stderr
         self.workers = [WorkerState(spec=spec) for spec in specs]
@@ -118,6 +160,9 @@ class ShardSupervisor:
         )
         state.proc = proc
         state.history.append(proc.pid)
+        state.spawned_at = monotonic()
+        state.refilled_at = state.spawned_at
+        state.respawn_at = 0.0
         if self.router is not None:
             self.router.shard_pids[state.spec.shard_id] = proc.pid
         log.info("shard %d worker pid %d: %s",
@@ -161,31 +206,68 @@ class ShardSupervisor:
     # -- monitoring ---------------------------------------------------------
     def _watch(self) -> None:
         while not self._stopping:
+            now = monotonic()
             with self._lock:
                 for state in self.workers:
-                    proc = state.proc
-                    if (
-                        self._stopping or proc is None or state.failed
-                        or proc.poll() is None
-                    ):
+                    if self._stopping or state.failed:
                         continue
-                    code = proc.returncode
-                    if state.restarts >= self.max_restarts:
-                        state.failed = True
-                        log.error(
-                            "shard %d worker died (exit %s) and exhausted "
-                            "%d restarts; marking it down",
-                            state.spec.shard_id, code, self.max_restarts,
-                        )
-                        continue
-                    state.restarts += 1
-                    log.warning(
-                        "shard %d worker died (exit %s); restart %d/%d",
-                        state.spec.shard_id, code,
-                        state.restarts, self.max_restarts,
-                    )
-                    self._spawn(state)
+                    self._tick_worker(state, now)
             sleep(self.poll_interval)
+
+    def _tick_worker(self, state: WorkerState, now: float) -> None:
+        """One supervision step for one worker (caller holds the lock)."""
+        if state.respawn_at:
+            if now >= state.respawn_at:
+                state.restarts += 1
+                log.warning(
+                    "shard %d respawn %d (budget %.2f/%d used)",
+                    state.spec.shard_id, state.restarts,
+                    state.budget_used, self.max_restarts,
+                )
+                self._spawn(state)
+            return
+        proc = state.proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            # Alive: healthy uptime refills the restart budget and, once
+            # the run counts as stable, resets the backoff ladder.
+            if state.budget_used > 0.0:
+                state.budget_used = max(
+                    0.0,
+                    state.budget_used
+                    - (now - state.refilled_at) / self.restart_refill,
+                )
+            state.refilled_at = now
+            if state.consecutive and now - state.spawned_at >= self.stable_uptime:
+                state.consecutive = 0
+            return
+        # Dead: charge the budget, then either fail permanently or
+        # schedule a backed-off respawn.
+        code = proc.returncode
+        if state.budget_used + 1.0 > self.max_restarts + 1e-9:
+            state.failed = True
+            log.error(
+                "shard %d worker died (exit %s) with restart budget "
+                "exhausted (%d credits); marking it down",
+                state.spec.shard_id, code, self.max_restarts,
+            )
+            return
+        state.budget_used += 1.0
+        state.consecutive += 1
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (state.consecutive - 1),
+        ) + _restart_jitter(
+            state.spec.shard_id, state.restarts + 1, self.backoff_base
+        )
+        state.respawn_at = now + delay
+        log.warning(
+            "shard %d worker died (exit %s); respawn in %.3fs "
+            "(attempt %d, budget %.2f/%d used)",
+            state.spec.shard_id, code, delay,
+            state.consecutive, state.budget_used, self.max_restarts,
+        )
 
     # -- introspection ------------------------------------------------------
     def pids(self) -> dict[int, int]:
@@ -201,6 +283,27 @@ class ShardSupervisor:
     def restart_counts(self) -> dict[int, int]:
         with self._lock:
             return {s.spec.shard_id: s.restarts for s in self.workers}
+
+    def supervision_snapshot(self) -> dict[int, dict[str, Any]]:
+        """Per-shard restart-policy view (for /healthz and the console)."""
+        now = monotonic()
+        out: dict[int, dict[str, Any]] = {}
+        with self._lock:
+            for state in self.workers:
+                proc = state.proc
+                entry: dict[str, Any] = {
+                    "alive": proc is not None and proc.poll() is None,
+                    "failed": state.failed,
+                    "restarts": state.restarts,
+                    "budget_used": round(state.budget_used, 4),
+                    "budget": self.max_restarts,
+                }
+                if state.respawn_at:
+                    entry["respawn_in"] = round(
+                        max(0.0, state.respawn_at - now), 4
+                    )
+                out[state.spec.shard_id] = entry
+        return out
 
     def all_alive(self) -> bool:
         with self._lock:

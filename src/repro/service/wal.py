@@ -51,15 +51,31 @@ is acknowledged — this is the mode under which the kill-and-recover
 guarantee holds.  ``"batch"`` fsyncs every ``batch_size`` appends (and
 on close), trading the tail of the log for throughput; ``"none"``
 leaves durability to the OS page cache.
+
+Compaction
+----------
+Logs would otherwise grow without bound, so :meth:`WriteAheadLog.compact`
+anchors the log on a checkpoint: it snapshots the engine, moves every
+record at or below the engine's applied LSN into an **archive segment**
+(``<wal>.seg<first>-<last>``, same framed format, atomically renamed),
+and rewrites the live log to a short tail whose header carries
+``base_lsn`` (records resume at ``base_lsn + 1``) and a ``checkpoint``
+reference (path + SHA-256).  :func:`recover` chains the referenced
+checkpoint transparently, so a compacted log restores byte-identically
+to replaying the full history.  Every step is a whole-file write +
+``os.replace``: a crash at any point leaves either the old layout or
+the new one, never a hybrid.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import tempfile
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.cluster.job import reserve_job_ids
 from repro.obs.log import get_logger
@@ -80,6 +96,9 @@ FSYNC_POLICIES = ("always", "batch", "none")
 
 #: Request types that mutate engine state and therefore must be logged.
 MUTATING_TYPES = frozenset({"submit", "advance", "drain"})
+
+#: Archive segment suffix: ``<wal>.seg<first lsn>-<last lsn>`` (zero-padded).
+_SEGMENT_RE = re.compile(r"\.seg(\d{8})-(\d{8})$")
 
 
 class WalError(ValueError):
@@ -141,8 +160,13 @@ class WalReadResult:
     torn: Optional[str] = None
 
     @property
+    def base_lsn(self) -> int:
+        """Last LSN materialised by the compaction checkpoint (0 = none)."""
+        return int(self.header.get("base_lsn", 0) or 0)
+
+    @property
     def last_lsn(self) -> int:
-        return self.records[-1].lsn if self.records else 0
+        return self.records[-1].lsn if self.records else self.base_lsn
 
 
 def _read_bytes(path: str) -> bytes:
@@ -202,6 +226,7 @@ def read_wal(path: str) -> WalReadResult:
     header: Optional[dict[str, Any]] = None
     records: list[WalRecord] = []
     offset = 0
+    base_lsn = 0
     torn: Optional[str] = None
     for index, line in enumerate(framed):
         is_last = index == len(framed) - 1
@@ -209,8 +234,9 @@ def read_wal(path: str) -> WalReadResult:
             payload = _parse_line(line)
             if index == 0:
                 header = _check_header(path, payload)
+                base_lsn = int(header.get("base_lsn", 0) or 0)
             else:
-                records.append(_record_from(path, payload, records))
+                records.append(_record_from(path, payload, records, base_lsn))
         except WalError:
             # Header defects and LSN sequence breaks survive checksumming,
             # so they cannot be explained by a torn write — always fatal.
@@ -238,11 +264,17 @@ def _check_header(path: str, payload: dict[str, Any]) -> dict[str, Any]:
             f"{path}: unsupported WAL version {payload.get('version')!r} "
             f"(this build reads v{WAL_VERSION})"
         )
+    base = payload.get("base_lsn", 0)
+    if not isinstance(base, int) or base < 0:
+        raise WalError(f"{path}: invalid base_lsn {base!r} in WAL header")
     return payload
 
 
 def _record_from(
-    path: str, payload: dict[str, Any], earlier: list[WalRecord]
+    path: str,
+    payload: dict[str, Any],
+    earlier: list[WalRecord],
+    base_lsn: int = 0,
 ) -> WalRecord:
     try:
         record = WalRecord(
@@ -253,12 +285,75 @@ def _record_from(
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ValueError(f"malformed record payload: {exc}") from exc
-    expected = earlier[-1].lsn + 1 if earlier else 1
+    expected = earlier[-1].lsn + 1 if earlier else base_lsn + 1
     if record.lsn != expected:
         raise WalError(
             f"{path}: LSN sequence broken (expected {expected}, got {record.lsn})"
         )
     return record
+
+
+def _record_payload(record: WalRecord) -> dict[str, Any]:
+    """Invert :func:`_record_from`: byte-identical when re-framed."""
+    payload: dict[str, Any] = {"lsn": record.lsn, "t": record.t, "req": record.req}
+    if record.clamp:
+        payload["clamp"] = True
+    return payload
+
+
+def list_segments(path: str) -> list[tuple[int, int, str]]:
+    """Archive segments of ``path`` as sorted ``(first, last, seg_path)``.
+
+    Segments are recognised purely by name
+    (``<wal>.seg<first:08d>-<last:08d>``); contents are not validated
+    here — that is :mod:`repro.service.scrub`'s job.
+    """
+    directory = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    out: list[tuple[int, int, str]] = []
+    for name in names:
+        if not name.startswith(base + ".seg"):
+            continue
+        match = _SEGMENT_RE.search(name)
+        if match:
+            out.append(
+                (int(match.group(1)), int(match.group(2)),
+                 os.path.join(directory, name))
+            )
+    out.sort()
+    return out
+
+
+def _write_file_atomic(path: str, data: bytes) -> None:
+    """Whole-file write: tmp in the same directory, fsync, rename, dir fsync."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fp.write(data)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
 
 
 class WriteAheadLog:
@@ -297,6 +392,10 @@ class WriteAheadLog:
         self.appended = 0
         self.bytes_written = 0
         self.syncs = 0
+        #: Last LSN folded into the compaction checkpoint (0 = never compacted).
+        self.base_lsn = 0
+        #: Completed :meth:`compact` passes over this handle's lifetime.
+        self.compactions = 0
         #: Permanently broken (failed rollback or fsync); appends refused.
         self.failed = False
         self._unsynced = 0
@@ -343,6 +442,7 @@ class WriteAheadLog:
                     fp.flush()
                     os.fsync(fp.fileno())
             wal.next_lsn = result.last_lsn + 1
+            wal.base_lsn = result.base_lsn
             wal._fp = open(path, "ab", buffering=0)
             wal._good_offset = result.valid_bytes
         else:
@@ -399,6 +499,160 @@ class WriteAheadLog:
         """Force everything appended so far onto disk."""
         if self._fp is not None:
             self._sync()
+
+    # -- compaction ---------------------------------------------------------
+    def compact(
+        self,
+        engine: Any,
+        checkpoint_path: str,
+        crash: Optional[Callable[[str], None]] = None,
+    ) -> "CompactionReport":
+        """Checkpoint ``engine`` and archive every record it has applied.
+
+        Three crash-safe steps, each a whole-file write + atomic rename:
+
+        1. snapshot the engine to ``checkpoint_path``
+           (:func:`repro.service.checkpoint.save`);
+        2. copy records with ``lsn <= engine.wal_lsn`` into an archive
+           segment named ``<wal>.seg<first>-<last>``;
+        3. replace the live log with a tail whose header carries
+           ``base_lsn = engine.wal_lsn`` and a checkpoint reference
+           (path + content SHA-256), keeping only not-yet-checkpointed
+           records.
+
+        A crash before step 3 leaves the full log intact (the new
+        checkpoint and segment are redundant but harmless — stale
+        segments are swept on the next pass); a crash after step 3
+        leaves a compacted log that :func:`recover` chains through the
+        referenced checkpoint.  Either way recovery is byte-identical.
+
+        ``crash`` is the fault-injection hook (``compact.before_snapshot``,
+        ``compact.after_snapshot``, ``compact.after_truncate``); pass
+        :meth:`AdmissionService._crash` to make the windows drillable.
+        """
+        from repro.service import checkpoint as checkpoint_mod
+
+        if self.failed:
+            raise WalError(f"{self.path}: cannot compact a failed WAL")
+        if self._fp is None:
+            raise WalError(f"{self.path}: cannot compact a closed WAL")
+
+        def hook(point: str) -> None:
+            if crash is not None:
+                crash(point)
+
+        hook("compact.before_snapshot")
+        doc = checkpoint_mod.save(engine, checkpoint_path)
+        checkpoint_sha = str(doc["checksum"]["hex"])
+        hook("compact.after_snapshot")
+
+        compact_lsn = int(engine.wal_lsn)
+        self._sync()
+        result = read_wal(self.path)
+        bytes_before = os.path.getsize(self.path)
+        archived = [r for r in result.records if r.lsn <= compact_lsn]
+        retained = [r for r in result.records if r.lsn > compact_lsn]
+        report = CompactionReport(
+            first_lsn=archived[0].lsn if archived else 0,
+            last_lsn=compact_lsn,
+            archived=len(archived),
+            retained=len(retained),
+            checkpoint=checkpoint_path,
+            bytes_before=bytes_before,
+            bytes_after=bytes_before,
+        )
+        if not archived:
+            # Nothing the checkpoint newly covers — but the snapshot
+            # above may have just overwritten the very checkpoint the
+            # header references (a recovered engine re-derives kernel
+            # sequence numbers, changing the content checksum), so the
+            # stale reference must be refreshed before leaving the log
+            # alone, or the next recovery would refuse the chain.
+            old_ref = result.header.get("checkpoint")
+            if isinstance(old_ref, dict):
+                old_path = str(old_ref.get("path", ""))
+                if not os.path.isabs(old_path):
+                    old_path = os.path.join(
+                        os.path.dirname(self.path) or ".", old_path
+                    )
+                if (
+                    os.path.abspath(old_path) == os.path.abspath(checkpoint_path)
+                    and old_ref.get("sha256") != checkpoint_sha
+                ):
+                    new_header = dict(result.header)
+                    new_header["checkpoint"] = {
+                        "path": old_ref.get("path"), "sha256": checkpoint_sha,
+                    }
+                    tail_bytes = b"".join(
+                        [_frame(new_header)]
+                        + [_frame(_record_payload(r)) for r in result.records]
+                    )
+                    self._fp.close()
+                    self._fp = None
+                    try:
+                        _write_file_atomic(self.path, tail_bytes)
+                    except BaseException:
+                        self._fail("checkpoint reference refresh failed")
+                        raise
+                    self._fp = open(self.path, "ab", buffering=0)
+                    self._good_offset = len(tail_bytes)
+                    self._unsynced = 0
+                    report.bytes_after = len(tail_bytes)
+            hook("compact.after_truncate")
+            return report
+
+        # Sweep stale segments from an interrupted earlier pass: any
+        # segment reaching past the current base still has all of its
+        # records in the live log, so dropping it loses nothing.
+        for _first, last, seg_path in list_segments(self.path):
+            if last > self.base_lsn:
+                try:
+                    os.unlink(seg_path)
+                except OSError:  # pragma: no cover - best-effort sweep
+                    pass
+
+        segment = f"{self.path}.seg{archived[0].lsn:08d}-{archived[-1].lsn:08d}"
+        seg_header = dict(result.header)
+        seg_header.pop("checkpoint", None)  # the reference moves with the tail
+        _write_file_atomic(
+            segment,
+            b"".join([_frame(seg_header)]
+                     + [_frame(_record_payload(r)) for r in archived]),
+        )
+
+        cp_abs = os.path.abspath(checkpoint_path)
+        if os.path.dirname(cp_abs) == os.path.dirname(os.path.abspath(self.path)):
+            ref_path = os.path.basename(checkpoint_path)
+        else:
+            ref_path = cp_abs
+        tail_header: dict[str, Any] = {"format": WAL_FORMAT, "version": WAL_VERSION}
+        if "config" in result.header:
+            tail_header["config"] = result.header["config"]
+        tail_header["base_lsn"] = compact_lsn
+        tail_header["checkpoint"] = {"path": ref_path, "sha256": checkpoint_sha}
+        tail_bytes = b"".join([_frame(tail_header)]
+                              + [_frame(_record_payload(r)) for r in retained])
+        self._fp.close()
+        self._fp = None
+        try:
+            _write_file_atomic(self.path, tail_bytes)
+        except BaseException:
+            self._fail("compaction tail replace failed")
+            raise
+        self._fp = open(self.path, "ab", buffering=0)
+        self._good_offset = len(tail_bytes)
+        self._unsynced = 0
+        self.base_lsn = compact_lsn
+        self.compactions += 1
+        report.segment = segment
+        report.bytes_after = len(tail_bytes)
+        log.info(
+            "%s: compacted %d records (lsn<=%d) into %s; tail %d -> %d bytes",
+            self.path, len(archived), compact_lsn, segment,
+            bytes_before, len(tail_bytes),
+        )
+        hook("compact.after_truncate")
+        return report
 
     def _write(self, frame: bytes) -> None:
         """Write one whole frame (unbuffered fd), rolling back any tear."""
@@ -464,6 +718,72 @@ class WriteAheadLog:
             f"<WriteAheadLog path={self.path!r} fsync={self.fsync} "
             f"next_lsn={self.next_lsn} appended={self.appended}>"
         )
+
+
+# -- compaction ---------------------------------------------------------------
+
+@dataclass
+class CompactionReport:
+    """What one :meth:`WriteAheadLog.compact` pass did."""
+
+    first_lsn: int
+    last_lsn: int
+    archived: int
+    retained: int
+    checkpoint: str
+    bytes_before: int
+    bytes_after: int
+    segment: Optional[str] = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "first_lsn": self.first_lsn,
+            "last_lsn": self.last_lsn,
+            "archived": self.archived,
+            "retained": self.retained,
+            "checkpoint": self.checkpoint,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+        }
+        if self.segment is not None:
+            out["segment"] = self.segment
+        return out
+
+
+def resolve_checkpoint_ref(wal_path: str, header: dict[str, Any]) -> Optional[str]:
+    """Path of the checkpoint a compacted WAL header references, verified.
+
+    Returns ``None`` when the header carries no reference.  Relative
+    paths resolve against the WAL's directory.  The referenced file's
+    embedded content checksum must equal the SHA-256 recorded at
+    compaction time — a swapped or regenerated checkpoint would
+    otherwise silently splice a different history under the tail.
+    """
+    ref = header.get("checkpoint")
+    if ref is None:
+        return None
+    if not isinstance(ref, dict) or not ref.get("path"):
+        raise WalError(f"{wal_path}: malformed checkpoint reference {ref!r}")
+    path = str(ref["path"])
+    if not os.path.isabs(path):
+        path = os.path.join(os.path.dirname(wal_path) or ".", path)
+    if not os.path.exists(path):
+        raise WalError(
+            f"{wal_path}: compacted WAL references missing checkpoint {path}; "
+            f"records at or below base_lsn are only recoverable through it"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise WalError(f"{wal_path}: unreadable referenced checkpoint {path}: {exc}") from exc
+    stored = (doc.get("checksum") or {}).get("hex") if isinstance(doc, dict) else None
+    if stored != ref.get("sha256"):
+        raise WalError(
+            f"{path}: checkpoint SHA-256 does not match the WAL's compaction "
+            f"reference (stored {stored}, expected {ref.get('sha256')})"
+        )
+    return path
 
 
 # -- recovery -----------------------------------------------------------------
@@ -559,6 +879,10 @@ def recover(  # repro-lint: safe=CONC001  replays into a private engine before a
     and are counted, preserving the exact original state.
     """
     result = read_wal(wal_path)
+    if checkpoint_path is None:
+        # A compacted log names its own base checkpoint; chain it so
+        # `recover(wal)` keeps working transparently after compaction.
+        checkpoint_path = resolve_checkpoint_ref(wal_path, result.header)
     report = RecoveryReport(
         wal_records=len(result.records),
         torn=result.torn,
@@ -579,6 +903,13 @@ def recover(  # repro-lint: safe=CONC001  replays into a private engine before a
             )
         engine = AdmissionEngine(EngineConfig.from_dict(config), clock=clock, obs=obs)
 
+    if engine.wal_lsn < result.base_lsn:
+        raise WalError(
+            f"{wal_path}: checkpoint stops at lsn={engine.wal_lsn} but the "
+            f"log was compacted through lsn={result.base_lsn}; the records "
+            f"between them are only in archive segments — recover from the "
+            f"referenced compaction checkpoint instead"
+        )
     start_lsn = engine.wal_lsn
     for record in result.records:
         if record.lsn <= start_lsn:
@@ -606,6 +937,7 @@ def recover(  # repro-lint: safe=CONC001  replays into a private engine before a
 
 
 __all__ = [
+    "CompactionReport",
     "FSYNC_POLICIES",
     "MUTATING_TYPES",
     "RecoveryReport",
@@ -618,6 +950,8 @@ __all__ = [
     "WriteAheadLog",
     "apply_record",
     "discard_torn_header",
+    "list_segments",
     "read_wal",
     "recover",
+    "resolve_checkpoint_ref",
 ]

@@ -106,12 +106,11 @@ class TestCrashPoints:
 
     def test_other_points_never_crash(self):
         injector = FaultInjector(FaultSpec(crash_point="wal.after_apply"))
-        for point in CRASH_POINTS[:-1]:
+        others = [p for p in CRASH_POINTS if p != "wal.after_apply"]
+        for point in others:
             injector.crash(point)
         assert injector.stats.crashed is None
-        assert injector.stats.crash_hits == {
-            "wal.before_append": 1, "wal.after_append": 1,
-        }
+        assert injector.stats.crash_hits == {p: 1 for p in others}
 
     def test_crash_point_is_not_an_ordinary_exception(self):
         # The server's `except Exception` catch-all must not swallow it.

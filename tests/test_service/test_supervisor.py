@@ -128,6 +128,97 @@ class TestSupervisorLifecycle:
             ShardSupervisor([spec], max_restarts=-1)
         with pytest.raises(ValueError):
             ShardSupervisor([spec], poll_interval=0.0)
+        with pytest.raises(ValueError):
+            ShardSupervisor([spec], backoff_base=0.0)
+        with pytest.raises(ValueError):
+            ShardSupervisor([spec], restart_refill=0.0)
+
+
+class TestRestartPolicy:
+    def test_jitter_is_deterministic_and_bounded(self):
+        from repro.service.sharding.supervisor import _restart_jitter
+
+        values = [_restart_jitter(s, r, 0.05)
+                  for s in range(4) for r in range(4)]
+        assert values == [_restart_jitter(s, r, 0.05)
+                          for s in range(4) for r in range(4)]
+        assert all(0.0 <= v < 0.05 for v in values)
+        assert len(set(values)) > 1  # actually spreads respawns
+
+    def test_backoff_escalates_across_consecutive_deaths(self, tmp_path):
+        specs = make_specs(1, tmp_path)
+        specs[0].cmd = [sys.executable, "-c", "import sys; sys.exit(3)"]
+        supervisor = ShardSupervisor(
+            specs, max_restarts=3, poll_interval=0.02,
+            backoff_base=0.05, backoff_factor=2.0,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        with supervisor:
+            with pytest.raises(RuntimeError):
+                supervisor.start(wait_healthy=True, timeout=10.0)
+            end = time.monotonic() + 10.0
+            while not supervisor.workers[0].failed:
+                assert time.monotonic() < end
+                time.sleep(0.02)
+        state = supervisor.workers[0]
+        assert state.restarts == 3
+        assert state.consecutive == 3  # never a stable run to reset it
+        assert state.budget_used > 2.9  # no healthy uptime to refill
+
+    def test_healthy_uptime_refills_the_restart_budget(self, tmp_path):
+        """A worker flapping slower than the refill rate lives forever —
+        this is what replaces the old lifetime max_restarts cap."""
+        specs = make_specs(1, tmp_path)
+        # A plain sleeper: healthy uptime is wall time alive.
+        specs[0].cmd = [sys.executable, "-c", "import time; time.sleep(60)"]
+        supervisor = ShardSupervisor(
+            specs, max_restarts=2, poll_interval=0.02,
+            backoff_base=0.02, restart_refill=0.2, stable_uptime=0.2,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        with supervisor:
+            supervisor.start(wait_healthy=False)
+            kills = 4  # > max_restarts: would be fatal under a hard cap
+            for round_no in range(kills):
+                end = time.monotonic() + 10.0
+                while not supervisor.all_alive():
+                    assert time.monotonic() < end, "respawn never happened"
+                    time.sleep(0.02)
+                time.sleep(0.5)  # healthy uptime: refills > 1 credit
+                pid = supervisor.pids()[0]
+                os.kill(pid, signal.SIGKILL)
+                end = time.monotonic() + 10.0
+                while supervisor.restart_counts()[0] < round_no + 1 or \
+                        not supervisor.all_alive():
+                    assert time.monotonic() < end, "budget should have refilled"
+                    time.sleep(0.02)
+            state = supervisor.workers[0]
+            assert not state.failed
+            assert state.restarts == kills
+            snap = supervisor.supervision_snapshot()[0]
+            assert snap["alive"] is True
+            assert snap["restarts"] == kills
+            assert snap["budget_used"] <= supervisor.max_restarts
+
+    def test_supervision_snapshot_reports_a_failed_worker(self, tmp_path):
+        specs = make_specs(1, tmp_path)
+        specs[0].cmd = [sys.executable, "-c", "import sys; sys.exit(3)"]
+        supervisor = ShardSupervisor(
+            specs, max_restarts=1, poll_interval=0.02,
+            backoff_base=0.02,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        with supervisor:
+            with pytest.raises(RuntimeError):
+                supervisor.start(wait_healthy=True, timeout=10.0)
+            end = time.monotonic() + 10.0
+            while not supervisor.workers[0].failed:
+                assert time.monotonic() < end
+                time.sleep(0.02)
+            snap = supervisor.supervision_snapshot()[0]
+            assert snap["failed"] is True
+            assert snap["alive"] is False
+            assert snap["budget"] == 1
 
 
 class TestKillAndRecover:
