@@ -261,8 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="do not write the file; compare the fresh run against "
                         "the committed entry and fail on >--max-regression")
-    p.add_argument("--max-regression", type=float, default=2.0,
-                   help="allowed slowdown factor for --check (default 2.0)")
+    p.add_argument("--max-regression", type=float, default=1.5,
+                   help="allowed slowdown factor for --check (default 1.5)")
     p.add_argument("--shards", type=int, default=0, metavar="N",
                    help="benchmark sharded submit throughput at 1..N worker "
                         "processes (records BENCH_shard.json)")

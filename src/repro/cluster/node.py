@@ -30,6 +30,8 @@ risk metric detects and Libra's Eq. 2 capacity test cannot.
 
 from __future__ import annotations
 
+import math
+from array import array
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.cluster.job import Job
@@ -145,6 +147,9 @@ class Node:
     def _notify(self, task: NodeTask, now: float) -> None:
         if self.listener is not None:
             self.listener(self, task, now)
+
+    def _materialize(self) -> None:
+        """Apply deferred ledger chops (no-op without a chop log)."""
 
     def utilisation(self, horizon: float) -> float:
         """Fraction of this node's capacity used over ``[0, horizon]``."""
@@ -289,8 +294,26 @@ class TimeSharedNode(Node):
     add/remove, completion, overrun demotion (all via
     :meth:`recompute`), restore, failure and repair.  Admission fast
     paths key cached per-node verdicts on it; :meth:`sync` deliberately
-    does *not* bump it, because the only cross-submit cache
-    (:meth:`min_resident_deadline`) depends on task membership alone.
+    does *not* bump it, because the cross-submit caches
+    (:meth:`min_resident_deadline`, :meth:`admission_aggregate`) depend
+    only on task membership and on ledger values *at a recorded sync
+    point*, never on values that drift between syncs.
+
+    Deferred sync (the chop log)
+    ----------------------------
+    The eager admission scans sync every occupied node at every submit,
+    and those sync instants ("chops") are part of the byte-identical
+    ledger history: float subtraction is not associative, so skipping a
+    chop and catching up later in one step produces different bits.
+    Skipping a chop and catching up later *in the same steps* does not.
+    A policy may therefore register a shared, append-only list of chop
+    times via :meth:`attach_chop_log` and then *defer* a node's sync by
+    simply not calling it: the node replays every recorded chop it
+    missed — in order, with the identical per-chop arithmetic — the
+    next time anything reads or advances its ledgers
+    (:meth:`_materialize`, hooked into :meth:`sync` and every
+    ledger-reading view).  The replayed history is bit-identical to the
+    eager one; only *when* the Python work happens moves.
     """
 
     def __init__(
@@ -310,10 +333,101 @@ class TimeSharedNode(Node):
         self.generation = 0
         self._min_deadline_gen = -1
         self._min_deadline = float("inf")
+        # Deferred-sync chop log (see class docstring): a shared list of
+        # sync instants appended by the admission scan, plus this node's
+        # replay cursor into it.
+        self._chops: Optional[list[float]] = None
+        self._chop_idx = 0
+        # Per-generation admission aggregate (see admission_aggregate).
+        self._agg: Optional[tuple] = None
+        self._agg_gen = -1
+        # Per-generation projection column: resident deadlines snapshot.
+        self._proj_gen = -1
+        self._proj_deadlines: Optional[list[float]] = None
+        # Reusable _project_sigma scratch columns (cleared per call so
+        # the hot path allocates no fresh lists).
+        self._scratch_orig: list[int] = []
+        self._scratch_est: list[float] = []
+        self._scratch_deadline: list[float] = []
+        self._scratch_shares: list[float] = []
+        # The completion event name is stable; format it once, not per
+        # recompute (checkpointing pattern-matches on it).
+        self._completion_name = f"node{self.node_id}:completion"
+
+    # -- deferred sync -------------------------------------------------------
+    def attach_chop_log(self, chops: list[float]) -> None:
+        """Share an append-only list of sync instants with this node.
+
+        The registering policy appends the current time once per
+        admission scan *instead of* syncing every node; nodes it did not
+        touch replay the missed chops on their next read/mutation.
+        """
+        self._chops = chops
+        self._chop_idx = len(chops)
+
+    def _materialize(self) -> None:
+        """Replay every recorded chop this node has not applied yet.
+
+        Bit-identical to having called :meth:`sync` at each recorded
+        instant: same outer (chop) / inner (task) loop order, same
+        per-chop arithmetic, same busy-time accumulation order.
+        """
+        chops = self._chops
+        if chops is None:
+            return
+        i = self._chop_idx
+        n = len(chops)
+        if i >= n:
+            return
+        self._chop_idx = n
+        last = self._last_sync
+        tasks = self.tasks
+        if not tasks:
+            t = chops[n - 1]
+            if t > last:
+                self._last_sync = t
+            return
+        rating = self.rating
+        busy = self.busy_time
+        while i < n:
+            t = chops[i]
+            i += 1
+            dt = t - last
+            if dt > 0.0:
+                for task in tasks.values():
+                    consumed = task.rate * rating * dt
+                    if consumed > 0.0:
+                        remaining = task.remaining_work
+                        busy += consumed if consumed < remaining else remaining
+                        remaining -= consumed
+                        task.remaining_work = remaining if remaining > 0.0 else 0.0
+                        est_remaining = task.remaining_est_work - consumed
+                        task.remaining_est_work = (
+                            est_remaining if est_remaining > 0.0 else 0.0
+                        )
+                last = t
+        self.busy_time = busy
+        self._last_sync = last
+
+    def utilisation(self, horizon: float) -> float:
+        self._materialize()
+        return super().utilisation(horizon)
 
     # -- time advance -------------------------------------------------------
     def sync(self, now: float) -> None:
         """Advance every task's work ledgers from the last sync to ``now``."""
+        chops = self._chops
+        if chops is not None:
+            n = len(chops)
+            idx = self._chop_idx
+            if idx < n:
+                if idx == n - 1 and chops[idx] >= now:
+                    # Common case: the only pending chop is this very
+                    # scan instant — replaying it IS the sync below, so
+                    # just consume it (chops never exceed the clock).
+                    self._chop_idx = n
+                else:
+                    self._materialize()
         dt = now - self._last_sync
         if dt < 0:
             raise ValueError(
@@ -327,17 +441,19 @@ class TimeSharedNode(Node):
             # multiplication is not associative and the ledger values are
             # part of the byte-identical-export guarantee.
             rating = self.rating
+            busy = self.busy_time
             for task in self.tasks.values():
                 consumed = task.rate * rating * dt
                 if consumed > 0.0:
                     remaining = task.remaining_work
-                    self.busy_time += consumed if consumed < remaining else remaining
+                    busy += consumed if consumed < remaining else remaining
                     remaining -= consumed
                     task.remaining_work = remaining if remaining > 0.0 else 0.0
                     est_remaining = task.remaining_est_work - consumed
                     task.remaining_est_work = (
                         est_remaining if est_remaining > 0.0 else 0.0
                     )
+            self.busy_time = busy
         self._last_sync = now
 
     # -- task management ----------------------------------------------------
@@ -357,7 +473,7 @@ class TimeSharedNode(Node):
         Must be called with work ledgers already synced to ``now``.
         """
         self.generation += 1
-        tasks = list(self.tasks.values())
+        tasks = self.tasks.values()
         # nominal_share inlined (same clamps, same float sequence): this
         # runs for every resident on every task add/remove/overrun.
         rating = self.rating
@@ -376,19 +492,31 @@ class TimeSharedNode(Node):
                     s = 1.0
                 shares.append(s)
         rates = effective_rates(shares, self.share_params)
+        # Rate assignment fused with the next-completion scan
+        # (:meth:`_next_completion_delay` semantics, one pass).
+        horizon: Optional[float] = None
         for task, rate in zip(tasks, rates):
             task.rate = rate
+            if rate <= SHARE_EPSILON:
+                continue
+            speed = rate * rating
+            dt = task.remaining_work / speed
+            if not task.overrun:
+                est_dt = task.remaining_est_work / speed
+                if est_dt < dt:
+                    dt = est_dt
+            if horizon is None or dt < horizon:
+                horizon = dt
 
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        horizon = self._next_completion_delay()
         if horizon is not None:
             self._completion_event = self.sim.schedule(
                 horizon,
                 self._on_completion_event,
                 priority=EventPriority.COMPLETION,
-                name=f"node{self.node_id}:completion",
+                name=self._completion_name,
             )
 
     def _next_completion_delay(self) -> Optional[float]:
@@ -444,7 +572,10 @@ class TimeSharedNode(Node):
 
     def repair(self, now: float) -> None:
         super().repair(now)
-        # Restart the clock: nothing ran while offline.
+        # Restart the clock: nothing ran while offline.  Chops recorded
+        # while this node was offline must never touch its ledgers.
+        if self._chops is not None:
+            self._chop_idx = len(self._chops)
         self._last_sync = now
         self.generation += 1
 
@@ -501,8 +632,114 @@ class TimeSharedNode(Node):
             self._min_deadline_gen = self.generation
         return self._min_deadline
 
+    def admission_aggregate(self) -> Optional[tuple]:
+        """Per-generation admission aggregate over the resident ledgers.
+
+        Built lazily from the ledgers *as of* :attr:`_last_sync`
+        (``t0``) and cached until the next :attr:`generation` bump.
+        The admission fast paths feed it to the O(1) refutation
+        certificates (:func:`repro.scheduling.risk.refute_sigma_zero`
+        and libra's Eq. 2 over-commit bound).  Those certificates are
+        one-sided: they may only *reject* a node, and the caller falls
+        back to the exact projection whenever the aggregate cannot
+        decide — so a ``None`` here (spare redistribution enabled,
+        which breaks the monotone share-growth bound, or a resident
+        deadline already elapsed at build time) merely disables the
+        shortcut.
+
+        Tuple layout::
+
+            (t0, n_healthy, n_overrun, sum_min, d_min_h, est0_min_d,
+             d_max, d_2nd, est0_max_d, min_est0,
+             sum_zero, d_min_z, min_w_est0)
+
+        Healthy/overrun follow the projection's classification at
+        ``t0`` (estimated remaining time above/below
+        ``SHARE_EPSILON``). ``sum_min`` is Σ min(share, 1) over
+        healthy residents — a lower bound on the projection's first
+        phase total at any later instant of the same generation,
+        because every healthy share is non-decreasing while its rate
+        stays fixed.  ``d_min_h``/``d_max``/``d_2nd`` are the healthy
+        deadline extremes with tie-conservative build-time estimates
+        (``est0_min_d`` is the *largest* estimate among earliest-
+        deadline ties), and ``min_est0`` is the classification
+        stability horizon. ``sum_zero``/``d_min_z``/``min_w_est0``
+        are the Eq. 2 zero-mode share sum and its validity guards for
+        libra's over-commit certificate.
+        """
+        if self._agg_gen == self.generation:
+            agg = self._agg
+            if agg is None or agg[0] >= self._last_sync:
+                return agg
+            # Ledgers advanced past the build instant: refresh so the
+            # certificates get the sharpest (zero-staleness) bounds.
+        self._agg_gen = self.generation
+        if self.share_params.redistribute_spare:
+            self._agg = None
+            return None
+        self._materialize()
+        t0 = self._last_sync
+        rating = self.rating
+        work_threshold = WORK_EPSILON / rating
+        n_healthy = 0
+        n_overrun = 0
+        sum_min = 0.0
+        d_min_h = float("inf")
+        est0_min_d = 0.0
+        d_max = float("-inf")
+        d_2nd = float("-inf")
+        est0_max_d = 0.0
+        min_est0 = float("inf")
+        sum_zero = 0.0
+        d_min_z = float("inf")
+        min_w_est0 = float("inf")
+        for task in self.tasks.values():
+            est_work = task.remaining_est_work
+            est_time = est_work / rating
+            deadline = task.deadline
+            if est_time <= SHARE_EPSILON:
+                n_overrun += 1
+            else:
+                rem = deadline - t0
+                if rem <= 0.0:
+                    self._agg = None
+                    return None
+                n_healthy += 1
+                s = est_time / rem
+                sum_min += s if s < 1.0 else 1.0
+                if deadline <= d_min_h:
+                    if deadline < d_min_h:
+                        d_min_h = deadline
+                        est0_min_d = est_time
+                    elif est_time > est0_min_d:
+                        est0_min_d = est_time
+                if deadline > d_max:
+                    d_2nd = d_max
+                    d_max = deadline
+                    est0_max_d = est_time
+                elif deadline > d_2nd:
+                    d_2nd = deadline
+                if est_time < min_est0:
+                    min_est0 = est_time
+            # Eq. 2 zero-mode sum (libra) has its own skip threshold.
+            if est_time > work_threshold:
+                rem_z = deadline - t0
+                if rem_z > 0.0:
+                    sum_zero += est_time / rem_z
+                    if deadline < d_min_z:
+                        d_min_z = deadline
+                    if est_work < min_w_est0:
+                        min_w_est0 = est_work
+        self._agg = (
+            t0, n_healthy, n_overrun, sum_min, d_min_h, est0_min_d,
+            d_max, d_2nd, est0_max_d, min_est0,
+            sum_zero, d_min_z, min_w_est0,
+        )
+        return self._agg
+
     def iter_share_terms(self, now: float) -> Iterable[tuple[NodeTask, float]]:
         """Yield ``(task, unclamped Eq. 1 share)`` for every resident task."""
+        self._materialize()
         for task in self.tasks.values():
             yield task, admission_share(
                 task.remaining_est_time(self.rating), task.job.remaining_deadline(now)
@@ -531,6 +768,7 @@ class TimeSharedNode(Node):
         """
         if expired_job_share_mode not in ("zero", "floor", "infinite"):
             raise ValueError(f"unknown expired_job_share_mode {expired_job_share_mode!r}")
+        self._materialize()
         total = 0.0
         for task in self.tasks.values():
             est_time = task.remaining_est_time(self.rating)
@@ -576,6 +814,7 @@ class TimeSharedNode(Node):
 
         Returns ``(job, predicted_delay)`` pairs, hypotheticals included.
         """
+        self._materialize()
         entries: list[tuple[Job, float]] = [
             (t.job, t.remaining_est_time(self.rating)) for t in self.tasks.values()
         ]
@@ -692,3 +931,156 @@ class TimeSharedNode(Node):
             del pend_jobs[write:], pend_est[write:], pend_deadline[write:]
 
         return [(job, delays[job.job_id]) for job, _ in entries]
+
+    def _project_sigma(
+        self,
+        now: float,
+        est_new: float,
+        deadline_new: float,
+    ) -> tuple[bool, float]:
+        """Columnar fusion of :meth:`_project_delays` with the σ test.
+
+        The residual slow path of LibraRisk's fast scan: residents plus
+        one hypothetical ``(est_new, deadline_new)`` placement, phases
+        identical float-for-float to :meth:`_project_delays` (same
+        share clamps, same accumulation order, same in-place
+        compaction) but carried positionally — per-task deadline
+        columns cached per :attr:`generation` in a stdlib ``array``,
+        per-call estimate columns, projected delays in a flat list —
+        with no :class:`Job` tuples, no per-job dict, and the Eq. 5/6
+        accumulation fused over the same entries order
+        (:func:`repro.scheduling.assess_delays` float sequence).
+
+        Returns ``(zero_risk, max_delay)``; an infinite Eq. 4 value
+        short-circuits to ``(False, inf)`` exactly as the scan's early
+        exit did — ``assess_delays`` maps it to σ = ∞, never suitable.
+        """
+        tasks = self.tasks
+        col = self._proj_deadlines
+        if col is None or self._proj_gen != self.generation:
+            col = array("d", (t.deadline for t in tasks.values()))
+            self._proj_deadlines = col
+            self._proj_gen = self.generation
+        rating = self.rating
+        floor = self.share_params.overrun_floor_share
+        m = len(col)
+        n_entries = m + 1
+        delays = [0.0] * n_entries
+        # Scratch columns live on the node so the hot path allocates no
+        # fresh lists per call (cleared below before reuse).
+        pend_orig = self._scratch_orig
+        pend_est = self._scratch_est
+        pend_deadline = self._scratch_deadline
+        shares = self._scratch_shares
+        del pend_orig[:], pend_est[:], pend_deadline[:]
+        n_overruns = 0
+        i = 0
+        # Entries order = residents in task order, then the candidate —
+        # the same order _projected_suitable fed to _project_delays.
+        for task in tasks.values():
+            est = task.remaining_est_work / rating
+            if est <= SHARE_EPSILON:
+                delay = now - col[i]
+                delays[i] = delay if delay > 0.0 else 0.0
+                n_overruns += 1
+            else:
+                pend_orig.append(i)
+                pend_est.append(est)
+                pend_deadline.append(col[i])
+            i += 1
+        if est_new <= SHARE_EPSILON:
+            delay = now - deadline_new
+            delays[m] = delay if delay > 0.0 else 0.0
+            n_overruns += 1
+        else:
+            pend_orig.append(m)
+            pend_est.append(est_new)
+            pend_deadline.append(deadline_new)
+
+        params = self.share_params
+        redistribute = params.redistribute_spare
+        overrun_share_sum = n_overruns * floor
+        inf = float("inf")
+        t = now
+        while pend_est:
+            total = overrun_share_sum
+            del shares[:]
+            append_share = shares.append
+            for est, deadline in zip(pend_est, pend_deadline):
+                rem = deadline - t
+                if est <= SHARE_EPSILON or rem <= 0.0:
+                    s = floor
+                else:
+                    s = est / rem
+                    if s < SHARE_EPSILON:
+                        s = SHARE_EPSILON
+                    elif s > 1.0:
+                        s = 1.0
+                append_share(s)
+                total += s
+            if total > 1.0 or (redistribute and total > SHARE_EPSILON):
+                scale = 1.0 / total
+            else:
+                scale = 1.0
+
+            best_dt = -1.0
+            for est, s in zip(pend_est, shares):
+                rate = s * scale
+                if rate <= SHARE_EPSILON:
+                    continue
+                dt = est / rate
+                if best_dt < 0.0 or dt < best_dt:
+                    best_dt = dt
+            if best_dt < 0.0:
+                for orig in pend_orig:
+                    delays[orig] = inf
+                break
+
+            t += best_dt
+            write = 0
+            for i, s in enumerate(shares):
+                remaining = pend_est[i] - s * scale * best_dt
+                if remaining <= SHARE_EPSILON:
+                    deadline = pend_deadline[i]
+                    delay = t - deadline
+                    delays[pend_orig[i]] = (
+                        0.0 if delay < PREDICTED_DELAY_EPSILON else delay
+                    )
+                else:
+                    pend_orig[write] = pend_orig[i]
+                    pend_est[write] = remaining
+                    pend_deadline[write] = pend_deadline[i]
+                    write += 1
+            del pend_orig[write:], pend_est[write:], pend_deadline[write:]
+
+        # σ accumulation in entries order, Σv / Σv² left-to-right as
+        # assess_delays' sum() calls; early exit on infinite values.
+        isinf = math.isinf
+        sum_v = 0.0
+        sum_v2 = 0.0
+        max_delay = 0.0
+        for i in range(m):
+            rem = col[i] - now
+            delay = delays[i]
+            if rem <= 0.0 or isinf(delay):
+                return (False, inf)
+            v = (delay + rem) / rem
+            if isinf(v):
+                return (False, inf)
+            sum_v += v
+            sum_v2 += v * v
+            if delay > max_delay:
+                max_delay = delay
+        rem = deadline_new - now
+        delay = delays[m]
+        if rem <= 0.0 or isinf(delay):
+            return (False, inf)
+        v = (delay + rem) / rem
+        if isinf(v):
+            return (False, inf)
+        sum_v += v
+        sum_v2 += v * v
+        if delay > max_delay:
+            max_delay = delay
+        mu = sum_v / n_entries
+        return (sum_v2 / n_entries - mu * mu <= 0.0, max_delay)

@@ -118,6 +118,17 @@ def effective_rates(
     * Otherwise each job runs at its nominal share; with
       ``redistribute_spare`` the idle remainder is split
       proportionally to the nominal shares.
+
+    .. note::
+       Because every rate returned here is ≤ the job's nominal share
+       ``est/rem``, each job's share is **non-decreasing** until the
+       next recompute: the estimate drains at most ``share`` per unit
+       time while the deadline drains at exactly 1.  The O(1)
+       admission certificates (``risk.refute_sigma_zero``,
+       ``libra._over_commitment_certified``) are sound only under this
+       monotonicity — a change that lets a rate exceed the nominal
+       share must revisit them (``REPRO_VERIFY_CERT=1`` audits every
+       firing).
     """
     total = sum(shares)
     if total <= SHARE_EPSILON:

@@ -510,7 +510,7 @@ def check_regression(
     doc: dict[str, Any],
     label: str,
     fresh: dict[str, Any],
-    max_regression: float = 2.0,
+    max_regression: float = 1.5,
     against: str = "current",
 ) -> list[str]:
     """Regression check for CI: is ``fresh`` >``max_regression``x slower?

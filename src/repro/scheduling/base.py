@@ -45,6 +45,18 @@ DISABLE_CACHE_ENV = "REPRO_DISABLE_ADMISSION_CACHE"
 #: points), hence off unless requested — see docs/PERFORMANCE.md.
 LAZY_SYNC_ENV = "REPRO_LAZY_SYNC"
 
+#: Debug: double-check every O(1) σ>0 refutation certificate against
+#: the exact forward projection (asserts on disagreement).  Slows scans
+#: back down to projection cost; in lazy-sync mode the verification
+#: sync may shift ledger chop points.  Test/diagnosis only.
+VERIFY_CERT_ENV = "REPRO_VERIFY_CERT"
+
+#: Compact the shared deferred-sync chop log once it grows past this
+#: many scan instants (bounds memory; occupied nodes replay their
+#: pending chops, idle/offline nodes drop theirs — exactly what the
+#: eager scan would have done).
+_CHOP_COMPACT_THRESHOLD = 4096
+
 
 def _env_flag(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
@@ -74,6 +86,11 @@ class SchedulingPolicy(abc.ABC):
         #: the attributes directly).
         self.fast_path = not _env_flag(DISABLE_CACHE_ENV)
         self.lazy_sync = _env_flag(LAZY_SYNC_ENV)
+        self.verify_cert = _env_flag(VERIFY_CERT_ENV)
+        #: Shared scan-instant log for deferred ledger sync (eager fast
+        #: path only; see ``TimeSharedNode.attach_chop_log``).  ``None``
+        #: when deferral is off.
+        self._sync_chops: Optional[list[float]] = None
         #: Monotone counters describing fast-path effectiveness
         #: (suitability cache hits/misses, projections avoided, ...).
         #: Surfaced by the profiler's ``cache`` block and the service
@@ -100,6 +117,70 @@ class SchedulingPolicy(abc.ABC):
 
     def validate_cluster(self, cluster: "Cluster") -> None:
         """Hook: subclasses verify the node discipline matches."""
+
+    def _bump_cache_stats(self, **counts: int) -> None:
+        """Add per-scan counts to :attr:`cache_stats` in one place.
+
+        Replaces the ``stats.get(key, 0) + n`` pattern that the fast
+        paths used to repeat per counter; keyword names become counter
+        keys verbatim.
+        """
+        stats = self.cache_stats
+        get = stats.get
+        for key, n in counts.items():
+            stats[key] = get(key, 0) + n
+
+    def _attach_sync_deferral(self, cluster: "Cluster") -> None:
+        """Share one deferred-sync chop log across the cluster's nodes.
+
+        Eager fast path only: the reference scan syncs every occupied
+        node at every submit instant, and those instants — the *chops*
+        — are part of the byte-identical ledger history (float
+        subtraction is not associative).  Deferral records each scan
+        instant once here; a node the scan can reject in O(1) (poison,
+        certificate) skips its sync and replays the identical chop
+        sequence on its next real touch.  Lazy-sync mode keeps its own
+        derivation and never attaches.
+        """
+        if not self.fast_path or self.lazy_sync:
+            return
+        chops: list[float] = []
+        self._sync_chops = chops
+        for node in cluster:
+            attach = getattr(node, "attach_chop_log", None)
+            if attach is not None:
+                attach(chops)
+
+    def _note_scan_chop(self, now: float) -> None:
+        """Record one admission-scan instant in the shared chop log."""
+        chops = self._sync_chops
+        if chops is None:
+            return
+        if len(chops) >= _CHOP_COMPACT_THRESHOLD:
+            self._compact_chops()
+        chops.append(now)
+
+    def _compact_chops(self) -> None:
+        """Bound the chop log: replay occupied nodes, drop the rest.
+
+        Materialising an occupied node performs exactly the deferred
+        syncs the eager scan would have done; idle and offline nodes
+        never replay chops anyway (the eager scan skips idle syncs and
+        ``repair`` restarts the clock), so their indices just jump.
+        """
+        chops = self._sync_chops
+        cluster = self.cluster
+        if chops is None or cluster is None:
+            return
+        attached = [n for n in cluster if getattr(n, "_chops", None) is chops]
+        for node in attached:
+            if node.online and node.tasks:
+                node._materialize()
+            else:
+                node._chop_idx = len(chops)
+        del chops[:]
+        for node in attached:
+            node._chop_idx = 0
 
     # -- admission entry point ----------------------------------------------
     @abc.abstractmethod

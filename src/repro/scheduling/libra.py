@@ -32,6 +32,42 @@ from repro.scheduling.base import SchedulingPolicy
 #: Slack for float error in the Σ share <= 1 capacity test.
 CAPACITY_EPSILON = 1e-9
 
+#: Robustness margin of the O(1) over-commitment certificate (relative).
+_CERT_REL = 1e-4
+#: Absolute slack absorbing aggregate accumulation error.
+_CERT_SLACK = 1e-9
+
+
+def _over_commitment_certified(
+    agg: tuple,
+    now: float,
+    s_new: float,
+    rating: float,
+) -> bool:
+    """O(1) proof that the Eq. 2 zero-mode total robustly exceeds 1.
+
+    ``agg`` is a ``TimeSharedNode.admission_aggregate`` tuple of the
+    node's current generation (its ``sum_zero``/``d_min_z``/
+    ``min_w_est0`` slots), ``s_new`` the candidate's exact unclamped
+    Eq. 1 share.  Sound because every resident share counted at build
+    time ``t0`` is non-decreasing while its execution rate stays fixed
+    (no generation bump), *provided* no counted resident crosses its
+    deadline (``d_min_z`` guard) or falls under the zero-mode skip
+    threshold (``min_w_est0`` guard, estimates decline at most at the
+    node's rating) by ``now``.  Returns ``True`` only when the walk
+    would certainly reject; ``False`` means "walk the node".
+    """
+    t0 = agg[0]
+    sum_zero = agg[10]
+    d_min_z = agg[11]
+    min_w_est0 = agg[12]
+    if now >= d_min_z:
+        return False
+    if min_w_est0 - rating * (now - t0) <= WORK_EPSILON + _CERT_SLACK:
+        return False
+    total_lo = sum_zero * (1.0 - _CERT_SLACK) - _CERT_SLACK + s_new
+    return total_lo > 1.0 + CAPACITY_EPSILON + _CERT_REL * (1.0 + total_lo)
+
 
 class LibraPolicy(SchedulingPolicy):
     """Deadline-based proportional-share admission with best-fit placement."""
@@ -52,6 +88,10 @@ class LibraPolicy(SchedulingPolicy):
                     f"{self.name} requires time-shared nodes; node {node.node_id} "
                     f"is {type(node).__name__}"
                 )
+        if self.expired_job_share_mode == "zero":
+            # Non-default Eq. 2 modes always take the reference scan,
+            # which syncs directly — deferral would never be exercised.
+            self._attach_sync_deferral(cluster)
 
     # -- admission ----------------------------------------------------------
     def on_job_submitted(self, job: Job, now: float) -> None:
@@ -92,29 +132,51 @@ class LibraPolicy(SchedulingPolicy):
         and no sync calls on idle nodes (an empty node's sync is a pure
         no-op).  A job whose deadline already passed gets an infinite
         Eq. 1 share on every node, so the scan degenerates to the online
-        count."""
+        count (ledger syncs deferred through the shared chop log).  An
+        over-committed node's generation gets an
+        :meth:`~repro.cluster.node.TimeSharedNode.admission_aggregate`
+        built once, after which :func:`_over_commitment_certified`
+        rejects it in O(1) — no sync, no resident walk — until its task
+        set changes."""
         cluster = self.cluster
         assert cluster is not None and self.rms is not None
         lazy = self.lazy_sync
+        verify = self.verify_cert
         suitable: list[tuple[float, TimeSharedNode]] = []
         online = 0
+        n_walked = n_cert = n_agg_hit = n_agg_built = 0
         rem_new = job.remaining_deadline(now)
         feasible = rem_new > 0.0
         # est_time_on(node, est) = (est * reference_rating) / rating.
         est_work_new = job.estimated_runtime * cluster.reference_rating
+        self._note_scan_chop(now)
 
         for node in cluster.nodes:
             if not node.online:
                 continue
             online += 1
             tasks = node.tasks
-            if tasks and not lazy:
-                node.sync(now)
             if not feasible:
-                continue  # admission_share(·, rem <= 0) = inf on every node
+                # admission_share(·, rem <= 0) = inf on every node;
+                # occupied nodes' syncs are deferred to the chop log.
+                continue
             rating = node.rating
+            if tasks:
+                if node._agg_gen == node.generation:
+                    agg = node._agg
+                    if agg is not None:
+                        n_agg_hit += 1
+                        s_new = (est_work_new / rating) / rem_new
+                        if _over_commitment_certified(agg, now, s_new, rating):
+                            n_cert += 1
+                            if verify:
+                                self._assert_capacity_cert(node, job, now)
+                            continue
+                if not lazy:
+                    node.sync(now)
             work_threshold = WORK_EPSILON / rating
             total = 0.0
+            n_walked += 1
             if lazy:
                 speed = rating * (now - node._last_sync)
             for task in tasks.values():
@@ -132,13 +194,40 @@ class LibraPolicy(SchedulingPolicy):
             total += (est_work_new / rating) / rem_new
             if total <= 1.0 + CAPACITY_EPSILON:
                 suitable.append((total, node))
+            elif tasks and node._agg_gen != node.generation:
+                # Over-committed: build the aggregate once per node
+                # generation so later scans reject in O(1).  No
+                # staleness refresh: the certificate is one-sided
+                # (sum_zero only grows while rates are fixed), so an
+                # aging aggregate weakens it but never unsounds it —
+                # and re-building every scan costs more than the walks
+                # the sharper bounds would save.
+                n_agg_built += 1
+                node.admission_aggregate()
 
-        stats = self.cache_stats
-        stats["online_scans"] = stats.get("online_scans", 0) + online
-        stats["inline_share_sums"] = (
-            stats.get("inline_share_sums", 0) + (online if feasible else 0)
+        self._bump_cache_stats(
+            online_scans=online,
+            inline_share_sums=n_walked,
+            capacity_cert_hits=n_cert,
+            agg_hits=n_agg_hit,
+            agg_rebuilds=n_agg_built,
         )
         self._finish(job, suitable, online, now)
+
+    def _assert_capacity_cert(self, node: TimeSharedNode, job: Job, now: float) -> None:
+        """``REPRO_VERIFY_CERT``: prove a fired over-commitment
+        certificate against the exact Eq. 2 walk (debug/test only)."""
+        assert self.cluster is not None
+        node.sync(now)
+        est_time = self.cluster.est_time_on(node, job.estimated_runtime)
+        total = node.total_admission_share(
+            now, extra=[(est_time, job.remaining_deadline(now))]
+        )
+        if total <= 1.0 + CAPACITY_EPSILON:
+            raise AssertionError(
+                f"over-commitment certificate contradicted by the Eq. 2 walk on "
+                f"node {node.node_id} for job {job.job_id} at t={now:.6g}"
+            )
 
     def _finish(
         self,

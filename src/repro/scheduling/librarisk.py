@@ -37,21 +37,16 @@ Algorithm 1 in pseudo-code form::
 
 from __future__ import annotations
 
-import math
-
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job
 from repro.cluster.node import TimeSharedNode
 from repro.cluster.share import SHARE_EPSILON, WORK_EPSILON
 from repro.scheduling.base import SchedulingPolicy
-from repro.scheduling.risk import RiskAssessment, assess_delays
+from repro.scheduling.risk import RiskAssessment, assess_delays, refute_sigma_zero
 from repro.sim.numerics import exact_zero
 
 _NODE_ORDERS = ("worst_fit", "best_fit", "index")
 _SUITABILITIES = ("sigma", "no-delay")
-
-_INF = float("inf")
-
 
 class LibraRiskPolicy(SchedulingPolicy):
     """The paper's contribution: risk-managed proportional-share admission.
@@ -93,6 +88,7 @@ class LibraRiskPolicy(SchedulingPolicy):
                     f"{self.name} requires time-shared nodes; node {node.node_id} "
                     f"is {type(node).__name__}"
                 )
+        self._attach_sync_deferral(cluster)
 
     # -- Algorithm 1 -----------------------------------------------------------
     def assess_node(self, node: TimeSharedNode, job: Job, now: float) -> RiskAssessment:
@@ -146,13 +142,23 @@ class LibraRiskPolicy(SchedulingPolicy):
         """One fused pass per node, equal to :meth:`_submit_reference`
         decision-for-decision and bit-for-bit.
 
-        Three exact shortcuts, in test order per node:
+        Exact shortcuts, in test order per node:
 
         * **poisoned** — a resident past its absolute deadline keeps
           every Eq. 4 value infinite, so σ_j = ∞ until the task set
           changes; the verdict comes from
           :meth:`~repro.cluster.node.TimeSharedNode.min_resident_deadline`
           (cached per node generation) without touching the ledgers;
+        * **infeasible job** — a candidate whose own deadline already
+          passed has an infinite Eq. 4 value on every occupied node,
+          so only empty nodes (σ of one value) can admit it;
+        * **σ>0 certificate** — the node's per-generation
+          :meth:`~repro.cluster.node.TimeSharedNode.admission_aggregate`
+          feeds :func:`~repro.scheduling.risk.refute_sigma_zero`: an
+          O(1) robust-margin proof that placing the job leaves σ_j > 0,
+          answered from aggregates alone — no ledger sync, no walk, no
+          projection (the sync it skips is deferred through the shared
+          chop log and replayed bit-identically on next touch);
         * **healthy fit** — all shares defined, each ≤ 1 and Σ ≤ 1 + ε:
           the projection would predict zero delay for everyone, making
           every deadline-delay exactly ``(0 + r) / r = 1.0``, σ = 0 —
@@ -160,24 +166,29 @@ class LibraRiskPolicy(SchedulingPolicy):
           same loop accumulates the resident-only Eq. 2 sum with
           ``total_admission_share``'s skip rule and summation order, so
           best-fit ordering can reuse it instead of re-walking the node;
-        * **projection** — everything else runs the same
-          ``_project_delays`` forward simulation, with the σ
-          accumulation fused over it in pairs order (identical float
-          sequence to ``assess_delays``) and an early exit on the first
-          infinite deadline-delay, which decides σ > 0 on its own.
+        * **projection** — everything else rebuilds the aggregate at
+          the (now synced) current instant, retries the certificate,
+          and only then runs the exact forward simulation — the fused
+          columnar ``_project_sigma`` kernel, float-identical to
+          ``_project_delays`` + ``assess_delays`` with an early exit on
+          the first infinite deadline-delay.
         """
         cluster = self.cluster
         assert cluster is not None and self.rms is not None
         sigma_mode = self.suitability == "sigma"
         lazy = self.lazy_sync
+        verify = self.verify_cert
         zero_risk: list[TimeSharedNode] = []
         loads: dict[int, float] = {}
         online = 0
         n_poisoned = n_fast_fit = n_empty = n_projected = 0
+        n_cert = n_agg_hit = n_agg_built = n_infeasible = 0
         rem_new = job.remaining_deadline(now)
+        infeasible = rem_new <= 0.0
         # est_time_on(node, est) = (est * reference_rating) / rating —
         # hoist the numerator; the division stays per node.
         est_work_new = job.estimated_runtime * cluster.reference_rating
+        self._note_scan_chop(now)
 
         for node in cluster.nodes:
             if not node.online:
@@ -192,18 +203,45 @@ class LibraRiskPolicy(SchedulingPolicy):
                     loads[node.node_id] = 0.0
                     continue
             else:
-                if not lazy:
-                    # Eager mode advances every occupied node's ledgers
-                    # per submit, exactly as the reference scan does —
-                    # identical sync chop points keep the busy-time
-                    # accumulation bit-identical.  (An idle node's sync
-                    # is a pure no-op, safe to skip outright.)
-                    node.sync(now)
-                if now >= node.min_resident_deadline():
+                if node._min_deadline_gen != node.generation:
+                    node.min_resident_deadline()  # rebuild the cache
+                if now >= node._min_deadline:
                     # The poison verdict needs no ledgers, only the
                     # deadlines — valid until the task set changes.
+                    # Sync deferred: the chop replays on next touch.
                     n_poisoned += 1
                     continue
+                if infeasible:
+                    # The candidate's own Eq. 4 value is infinite on
+                    # any occupied node (its remaining deadline is
+                    # non-positive), so the projection could only
+                    # return unsuitable — in either suitability mode.
+                    n_infeasible += 1
+                    continue
+                if node._agg_gen == node.generation:
+                    agg = node._agg
+                    if agg is not None:
+                        n_agg_hit += 1
+                        if refute_sigma_zero(
+                            agg,
+                            now,
+                            est_work_new / node.rating,
+                            rem_new,
+                            node.share_params.overrun_floor_share,
+                        ):
+                            n_cert += 1
+                            if verify:
+                                self._assert_cert(
+                                    node, job, est_work_new / node.rating, now
+                                )
+                            continue
+                if not lazy:
+                    # Eager mode advances every occupied node's ledgers
+                    # at every submit instant, exactly as the reference
+                    # scan does — identical sync chop points keep the
+                    # busy-time accumulation bit-identical (pending
+                    # deferred chops replay first, inside sync).
+                    node.sync(now)
 
             rating = node.rating
             est_new = est_work_new / rating
@@ -251,18 +289,48 @@ class LibraRiskPolicy(SchedulingPolicy):
                         continue
             # Slow path: the exact forward projection (lazy nodes sync
             # first — the projection reads and the node may be chosen).
-            if lazy and tasks:
-                node.sync(now)
+            if tasks:
+                if lazy:
+                    node.sync(now)
+                agg = node._agg
+                if node._agg_gen != node.generation or (
+                    agg is not None and agg[0] < node._last_sync
+                ):
+                    # The walk proved this node over-committed or
+                    # unhealthy; (re)build the aggregate at the freshly
+                    # synced instant — zero staleness makes the O(1)
+                    # certificate's bounds as sharp as they get — and
+                    # retry it before paying for the projection.  Later
+                    # scans then answer from the aggregate without
+                    # touching the node at all.
+                    n_agg_built += 1
+                    agg = node.admission_aggregate()
+                    if agg is not None and refute_sigma_zero(
+                        agg,
+                        now,
+                        est_new,
+                        rem_new,
+                        node.share_params.overrun_floor_share,
+                    ):
+                        n_cert += 1
+                        if verify:
+                            self._assert_cert(node, job, est_new, now)
+                        continue
             n_projected += 1
             if self._projected_suitable(node, job, est_new, now, sigma_mode):
                 zero_risk.append(node)
 
-        stats = self.cache_stats
-        stats["online_scans"] = stats.get("online_scans", 0) + online
-        stats["poison_skips"] = stats.get("poison_skips", 0) + n_poisoned
-        stats["fast_fit_hits"] = stats.get("fast_fit_hits", 0) + n_fast_fit
-        stats["empty_shortcuts"] = stats.get("empty_shortcuts", 0) + n_empty
-        stats["projections_run"] = stats.get("projections_run", 0) + n_projected
+        self._bump_cache_stats(
+            online_scans=online,
+            poison_skips=n_poisoned,
+            fast_fit_hits=n_fast_fit,
+            empty_shortcuts=n_empty,
+            projections_run=n_projected,
+            infeasible_skips=n_infeasible,
+            agg_hits=n_agg_hit,
+            agg_rebuilds=n_agg_built,
+            sigma_cert_hits=n_cert,
+        )
 
         if len(zero_risk) < job.numproc:
             self._reject_unsuitable(job, zero_risk, online, sigma_mode)
@@ -282,45 +350,37 @@ class LibraRiskPolicy(SchedulingPolicy):
         """Run the forward projection and decide suitability in one pass.
 
         Float-for-float the same computation as ``assess_node`` +
-        ``RiskAssessment``: deadline-delay values accumulate in pairs
-        order (residents in task order, then the new job), Σv and Σv²
+        ``RiskAssessment``, carried by the columnar
+        :meth:`~repro.cluster.node.TimeSharedNode._project_sigma`
+        kernel: deadline-delay values accumulate in pairs order
+        (residents in task order, then the new job), Σv and Σv²
         left-to-right exactly as ``assess_delays``'s ``sum()`` calls,
         and σ == 0 ⇔ the unclamped variance is ≤ 0.  The only
         divergence is the early return on an infinite value — which
         ``assess_delays`` maps to σ = ∞, never suitable either way.
         """
-        rating = node.rating
-        entries: list[tuple[Job, float]] = []
-        deadlines: list[float] = []
-        for t in node.tasks.values():
-            entries.append((t.job, t.remaining_est_work / rating))
-            deadlines.append(t.deadline)
-        entries.append((job, est_new))
-        deadlines.append(job.absolute_deadline)
-        # _project_delays returns pairs in entries order, so the
-        # snapshotted deadlines line up pairwise.
-        predicted = node._project_delays(now, entries)
-        n = 0
-        sum_v = 0.0
-        sum_v2 = 0.0
-        max_delay = 0.0
-        for (j, delay), deadline in zip(predicted, deadlines):
-            rem = deadline - now
-            if rem <= 0.0 or math.isinf(delay):
-                return False  # Eq. 4 value infinite -> sigma infinite
-            v = (delay + rem) / rem
-            if math.isinf(v):
-                return False
-            n += 1
-            sum_v += v
-            sum_v2 += v * v
-            if delay > max_delay:
-                max_delay = delay
-        mu = sum_v / n
-        zero_risk = sum_v2 / n - mu * mu <= 0.0  # sigma == 0.0
+        zero_risk, max_delay = node._project_sigma(now, est_new, job.absolute_deadline)
         if sigma_mode:
             return zero_risk
         return zero_risk and exact_zero(max_delay)
+
+    def _assert_cert(
+        self,
+        node: TimeSharedNode,
+        job: Job,
+        est_new: float,
+        now: float,
+    ) -> None:
+        """``REPRO_VERIFY_CERT``: prove a fired σ>0 certificate against
+        the exact projection (debug/test only — the sync below is what
+        the deferred path would have replayed anyway)."""
+        node.sync(now)
+        zero_risk, _ = node._project_sigma(now, est_new, job.absolute_deadline)
+        if zero_risk:
+            raise AssertionError(
+                f"σ>0 certificate contradicted by the exact projection on node "
+                f"{node.node_id} for job {job.job_id} at t={now:.6g}"
+            )
 
     def _reject_unsuitable(
         self,

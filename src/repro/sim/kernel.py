@@ -203,18 +203,34 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
+        pop = heapq.heappop
         try:
+            # peek() + step() fused: one tombstone sweep per event instead
+            # of two, no per-event method dispatch.  `self._heap` is
+            # re-read each iteration because drain_cancelled() rebinds it.
             while not self._stopped:
-                next_time = self.peek()
-                if next_time is None:
+                heap = self._heap
+                while heap and heap[0].cancelled:
+                    pop(heap)
+                    self._tombstones_dropped += 1
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                event = heap[0]
+                if until is not None and event.time > until:
                     break
                 if self._events_fired >= self.max_events:
                     raise SimulationError(
                         f"exceeded max_events={self.max_events}: possible event loop"
                     )
-                self.step()
+                pop(heap)
+                self._now = event.time
+                self._events_fired += 1
+                if self.trace is not None:
+                    self.trace.record(event)
+                if self.on_event is not None:
+                    self.on_event(event)
+                if event.callback is not None:
+                    event.callback(event)
         finally:
             self._running = False
         if until is not None and self._now < until:

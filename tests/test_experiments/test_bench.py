@@ -91,8 +91,15 @@ class TestCompareAndRegression:
         assert rows == []
 
     def test_regression_pass_within_threshold(self):
+        # 70 vs 100 sits inside the default 1.5x gate (floor: 66.7).
         doc = {"benchmarks": {"smoke": {"current": _section(100.0)}}}
-        assert check_regression(doc, "smoke", _section(60.0)) == []
+        assert check_regression(doc, "smoke", _section(70.0)) == []
+
+    def test_regression_default_gate_is_tightened(self):
+        # 60 vs 100 passed the old 2x gate; the 1.5x default rejects it.
+        doc = {"benchmarks": {"smoke": {"current": _section(100.0)}}}
+        assert check_regression(doc, "smoke", _section(60.0)) != []
+        assert check_regression(doc, "smoke", _section(60.0), max_regression=2.0) == []
 
     def test_regression_fails_beyond_threshold(self):
         doc = {"benchmarks": {"smoke": {"current": _section(100.0)}}}
