@@ -1,0 +1,185 @@
+"""Command-line front end for the whole-program flow analysis.
+
+Reachable as ``repro flowcheck`` or ``python -m
+repro.analysis.flow.cli``; ``repro lint --flow`` runs the same rules
+merged into a lint pass.
+
+Exit codes: ``0`` clean, ``1`` findings or unparsable files, ``2``
+usage errors, ``3`` the call-graph build blew the ``--max-build-seconds``
+budget.  Timing goes to *stderr* only — stdout (text or JSON) is a
+pure function of the analyzed tree, byte-identical across runs, and
+the CI determinism gate diffs it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional, Sequence, TextIO
+
+from repro.analysis.flow.engine import FLOW_RULES, FlowResult, run_flow
+from repro.obs.exporters import write_jsonl
+from repro.obs.metrics import MetricsRegistry
+
+DESCRIPTION = (
+    "Whole-program determinism flow analysis for the repro codebase: "
+    "interprocedural nondeterminism taint (FLOW001), lock-order cycles "
+    "(FLOW002), unlocked calls into locked scopes (FLOW003) and WAL "
+    "protocol violations (FLOW004)."
+)
+
+EPILOG = (
+    "Findings carry the full source->sink call chain; see the 'Flow "
+    "analysis' section of docs/STATIC_ANALYSIS.md."
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the flowcheck flags (standalone or ``repro`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print call-graph shape and per-rule counts",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="with --stats: also write the counts as a JSON-lines "
+             "metrics log readable by `repro inspect`",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the flow rule catalog and exit",
+    )
+    parser.add_argument(
+        "--max-build-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 3) when building+checking the call graph takes "
+             "longer than S seconds (CI latency budget); the measured "
+             "time is reported on stderr either way",
+    )
+    return parser
+
+
+def build_parser(prog: str = "repro flowcheck") -> argparse.ArgumentParser:
+    return add_arguments(argparse.ArgumentParser(
+        prog=prog, description=DESCRIPTION, epilog=EPILOG,
+    ))
+
+
+def build_stats_registry(result: FlowResult) -> MetricsRegistry:
+    """Flow counters as a :class:`MetricsRegistry` (stable metric set)."""
+    registry = MetricsRegistry()
+    counts = result.counts_by_rule()
+    for rule in FLOW_RULES:
+        registry.counter(
+            "flow_findings_total", "Flow findings by rule", rule=rule.rule_id,
+        ).inc(counts.get(rule.rule_id, 0))
+    for key in sorted(result.stats):
+        registry.gauge(
+            f"flow_graph_{key}", f"Call-graph {key.replace('_', ' ')}",
+        ).set(result.stats[key])
+    registry.gauge(
+        "flow_files_checked", "Files examined by the last flow run",
+    ).set(result.files_checked)
+    registry.counter(
+        "flow_errors_total", "Files the flow analysis could not parse",
+    ).inc(len(result.errors))
+    return registry
+
+
+def _render_text(out: TextIO, result: FlowResult) -> None:
+    for finding in result.findings:
+        out.write(finding.render() + "\n")
+    for error in result.errors:
+        out.write(error.render() + "\n")
+    summary = (
+        f"{len(result.findings)} flow finding(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    if result.errors:
+        summary += f", {len(result.errors)} file error(s)"
+    out.write(summary + "\n")
+
+
+def _render_json(out: TextIO, result: FlowResult) -> None:
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.as_dict() for f in result.findings],
+        "errors": [
+            {"path": e.path, "message": e.message} for e in result.errors
+        ],
+        "counts_by_rule": result.counts_by_rule(),
+        "graph": dict(sorted(result.stats.items())),
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def run(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+) -> int:
+    """Execute a parsed flowcheck invocation."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+
+    if args.list_rules:
+        for rule in FLOW_RULES:
+            out.write(f"{rule.rule_id}: {rule.name}\n")
+            out.write(f"    {rule.description}\n")
+        return 0
+    if args.metrics_out is not None and not args.stats:
+        parser.error("--metrics-out requires --stats")
+
+    t0 = time.perf_counter()
+    result = run_flow(args.paths)
+    elapsed = time.perf_counter() - t0
+    err.write(f"flowcheck: analyzed {result.files_checked} file(s) "
+              f"in {elapsed:.2f}s\n")
+
+    if args.format == "json":
+        _render_json(out, result)
+    else:
+        _render_text(out, result)
+
+    if args.stats:
+        registry = build_stats_registry(result)
+        for metric in registry.collect():
+            labels = ",".join(f"{k}={v}" for k, v in metric["labels"].items())
+            label_part = f"{{{labels}}}" if labels else ""
+            value = metric.get("value", metric.get("count"))
+            out.write(f"stat {metric['name']}{label_part} {value}\n")
+        if args.metrics_out is not None:
+            write_jsonl(args.metrics_out, [
+                {"type": "meta", "scenario": "flowcheck",
+                 "paths": list(args.paths)},
+                {"type": "registry", "metrics": registry.collect()},
+            ])
+            out.write(f"stats written to {args.metrics_out}\n")
+
+    if args.max_build_seconds is not None and elapsed > args.max_build_seconds:
+        err.write(
+            f"flowcheck: build budget exceeded: {elapsed:.2f}s > "
+            f"{args.max_build_seconds:.2f}s\n"
+        )
+        return 3
+    return 1 if (result.findings or result.errors) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    parser = build_parser()
+    return run(parser.parse_args(argv), parser, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Driver for the whole-program flow rules (FLOW001–FLOW004).
+
+``run_flow`` builds one deterministic call graph over the given paths
+and runs every flow rule against it, filtering findings through the
+same ``# repro-lint:`` line/file suppressions the per-function linter
+honors.  The result is sorted and contains no timing or environment
+data, so serializing it twice over the same tree yields byte-identical
+output — the property the CI determinism gate asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.flow.callgraph import CallGraph, build_callgraph
+from repro.analysis.flow.locks import (
+    check_lock_coverage,
+    check_lock_order,
+    lock_stats,
+)
+from repro.analysis.flow.taint import check_taint
+from repro.analysis.flow.walproto import check_wal_protocol
+from repro.analysis.lint.engine import LintError
+from repro.analysis.lint.findings import Finding
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """Catalog entry for one flow rule (mirrors the lint rule shape)."""
+
+    rule_id: str
+    name: str
+    description: str
+
+
+FLOW_RULES: tuple[FlowRule, ...] = (
+    FlowRule(
+        rule_id="FLOW001",
+        name="interprocedural-nondeterminism",
+        description=(
+            "nondeterminism source (wall clock, entropy, env read, "
+            "unordered iteration, thread timing) reachable from a "
+            "decision-path root through the call graph"
+        ),
+    ),
+    FlowRule(
+        rule_id="FLOW002",
+        name="lock-order-cycle",
+        description=(
+            "cycle in the interprocedural lock-order graph (threads can "
+            "take the locks in opposite orders and deadlock)"
+        ),
+    ),
+    FlowRule(
+        rule_id="FLOW003",
+        name="unlocked-call-into-locked-scope",
+        description=(
+            "call into a '# repro-lint: locked' function through a site "
+            "where no entry path holds a lock"
+        ),
+    ),
+    FlowRule(
+        rule_id="FLOW004",
+        name="wal-protocol-violation",
+        description=(
+            "WAL protocol ordering violated: append-before-apply, "
+            "recover-before-serve or compact-under-lock"
+        ),
+    ),
+)
+
+FLOW_RULE_IDS: frozenset[str] = frozenset(r.rule_id for r in FLOW_RULES)
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow-analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files_checked: int = 0
+    #: Call-graph shape counters (modules/functions/call_edges/...);
+    #: stable across runs, safe to serialize.
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def _suppressed(graph: CallGraph, finding: Finding) -> bool:
+    for module in graph.modules.values():
+        if module.path == finding.path:
+            return module.suppressions.is_suppressed(
+                finding.line, finding.rule
+            )
+    return False
+
+
+def run_flow(paths: Sequence[str]) -> FlowResult:
+    """Build the call graph under ``paths`` and run every flow rule."""
+    graph = build_callgraph(paths)
+    findings: list[Finding] = []
+    findings.extend(check_taint(graph))
+    findings.extend(check_lock_order(graph))
+    findings.extend(check_lock_coverage(graph))
+    findings.extend(check_wal_protocol(graph))
+    kept = sorted(f for f in findings if not _suppressed(graph, f))
+    sites, order_edges = lock_stats(graph)
+    result = FlowResult(
+        findings=kept,
+        errors=[
+            LintError(path=e.path, message=e.message)
+            for e in sorted(graph.errors, key=lambda e: (e.path, e.message))
+        ],
+        files_checked=graph.files_checked,
+        stats={
+            "modules": len(graph.modules),
+            "functions": len(graph.functions),
+            "call_edges": graph.edge_count(),
+            "lock_sites": sites,
+            "lock_order_edges": order_edges,
+        },
+    )
+    return result
+
+
+__all__ = ["FLOW_RULES", "FLOW_RULE_IDS", "FlowResult", "FlowRule", "run_flow"]

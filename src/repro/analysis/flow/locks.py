@@ -1,0 +1,251 @@
+"""FLOW002/FLOW003 — the interprocedural lock-order and coverage graph.
+
+**FLOW002** assembles a lock-*order* digraph: an edge ``A -> B`` means
+some execution path acquires ``B`` while holding ``A`` — either
+lexically (nested ``with``) or through a call chain (a call site made
+under ``A`` whose callee transitively acquires ``B``).  A cycle in
+that graph is a potential deadlock between threads taking the locks in
+opposite orders; every edge of the reported cycle carries a concrete
+``function:line`` witness.
+
+**FLOW003** closes the loop on the ``# repro-lint: locked`` contract.
+The per-function CONC001 rule trusts the marker ("my caller holds the
+lock"); this pass *verifies* it at every resolved call site: the site
+must hold a lock lexically, or sit in a function that is itself
+``locked``/``safe=CONC001``-marked or provably only entered under a
+lock.  An uncovered site is a path that mutates engine/WAL/metric
+state with no lock held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.rules import CONC001_EXEMPT_MODULES
+
+ORDER_RULE_ID = "FLOW002"
+COVERAGE_RULE_ID = "FLOW003"
+
+
+@dataclass(frozen=True)
+class _Edge:
+    first: str
+    second: str
+    #: Witness: where the second acquisition happens while the first is
+    #: held, e.g. ``repro.service.server.AdmissionService._dispatch:412``.
+    witness: str
+
+
+def _transitive_acquires(graph: CallGraph) -> dict[str, frozenset[str]]:
+    """Lock ids each function may acquire, directly or via callees.
+
+    Iterated to a fixpoint (the graph has recursion); local
+    function-scoped locks (``<local>`` ids) never escape a function and
+    are excluded — they cannot participate in cross-thread ordering.
+    """
+    acquired: dict[str, set[str]] = {}
+    for info in graph.sorted_functions():
+        acquired[info.qualname] = {
+            site.lock for site in info.acquires if ".<local>." not in site.lock
+        }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(acquired):
+            bucket = acquired[qualname]
+            before = len(bucket)
+            for callee in graph.callees(qualname):
+                bucket |= acquired.get(callee, set())
+            if len(bucket) != before:
+                changed = True
+    return {q: frozenset(locks) for q, locks in acquired.items()}
+
+
+def _order_edges(graph: CallGraph) -> list[_Edge]:
+    trans = _transitive_acquires(graph)
+    edges: dict[tuple[str, str], str] = {}
+
+    def note(first: str, second: str, witness: str) -> None:
+        if first == second:
+            # Re-acquiring the same *normalized* identity usually means a
+            # different instance of the same class (e.g. two shard
+            # parking locks); the self-deadlock case is better caught at
+            # runtime, so self-edges are not order edges.
+            return
+        key = (first, second)
+        if key not in edges or witness < edges[key]:
+            edges[key] = witness
+
+    for info in graph.sorted_functions():
+        for site in info.acquires:
+            if ".<local>." in site.lock:
+                continue
+            for held in site.held:
+                if ".<local>." in held:
+                    continue
+                note(held, site.lock, f"{info.qualname}:{site.line}")
+        for call in info.calls:
+            if not call.locks_held:
+                continue
+            reachable: set[str] = set()
+            for callee in call.callees:
+                reachable |= trans.get(callee, frozenset())
+            for held in call.locks_held:
+                if ".<local>." in held:
+                    continue
+                for target in sorted(reachable):
+                    if target not in call.locks_held:
+                        note(held, target, f"{info.qualname}:{call.line}")
+    return [
+        _Edge(first=k[0], second=k[1], witness=w)
+        for k, w in sorted(edges.items())
+    ]
+
+
+def _cycles(edges: list[_Edge]) -> list[list[_Edge]]:
+    """Every elementary lock-order cycle, smallest-first.
+
+    Locks graphs here are tiny (a handful of identities), so a simple
+    DFS from each node over sorted adjacency is plenty — and fully
+    deterministic.
+    """
+    adjacency: dict[str, list[_Edge]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge.first, []).append(edge)
+    found: list[list[_Edge]] = []
+    seen_keys: set[tuple[str, ...]] = set()
+    for start in sorted(adjacency):
+        stack: list[tuple[str, list[_Edge]]] = [(start, [])]
+        while stack:
+            node, path = stack.pop()
+            for edge in reversed(adjacency.get(node, [])):
+                if edge.second == start:
+                    cycle = [*path, edge]
+                    # Canonical form: rotate so the smallest lock leads;
+                    # dedupe rotations discovered from other start nodes.
+                    names = [e.first for e in cycle]
+                    pivot = names.index(min(names))
+                    canon = tuple(names[pivot:] + names[:pivot])
+                    if canon not in seen_keys:
+                        seen_keys.add(canon)
+                        found.append(cycle[pivot:] + cycle[:pivot])
+                elif all(e.first != edge.second for e in path) and (
+                    edge.second != node
+                ) and len(path) < 8:
+                    if edge.second > start:
+                        # Only explore nodes after `start` — each cycle
+                        # is found exactly once, from its smallest node.
+                        stack.append((edge.second, [*path, edge]))
+    found.sort(key=lambda cycle: [e.first for e in cycle])
+    return found
+
+
+def check_lock_order(graph: CallGraph) -> list[Finding]:
+    """FLOW002: cycles in the interprocedural lock-order graph."""
+    findings: list[Finding] = []
+    for cycle in _cycles(_order_edges(graph)):
+        ring = " -> ".join([*(e.first for e in cycle), cycle[0].first])
+        evidence = "; ".join(
+            f"{e.first} -> {e.second} at {e.witness}" for e in cycle
+        )
+        anchor = cycle[0].witness
+        anchor_fn = anchor.rsplit(":", 1)[0]
+        info = graph.functions.get(anchor_fn)
+        findings.append(Finding(
+            path=info.path if info is not None else "<unknown>",
+            line=int(anchor.rsplit(":", 1)[1]),
+            col=0,
+            rule=ORDER_RULE_ID,
+            message=(
+                f"lock-order cycle {ring} (potential deadlock): {evidence}; "
+                "acquire these locks in one global order"
+            ),
+        ))
+    return findings
+
+
+def _entered_under_lock(
+    graph: CallGraph, qualname: str, visiting: frozenset[str]
+) -> bool:
+    """True when every resolved path into ``qualname`` holds a lock."""
+    if qualname in visiting:
+        return True  # a cycle back into the chain adds no new entry path
+    info = graph.functions.get(qualname)
+    if info is None:
+        return False
+    if info.locked_marker or "CONC001" in info.safe_rules:
+        return True
+    if info.module in CONC001_EXEMPT_MODULES:
+        return True
+    callers = graph.callers(qualname)
+    if not callers:
+        return False
+    scope = visiting | {qualname}
+    for caller in callers:
+        caller_info = graph.functions.get(caller)
+        if caller_info is None:
+            return False
+        for call in caller_info.calls:
+            if qualname not in call.callees:
+                continue
+            if call.locks_held:
+                continue
+            if not _entered_under_lock(graph, caller, scope):
+                return False
+    return True
+
+
+def check_lock_coverage(graph: CallGraph) -> list[Finding]:
+    """FLOW003: every call into a ``locked``-marked function holds a lock."""
+    findings: list[Finding] = []
+    locked = [
+        info for info in graph.sorted_functions()
+        if info.locked_marker and info.module not in CONC001_EXEMPT_MODULES
+    ]
+    for target in locked:
+        mutated = sorted({m.target for m in target.mutations})
+        evidence = (
+            f" (it mutates {', '.join(mutated)})" if mutated else ""
+        )
+        for caller_name in graph.callers(target.qualname):
+            caller = graph.functions.get(caller_name)
+            if caller is None:
+                continue
+            for call in caller.calls:
+                if target.qualname not in call.callees:
+                    continue
+                if call.locks_held:
+                    continue
+                if _entered_under_lock(graph, caller_name, frozenset()):
+                    continue
+                findings.append(Finding(
+                    path=caller.path,
+                    line=call.line,
+                    col=call.col,
+                    rule=COVERAGE_RULE_ID,
+                    message=(
+                        f"call into locked-marked {target.qualname} from "
+                        f"{caller_name} with no lock held on any entry "
+                        f"path{evidence}; take the owning lock or mark "
+                        "the caller '# repro-lint: locked'"
+                    ),
+                ))
+    return findings
+
+
+def lock_stats(graph: CallGraph) -> tuple[int, int]:
+    """(acquisition sites, order edges) for the flow stats block."""
+    sites = sum(len(info.acquires) for info in graph.functions.values())
+    return sites, len(_order_edges(graph))
+
+
+__all__ = [
+    "COVERAGE_RULE_ID",
+    "ORDER_RULE_ID",
+    "check_lock_coverage",
+    "check_lock_order",
+    "lock_stats",
+]

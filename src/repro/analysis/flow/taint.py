@@ -1,0 +1,136 @@
+"""FLOW001 — interprocedural nondeterminism taint.
+
+A *decision-path root* (policy admission, engine submit/advance/drain,
+WAL append, checkpoint/trace serialization) must never reach a
+nondeterminism source — wall clock, ambient entropy, env read,
+unordered iteration, thread timing — through any chain of calls:
+whatever those sources return would flow into decisions, WAL payloads
+or exports that the repo promises are byte-identical across runs.
+
+The check walks *backward* from every source site over the reverse
+call graph looking for the nearest reachable root; the finding is
+anchored at the source call and carries the full root→…→source chain
+so the reader can audit every hop.  ``# repro-lint: boundary=FLOW001``
+on a ``def`` (or its decorator) declares the function a sanctioned
+boundary: sources inside it are allowed and taint does not propagate
+through its call edge — the pragma's trailing prose should say why the
+reads cannot reach decision bytes (e.g. the live ``WallClock``, whose
+readings replay reproduces from logged timestamps).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Optional
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.lint.findings import Finding
+
+RULE_ID = "FLOW001"
+
+#: Decision-path roots: functions whose transitive closure must be
+#: deterministic.  ``fnmatch`` patterns over function qualnames.
+SINK_PATTERNS: tuple[tuple[str, str], ...] = (
+    ("policy admission", "repro.scheduling.*.on_job_submitted"),
+    ("RMS submit", "repro.cluster.rms.ResourceManagementSystem.submit"),
+    ("engine submit", "repro.service.engine.AdmissionEngine.submit"),
+    ("engine advance", "repro.service.engine.AdmissionEngine.advance"),
+    ("engine drain", "repro.service.engine.AdmissionEngine.drain"),
+    ("WAL append", "repro.service.wal.WriteAheadLog.append"),
+    ("checkpoint snapshot", "repro.service.checkpoint.snapshot"),
+    ("checkpoint save", "repro.service.checkpoint.save"),
+    ("trace serialization", "repro.obs.tracing.build_trace"),
+)
+
+#: Modules whose "entropy" calls are the sanctioned seeded streams —
+#: the one place ``random`` may legitimately appear.
+SOURCE_EXEMPT_MODULES: tuple[str, ...] = ("repro.sim.rng",)
+
+
+def _sink_label(qualname: str) -> Optional[str]:
+    for label, pattern in SINK_PATTERNS:
+        if fnmatchcase(qualname, pattern):
+            return label
+    return None
+
+
+def _is_boundary(info: FunctionInfo) -> bool:
+    return RULE_ID in info.boundary_rules
+
+
+def _nearest_root(
+    graph: CallGraph, start: str
+) -> Optional[tuple[str, list[str]]]:
+    """Shortest caller chain from ``start`` up to a decision-path root.
+
+    Returns ``(sink_label, [root, ..., start])`` or ``None``.  BFS over
+    sorted reverse edges with lexicographic parent assignment, so the
+    reported chain is deterministic; boundary-marked functions stop the
+    walk (their call edges are declared clean).
+    """
+    label = _sink_label(start)
+    if label is not None:
+        return label, [start]
+    parents: dict[str, str] = {}
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        next_frontier: list[str] = []
+        hits: list[str] = []
+        for node in frontier:
+            for caller in graph.callers(node):
+                if caller in seen:
+                    continue
+                info = graph.functions.get(caller)
+                if info is not None and _is_boundary(info):
+                    continue
+                seen.add(caller)
+                parents[caller] = node
+                hit_label = _sink_label(caller)
+                if hit_label is not None:
+                    hits.append(caller)
+                else:
+                    next_frontier.append(caller)
+        if hits:
+            root = sorted(hits)[0]
+            chain = [root]
+            while chain[-1] != start:
+                chain.append(parents[chain[-1]])
+            return _sink_label(root) or "", chain
+        frontier = sorted(next_frontier)
+    return None
+
+
+def check_taint(graph: CallGraph) -> list[Finding]:
+    """Every nondeterminism source reachable from a decision-path root."""
+    findings: list[Finding] = []
+    for info in graph.sorted_functions():
+        if not info.sources:
+            continue
+        if info.module in SOURCE_EXEMPT_MODULES:
+            continue
+        if _is_boundary(info):
+            continue
+        reached = _nearest_root(graph, info.qualname)
+        if reached is None:
+            continue
+        label, chain = reached
+        rendered = " -> ".join(chain)
+        for source in info.sources:
+            findings.append(Finding(
+                path=info.path,
+                line=source.line,
+                col=source.col,
+                rule=RULE_ID,
+                message=(
+                    f"{source.kind} source {source.detail} is reachable "
+                    f"from decision-path root '{label}' via {rendered}; "
+                    "decision bytes must not depend on it "
+                    "(fix the chain or declare a justified "
+                    "'# repro-lint: boundary=FLOW001')"
+                ),
+            ))
+    return findings
+
+
+__all__ = ["RULE_ID", "SINK_PATTERNS", "SOURCE_EXEMPT_MODULES", "check_taint"]

@@ -42,10 +42,19 @@ def load_baseline(path: str) -> Counter[BaselineKey]:
 
 
 def write_baseline(path: str, findings: Sequence[Finding]) -> None:
-    """Write ``findings`` as a fresh baseline (sorted, stable output)."""
+    """Write ``findings`` as a fresh baseline (sorted, stable output).
+
+    The sort key is explicit — (path, rule, message, line, col), i.e.
+    the serialized identity first — so the emitted bytes are a pure
+    function of the finding *set*: shuffling the input order (different
+    filesystem walk orders, merged finding streams) cannot reorder the
+    file and churn its diff.
+    """
     entries = [
         {"path": f.path, "rule": f.rule, "message": f.message}
-        for f in sorted(findings)
+        for f in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.message, f.line, f.col)
+        )
     ]
     payload = {"version": BASELINE_VERSION, "findings": entries}
     with open(path, "w", encoding="utf-8") as handle:

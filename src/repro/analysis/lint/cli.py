@@ -78,6 +78,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the whole-program flow analysis (FLOW001-004: "
+             "interprocedural taint, lock-order cycles, locked-scope "
+             "coverage, WAL protocol) and merge its findings",
+    )
     return parser
 
 
@@ -94,6 +100,10 @@ def _list_rules(out: TextIO) -> None:
             line = line.strip().rstrip(".")
             if line:
                 out.write(f"    {line}.\n")
+    from repro.analysis.flow.engine import FLOW_RULES
+    for flow_rule in FLOW_RULES:
+        out.write(f"{flow_rule.rule_id}: {flow_rule.name} (--flow)\n")
+        out.write(f"    {flow_rule.description}.\n")
 
 
 def build_stats_registry(result: LintResult) -> MetricsRegistry:
@@ -104,10 +114,14 @@ def build_stats_registry(result: LintResult) -> MetricsRegistry:
     """
     registry = MetricsRegistry()
     counts = result.counts_by_rule()
-    for rule in ALL_RULES:
+    rule_ids = [rule.id for rule in ALL_RULES]
+    # A merged --flow run carries FLOW001-004 counts in the same result.
+    from repro.analysis.flow.engine import FLOW_RULES
+    rule_ids.extend(rule.rule_id for rule in FLOW_RULES)
+    for rule_id in rule_ids:
         registry.counter(
-            "lint_findings_total", "Lint findings by rule", rule=rule.id,
-        ).inc(counts.get(rule.id, 0))
+            "lint_findings_total", "Lint findings by rule", rule=rule_id,
+        ).inc(counts.get(rule_id, 0))
     registry.gauge(
         "lint_files_checked", "Files examined by the last lint run",
     ).set(result.files_checked)
@@ -177,6 +191,14 @@ def run(
         parser.error("--metrics-out requires --stats")
 
     result = run_lint(args.paths)
+    if getattr(args, "flow", False):
+        # Merge the whole-program pass: flow findings ride through the
+        # same baseline partition and stats pipeline as per-function
+        # findings (both streams are sorted, so the merge is too).
+        from repro.analysis.flow.engine import run_flow
+        flow_result = run_flow(args.paths)
+        result.findings = sorted([*result.findings, *flow_result.findings])
+        result.errors.extend(flow_result.errors)
 
     if args.write_baseline:
         write_baseline(args.baseline, result.findings)

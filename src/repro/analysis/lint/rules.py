@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from repro.analysis.lint.findings import Finding
-from repro.analysis.lint.suppressions import Suppressions
+from repro.analysis.lint.suppressions import Suppressions, marker_for_def
 
 #: Packages whose output must be a pure function of (config, seed).
 DETERMINISTIC_PACKAGES = (
@@ -261,7 +261,25 @@ class UnorderedIterationRule(Rule):
         )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        yield from self._check_scope(ctx, ctx.tree, parent_setish=[])
+
+    def _check_scope(
+        self,
+        ctx: FileContext,
+        scope: ast.AST,
+        parent_setish: list[dict[str, bool]],
+    ) -> Iterator[Finding]:
+        """Check one scope (module or function) and recurse into nested ones.
+
+        ``parent_setish`` is the chain of enclosing scopes' binding maps:
+        name -> True when *every* binding of that name in the scope is a
+        set-valued expression (a rebind through ``sorted(...)`` or any
+        other non-set value clears it, so the common fix pattern is not
+        re-flagged).
+        """
+        setish = self._collect_setish(scope)
+        scopes = [*parent_setish, setish]
+        for node in self._scope_walk(scope):
             iters: list[ast.expr] = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 iters.append(node.iter)
@@ -269,17 +287,97 @@ class UnorderedIterationRule(Rule):
                                    ast.GeneratorExp)):
                 iters.extend(gen.iter for gen in node.generators)
             for it in iters:
-                reason = self._unordered_reason(it)
+                reason = self._unordered_reason(it, scopes)
                 if reason is not None:
                     yield self.finding(
                         ctx, it,
                         f"iteration over {reason}; wrap the iterable in "
                         f"sorted(...) to pin a deterministic order",
                     )
+        for node in self._scope_walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node, scopes)
 
-    def _unordered_reason(self, node: ast.expr) -> Optional[str]:
+    @staticmethod
+    def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+        """``ast.walk`` bounded at nested function scopes."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop(0)
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _collect_setish(self, scope: ast.AST) -> dict[str, bool]:
+        """Names of this scope whose every binding is set-valued."""
+        setish: dict[str, bool] = {}
+
+        def bind(name: str, is_set: bool) -> None:
+            setish[name] = is_set and setish.get(name, True)
+
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                bind(arg.arg, False)  # param values are opaque
+        for node in self._scope_walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bind(target.id, self._is_set_expr(node.value))
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    bind(node.target.id, self._is_set_expr(node.value))
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    # `s |= {...}` keeps a set a set; any other augment
+                    # poisons (we no longer know the shape).
+                    bind(node.target.id, isinstance(node.op, (
+                        ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor
+                    )))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        bind(target.id, False)
+            elif isinstance(node, ast.withitem):
+                if node.optional_vars is not None:
+                    for target in ast.walk(node.optional_vars):
+                        if isinstance(target, ast.Name):
+                            bind(target.id, False)
+        return setish
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        """True for expressions that statically evaluate to a set."""
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _unordered_reason(
+        self,
+        node: ast.expr,
+        scopes: Optional[list[dict[str, bool]]] = None,
+    ) -> Optional[str]:
         if isinstance(node, ast.Set):
             return "a set literal"
+        if isinstance(node, ast.Name) and scopes:
+            # Innermost binding wins, mirroring Python scoping.
+            for scope_map in reversed(scopes):
+                if node.id in scope_map:
+                    if scope_map[node.id]:
+                        return (
+                            f"'{node.id}', a name bound to a "
+                            f"set/frozenset value"
+                        )
+                    return None
+            return None
         if isinstance(node, ast.Call):
             if isinstance(node.func, ast.Name):
                 if node.func.id in ("set", "frozenset"):
@@ -406,7 +504,7 @@ class LockedMutationRule(Rule):
                 # may escape (thread target, callback) and run later.
                 child_locked = False
                 child_safe = False
-                marker = ctx.suppressions.marker_at(child.lineno)
+                marker = marker_for_def(ctx.suppressions, child)
                 if marker is not None:
                     child_locked = marker.locked
                     child_safe = self.id in marker.safe
@@ -557,7 +655,7 @@ class MetricLockRule(Rule):
                 # escape the lock-held scope and run on another thread.
                 child_locked = False
                 child_safe = child.name == "__init__"
-                marker = ctx.suppressions.marker_at(child.lineno)
+                marker = marker_for_def(ctx.suppressions, child)
                 if marker is not None:
                     child_locked = marker.locked
                     child_safe = child_safe or self.id in marker.safe

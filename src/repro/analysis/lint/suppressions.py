@@ -18,6 +18,14 @@ work anywhere Python allows a comment) with this grammar::
                                             listed rule(s) (e.g. it runs
                                             before the object is shared
                                             between threads)
+    # repro-lint: boundary=FLOW001          on a ``def`` line: the function
+                                            is a declared nondeterminism
+                                            boundary — the whole-program
+                                            flow analysis does not
+                                            propagate taint through it
+                                            (e.g. the live WallClock,
+                                            whose reads replay reproduces
+                                            from logged timestamps)
 
 Every suppression should carry a short justification after the pragma
 (``# repro-lint: disable=DET003  exact tie-break, not a tolerance``);
@@ -26,16 +34,17 @@ the parser ignores trailing prose, humans should not.
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 _PRAGMA = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
 
 #: Directives whose value is a rule list.
-_RULE_LIST_DIRECTIVES = ("disable", "disable-file", "safe")
+_RULE_LIST_DIRECTIVES = ("disable", "disable-file", "safe", "boundary")
 
 
 @dataclass
@@ -47,6 +56,10 @@ class ScopeMarker:
     locked: bool = False
     #: Rules the function is designated safe for (``safe=...``).
     safe: set[str] = field(default_factory=set)
+    #: Flow rules for which the function is a declared analysis
+    #: boundary (``boundary=...``): taint/protocol propagation stops at
+    #: its call edge instead of descending into the body.
+    boundary: set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -74,6 +87,30 @@ class Suppressions:
 
     def marker_at(self, line: int) -> Optional[ScopeMarker]:
         return self.scope_markers.get(line)
+
+
+def marker_for_def(
+    sup: Suppressions, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> Optional[ScopeMarker]:
+    """The scope marker governing ``node``, if any.
+
+    Decorated functions put the pragma wherever it reads best — on the
+    ``def`` line or on any decorator line above it — so the lookup
+    accepts both.  When several lines carry markers the union applies.
+    """
+    lines = [node.lineno]
+    lines.extend(dec.lineno for dec in node.decorator_list)
+    merged: Optional[ScopeMarker] = None
+    for line in lines:
+        marker = sup.scope_markers.get(line)
+        if marker is None:
+            continue
+        if merged is None:
+            merged = ScopeMarker()
+        merged.locked = merged.locked or marker.locked
+        merged.safe |= marker.safe
+        merged.boundary |= marker.boundary
+    return merged
 
 
 def _parse_rules(value: str) -> set[str]:
@@ -123,8 +160,10 @@ def parse_suppressions(source: str) -> Suppressions:
             sup.file_disables.update(_parse_rules(value))
         elif key == "safe" and value:
             _marker_for(sup, line).safe.update(_parse_rules(value))
+        elif key == "boundary" and value:
+            _marker_for(sup, line).boundary.update(_parse_rules(value))
         # Unknown directives are ignored (forward compatibility).
     return sup
 
 
-__all__ = ["ScopeMarker", "Suppressions", "parse_suppressions"]
+__all__ = ["ScopeMarker", "Suppressions", "marker_for_def", "parse_suppressions"]

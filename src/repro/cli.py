@@ -489,6 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=lint_cli.EPILOG,
     )
     lint_cli.add_arguments(p)
+
+    from repro.analysis.flow import cli as flow_cli
+
+    p = sub.add_parser(
+        "flowcheck",
+        help="whole-program determinism flow analysis (FLOW001-004)",
+        description=flow_cli.DESCRIPTION,
+        epilog=flow_cli.EPILOG,
+    )
+    flow_cli.add_arguments(p)
     return parser
 
 
@@ -1130,6 +1140,11 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
         from repro.analysis.lint import cli as lint_cli
 
         return lint_cli.run(args, parser)
+
+    if args.command == "flowcheck":
+        from repro.analysis.flow import cli as flow_cli
+
+        return flow_cli.run(args, parser)
 
     if args.command == "inspect":
         from repro.obs.inspect import inspect_log

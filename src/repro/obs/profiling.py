@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Optional
 
+from repro.analysis.sanitizer import exempt
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scheduling.base import SchedulingPolicy
 
@@ -121,11 +123,16 @@ class Profiler:
         self.admission_calls.setdefault(name, 0)
 
         def timed(job, now):
-            t0 = time.perf_counter()
+            # Sanctioned wall-clock read on the decision path: profile
+            # output is explicitly outside the byte-identical guarantee,
+            # so the determinism sanitizer must not trip on it.
+            with exempt():
+                t0 = time.perf_counter()
             try:
                 original(job, now)
             finally:
-                self.admission_wall[name] += time.perf_counter() - t0
+                with exempt():
+                    self.admission_wall[name] += time.perf_counter() - t0
                 self.admission_calls[name] += 1
 
         policy.on_job_submitted = timed  # type: ignore[method-assign]

@@ -26,6 +26,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.analysis.sanitizer import decision_span
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job, JobState
 from repro.cluster.rms import ResourceManagementSystem
@@ -334,7 +335,10 @@ class AdmissionEngine:
         # into decision records (byte parity with batch runs).
         self.policy.trace_context = trace_id
         try:
-            self.sim.run(until=job.submit_time)
+            # Decision-path span: with REPRO_SANITIZE=1 any wall-clock /
+            # entropy read fired by the kernel loop below raises.
+            with decision_span():
+                self.sim.run(until=job.submit_time)
         finally:
             self.policy.trace_context = None
         self.clock.advance_to(self.sim.now)
@@ -358,13 +362,15 @@ class AdmissionEngine:
                 f"cannot advance to t={to_time:.6g}: clock is at {self.sim.now:.6g}"
             )
         before = self.sim.events_fired
-        self.sim.run(until=to_time)
+        with decision_span():
+            self.sim.run(until=to_time)
         self.clock.advance_to(self.sim.now)
         return self.sim.events_fired - before
 
     def drain(self) -> float:
         """Run every remaining event (open jobs finish); returns the horizon."""
-        self.sim.run()
+        with decision_span():
+            self.sim.run()
         self.clock.advance_to(self.sim.now)
         return self.sim.now
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import sanitizer
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job, UrgencyClass
 from repro.cluster.rms import ResourceManagementSystem
@@ -11,6 +12,10 @@ from repro.cluster.share import ShareParams
 from repro.scheduling.registry import make_policy, policy_discipline
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngStreams
+
+# REPRO_SANITIZE=1 runs the whole suite with the determinism sanitizer
+# armed: wall-clock/entropy reads inside engine decision spans raise.
+sanitizer.install_from_env()
 
 
 @pytest.fixture

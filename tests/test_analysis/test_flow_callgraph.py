@@ -1,0 +1,229 @@
+"""Call-graph construction: resolution cases, site capture, determinism.
+
+Fixtures are written to tmp_path with ``# repro-lint: module=...``
+pragmas so the builder scopes them like real package modules, exactly
+as the per-file lint fixtures do.
+"""
+
+from __future__ import annotations
+
+import random
+import textwrap
+from pathlib import Path
+
+from repro.analysis.flow.callgraph import build_callgraph
+
+
+def _write(tmp_path: Path, name: str, module: str, body: str) -> str:
+    path = tmp_path / name
+    path.write_text(f"# repro-lint: module={module}\n" + textwrap.dedent(body))
+    return str(path)
+
+
+def _graph(tmp_path: Path, files: dict[str, tuple[str, str]]):
+    paths = [_write(tmp_path, name, mod, body)
+             for name, (mod, body) in sorted(files.items())]
+    return build_callgraph(paths)
+
+
+# -- intra-module resolution --------------------------------------------------
+
+def test_module_function_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {"a.py": ("repro.pkg.a", """
+        def helper() -> int:
+            return 1
+
+        def entry() -> int:
+            return helper()
+    """)})
+    assert graph.callees("repro.pkg.a.entry") == ("repro.pkg.a.helper",)
+    assert graph.callers("repro.pkg.a.helper") == ("repro.pkg.a.entry",)
+
+
+def test_self_method_and_constructor_resolve(tmp_path):
+    graph = _graph(tmp_path, {"a.py": ("repro.pkg.a", """
+        class Widget:
+            def __init__(self) -> None:
+                self.n = 0
+
+            def bump(self) -> None:
+                self.n += 1
+
+            def run(self) -> None:
+                self.bump()
+
+        def make() -> Widget:
+            return Widget()
+    """)})
+    assert "repro.pkg.a.Widget.bump" in graph.callees("repro.pkg.a.Widget.run")
+    # A class call resolves to its constructor.
+    assert "repro.pkg.a.Widget.__init__" in graph.callees("repro.pkg.a.make")
+
+
+def test_typed_attribute_method_resolves(tmp_path):
+    graph = _graph(tmp_path, {"a.py": ("repro.pkg.a", """
+        class Engine:
+            def submit(self) -> None:
+                pass
+
+        class Server:
+            def __init__(self, engine: Engine) -> None:
+                self.engine = engine
+
+            def handle(self) -> None:
+                self.engine.submit()
+    """)})
+    assert "repro.pkg.a.Engine.submit" in graph.callees("repro.pkg.a.Server.handle")
+
+
+def test_nested_function_gets_locals_qualname(tmp_path):
+    graph = _graph(tmp_path, {"a.py": ("repro.pkg.a", """
+        def outer() -> None:
+            def inner() -> None:
+                pass
+            inner()
+    """)})
+    inner = "repro.pkg.a.outer.<locals>.inner"
+    assert inner in graph.functions
+    assert inner in graph.callees("repro.pkg.a.outer")
+
+
+# -- cross-module resolution --------------------------------------------------
+
+def test_from_import_and_module_alias_resolve(tmp_path):
+    graph = _graph(tmp_path, {
+        "lib.py": ("repro.pkg.lib", """
+            def work() -> None:
+                pass
+
+            def other() -> None:
+                pass
+        """),
+        "use.py": ("repro.pkg.use", """
+            from repro.pkg.lib import work
+            from repro.pkg import lib
+
+            def a() -> None:
+                work()
+
+            def b() -> None:
+                lib.other()
+        """),
+    })
+    assert graph.callees("repro.pkg.use.a") == ("repro.pkg.lib.work",)
+    assert graph.callees("repro.pkg.use.b") == ("repro.pkg.lib.other",)
+
+
+def test_from_imported_class_method_resolves(tmp_path):
+    graph = _graph(tmp_path, {
+        "lib.py": ("repro.pkg.lib", """
+            class Pool:
+                def acquire(self) -> None:
+                    pass
+        """),
+        "use.py": ("repro.pkg.use", """
+            from repro.pkg.lib import Pool
+
+            def go(p: Pool) -> None:
+                p.acquire()
+        """),
+    })
+    assert graph.callees("repro.pkg.use.go") == ("repro.pkg.lib.Pool.acquire",)
+
+
+def test_fallback_skips_generic_method_names(tmp_path):
+    # `get` is in the generic-name deny list: an unresolvable receiver
+    # must NOT produce by-name edges to every `get` in the program.
+    graph = _graph(tmp_path, {
+        "a.py": ("repro.pkg.a", """
+            class Store:
+                def get(self) -> int:
+                    return 1
+        """),
+        "b.py": ("repro.pkg.b", """
+            def use(mystery) -> int:
+                return mystery.get()
+        """),
+    })
+    assert graph.callees("repro.pkg.b.use") == ()
+
+
+def test_fallback_links_distinctive_method_names(tmp_path):
+    graph = _graph(tmp_path, {
+        "a.py": ("repro.pkg.a", """
+            class Engine:
+                def recompute_certificates(self) -> None:
+                    pass
+        """),
+        "b.py": ("repro.pkg.b", """
+            def use(mystery) -> None:
+                mystery.recompute_certificates()
+        """),
+    })
+    assert graph.callees("repro.pkg.b.use") == (
+        "repro.pkg.a.Engine.recompute_certificates",)
+
+
+# -- site capture -------------------------------------------------------------
+
+def test_sources_locks_and_markers_are_captured(tmp_path):
+    graph = _graph(tmp_path, {"a.py": ("repro.pkg.a", """
+        import threading
+        import time
+
+        _lock = threading.Lock()
+
+        def sample() -> float:  # repro-lint: safe=FLOW001
+            return time.time()
+
+        def guarded() -> None:
+            with _lock:
+                sample()
+    """)})
+    sample = graph.functions["repro.pkg.a.sample"]
+    assert [s.kind for s in sample.sources] == ["wall-clock"]
+    assert "FLOW001" in sample.safe_rules
+
+    guarded = graph.functions["repro.pkg.a.guarded"]
+    assert [site.lock for site in guarded.acquires] == ["repro.pkg.a._lock"]
+    call = guarded.calls[0]
+    assert call.locks_held == ("repro.pkg.a._lock",)
+
+
+def test_syntax_error_becomes_graph_error(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    graph = build_callgraph([str(bad)])
+    assert len(graph.errors) == 1
+    assert "bad.py" in graph.errors[0].path
+
+
+# -- determinism --------------------------------------------------------------
+
+def test_graph_is_identical_regardless_of_input_order(tmp_path):
+    files = {
+        f"m{i}.py": (f"repro.pkg.m{i}", f"""
+            def f{i}() -> int:
+                return {i}
+
+            def g{i}() -> int:
+                return f{i}()
+        """)
+        for i in range(6)
+    }
+    paths = [_write(tmp_path, name, mod, body)
+             for name, (mod, body) in files.items()]
+
+    def snapshot(order):
+        graph = build_callgraph(order)
+        return (
+            sorted(graph.functions),
+            [(fn.qualname, graph.callees(fn.qualname))
+             for fn in graph.sorted_functions()],
+            graph.edge_count(),
+        )
+
+    reference = snapshot(paths)
+    shuffled = list(paths)
+    random.Random(42).shuffle(shuffled)
+    assert snapshot(shuffled) == reference

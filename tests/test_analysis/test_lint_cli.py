@@ -171,3 +171,30 @@ def test_src_tree_is_lint_clean_with_no_baseline():
     out = io.StringIO()
     code = lint_main([str(SRC)], out=out)
     assert code == 0, out.getvalue()
+
+
+def test_write_baseline_output_is_independent_of_finding_order(tmp_path):
+    """The baseline file is a pure function of the finding *set*.
+
+    Discovery order varies with traversal (shell glob vs os.walk vs
+    explicit paths); a reordered rewrite must never show up as a diff.
+    """
+    import random
+
+    from repro.analysis.lint.baseline import write_baseline
+    from repro.analysis.lint.findings import Finding
+
+    findings = [
+        Finding(path=f"src/m{i % 3}.py", line=10 - i, col=i % 5,
+                rule=f"DET00{1 + i % 3}", message=f"violation {i}")
+        for i in range(12)
+    ]
+    reference = tmp_path / "a.json"
+    write_baseline(str(reference), findings)
+
+    shuffled = list(findings)
+    random.Random(7).shuffle(shuffled)
+    rewritten = tmp_path / "b.json"
+    write_baseline(str(rewritten), shuffled)
+
+    assert reference.read_bytes() == rewritten.read_bytes()

@@ -426,3 +426,149 @@ def test_conc003_nested_def_does_not_inherit_lock(tmp_path):
                     return worker
     """)
     assert _rules(findings) == ["CONC003"]
+
+
+# -- DET002: name-binding tracking --------------------------------------------
+
+def test_det002_flags_iteration_over_name_bound_to_set(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(xs: list) -> list:
+            s = set(xs)
+            out = []
+            for x in s:
+                out.append(x)
+            return out
+    """)
+    assert _rules(findings) == ["DET002"]
+    assert "name bound to a set/frozenset value" in findings[0].message
+
+
+def test_det002_flags_module_level_frozenset_constant(tmp_path):
+    findings = _lint(tmp_path, "repro.scheduling.fake", """
+        NAMES = frozenset({"edf", "libra"})
+
+        def emit() -> list:
+            return [n for n in NAMES]
+    """)
+    assert _rules(findings) == ["DET002"]
+
+
+def test_det002_rebinding_through_sorted_clears_the_taint(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(xs: list) -> list:
+            s = set(xs)
+            s = sorted(s)
+            return [x for x in s]
+    """)
+    assert findings == []
+
+
+def test_det002_sorted_wrap_of_bound_name_is_clean(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(xs: list) -> list:
+            s = set(xs)
+            return [x for x in sorted(s)]
+    """)
+    assert findings == []
+
+
+def test_det002_parameter_shadowing_resets_the_binding(tmp_path):
+    # The module-level set binding must not leak into a function whose
+    # parameter shadows the name: parameters have unknown order-ness.
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        s = frozenset({1, 2})
+
+        def emit(s: list) -> list:
+            return [x for x in s]
+    """)
+    assert findings == []
+
+
+def test_det002_augmented_set_algebra_keeps_the_binding(tmp_path):
+    findings = _lint(tmp_path, "repro.sim.fake", """
+        def emit(xs: list, ys: list) -> list:
+            s = set(xs)
+            s |= set(ys)
+            return [x for x in s]
+    """)
+    assert _rules(findings) == ["DET002"]
+
+
+# -- scope markers on decorated defs and multi-line with ----------------------
+
+def test_conc001_locked_marker_on_decorator_line(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        def traced(fn):
+            return fn
+
+        class Service:
+            @traced  # repro-lint: locked  dispatch holds the engine lock
+            def apply(self, lsn: int) -> None:
+                self.engine.wal_lsn = lsn
+    """)
+    assert findings == []
+
+
+def test_conc001_marker_on_def_line_under_decorator(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        def traced(fn):
+            return fn
+
+        class Service:
+            @traced
+            def apply(self, lsn: int) -> None:  # repro-lint: locked  caller holds it
+                self.engine.wal_lsn = lsn
+    """)
+    assert findings == []
+
+
+def test_conc003_safe_marker_on_decorator_line(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        def traced(fn):
+            return fn
+
+        class Counter:
+            @traced  # repro-lint: safe=CONC003  single-threaded rebuild
+            def rebuild(self):
+                self._counts[0] = 0.0
+    """)
+    assert findings == []
+
+
+def test_conc001_decorated_function_without_marker_still_fires(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        def traced(fn):
+            return fn
+
+        class Service:
+            @traced
+            def apply(self, lsn: int) -> None:
+                self.engine.wal_lsn = lsn
+    """)
+    assert _rules(findings) == ["CONC001"]
+
+
+def test_conc001_multiline_parenthesized_with_is_recognized(tmp_path):
+    findings = _lint(tmp_path, "repro.service.fake", """
+        class Service:
+            def apply(self, lsn: int) -> None:
+                with (
+                    self._engine_lock,
+                    self._wal_lock,
+                ):
+                    self.engine.wal_lsn = lsn
+    """)
+    assert findings == []
+
+
+def test_conc003_multiline_with_covers_trailing_statements(tmp_path):
+    findings = _lint(tmp_path, "repro.obs.windows", """
+        class Counter:
+            def note(self, t):
+                with (
+                    self._lock
+                ):
+                    self._counts[0] += 1.0
+                    self._values.append(t)
+    """)
+    assert findings == []

@@ -1,0 +1,128 @@
+"""Runtime determinism sanitizer: guards, spans, and engine integration.
+
+The sanitizer is the dynamic half of FLOW001: the static pass proves no
+decision-path chain reaches a nondeterminism source; with
+``REPRO_SANITIZE=1`` the guards prove it again at runtime by raising on
+any wall-clock/entropy read fired inside an engine decision span.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import SanitizerViolation
+from repro.service.engine import AdmissionEngine, EngineConfig
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def armed():
+    """Install the guards for one test, restoring the originals after."""
+    was_installed = sanitizer.installed()
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        if not was_installed:
+            sanitizer.uninstall()
+
+
+# -- guard mechanics ----------------------------------------------------------
+
+def test_reads_outside_spans_pass_through(armed):
+    assert time.time() > 0
+    assert 0.0 <= random.random() < 1.0
+
+
+def test_wall_clock_inside_span_raises(armed):
+    with sanitizer.decision_span():
+        with pytest.raises(SanitizerViolation) as excinfo:
+            time.time()
+    assert "time.time" in str(excinfo.value)
+    assert excinfo.value.stack  # captured call stack for the report
+
+
+def test_entropy_inside_span_raises(armed):
+    with sanitizer.decision_span():
+        with pytest.raises(SanitizerViolation):
+            random.random()
+
+
+def test_exempt_window_permits_sanctioned_reads(armed):
+    with sanitizer.decision_span():
+        with sanitizer.exempt():
+            assert time.perf_counter() > 0
+
+
+def test_seeded_random_instances_stay_untouched(armed):
+    # Seeded streams are the repo's sanctioned randomness: a bound
+    # `random.Random(seed)` must keep working inside spans.
+    stream = random.Random(7)
+    with sanitizer.decision_span():
+        first = stream.random()
+    assert first == random.Random(7).random()
+
+
+def test_guards_impersonate_the_original_callables(armed):
+    # Third-party code (pytest-benchmark) resolves timers through
+    # __module__/__name__; the guard must be indistinguishable.
+    assert time.perf_counter.__module__ == "time"
+    assert time.perf_counter.__name__ == "perf_counter"
+
+
+def test_install_is_idempotent_and_uninstall_restores():
+    # Under REPRO_SANITIZE=1 the session conftest pre-installs the
+    # guards; drop to the pristine state first and re-arm afterwards.
+    was_installed = sanitizer.installed()
+    if was_installed:
+        sanitizer.uninstall()
+    try:
+        originals = (time.time, random.random)
+        sanitizer.install()
+        sanitizer.install()
+        assert sanitizer.installed()
+        sanitizer.uninstall()
+        assert not sanitizer.installed()
+        assert (time.time, random.random) == originals
+    finally:
+        if was_installed:
+            sanitizer.install()
+
+
+def test_install_from_env_respects_flag(monkeypatch):
+    monkeypatch.delenv(sanitizer.ENV_FLAG, raising=False)
+    assert not sanitizer.enabled_by_env()
+    monkeypatch.setenv(sanitizer.ENV_FLAG, "1")
+    assert sanitizer.enabled_by_env()
+    monkeypatch.setenv(sanitizer.ENV_FLAG, "0")
+    assert not sanitizer.enabled_by_env()
+
+
+# -- cross-validation through the engine --------------------------------------
+
+def test_engine_decision_span_catches_policy_clock_read(armed):
+    # A deliberately broken admission hook that reads the wall clock
+    # per decision — the exact defect class FLOW001 hunts statically.
+    engine = AdmissionEngine(EngineConfig(num_nodes=4, rating=1.0))
+    original = engine.policy.on_job_submitted
+
+    def leaky(job, now):
+        time.time()
+        return original(job, now)
+
+    engine.policy.on_job_submitted = leaky
+    # submit() runs the kernel inside a decision span, and the
+    # admission hook runs inside that advance: the read must raise.
+    with pytest.raises(SanitizerViolation):
+        engine.submit(make_job(submit=1.0, deadline=500.0))
+
+
+def test_engine_decisions_are_clean_under_armed_sanitizer(armed):
+    engine = AdmissionEngine(EngineConfig(num_nodes=4, rating=1.0))
+    decision = engine.submit(make_job(submit=1.0, deadline=500.0))
+    assert decision is not None
+    engine.drain()
